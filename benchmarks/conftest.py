@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper through the
+corresponding :mod:`repro.experiments` module and reports the measured
+headline numbers through pytest-benchmark's ``extra_info`` so that the
+paper-vs-measured comparison appears directly in the benchmark output.
+
+Benchmarks default to the "small" experiment scale so the whole suite runs
+in a couple of minutes; set ``LIFERAFT_BENCH_SCALE=default`` (or ``full``)
+to rerun them closer to the paper's trace size.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.common import build_simulator, build_trace
+
+
+def bench_scale() -> str:
+    """Experiment scale used by the benchmark suite."""
+    return os.environ.get("LIFERAFT_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def trace(scale):
+    """One trace shared by every scheduling benchmark (generation is costly)."""
+    return build_trace(scale)
+
+
+@pytest.fixture(scope="session")
+def simulator(scale):
+    """One simulator (partition layout) shared by every scheduling benchmark."""
+    return build_simulator(scale)
+
+
+def record_headline(benchmark, result) -> None:
+    """Attach an experiment's headline numbers to the benchmark report."""
+    for key, value in result.headline.items():
+        benchmark.extra_info[key] = round(float(value), 6)
+    benchmark.extra_info["experiment"] = result.name

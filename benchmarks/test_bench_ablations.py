@@ -1,0 +1,19 @@
+"""Benchmark for the design-choice ablations called out in DESIGN.md."""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import ablations
+
+
+def test_bench_ablations(benchmark, trace):
+    result = benchmark.pedantic(ablations.run, kwargs={"trace": trace}, rounds=1, iterations=1)
+    record_headline(benchmark, result)
+    # Most-contentious-first should not lose to least-sharable-first on this
+    # workload (the §6 argument for LifeRaft's policy).
+    assert (
+        result.headline["throughput_liferaft"]
+        >= result.headline["throughput_least_sharable_first"] * 0.95
+    )
+    # A larger cache never hurts the greedy scheduler.
+    assert (
+        result.headline["throughput_cache_20"] >= result.headline["throughput_cache_5"] * 0.9
+    )

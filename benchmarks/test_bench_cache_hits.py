@@ -1,0 +1,14 @@
+"""Benchmark for the §6 claim about cache hit rates at alpha=0 vs alpha=1."""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import cache_hits
+
+
+def test_bench_cache_hit_rates(benchmark, trace, simulator):
+    result = benchmark.pedantic(
+        cache_hits.run, kwargs={"trace": trace, "simulator": simulator}, rounds=1, iterations=1
+    )
+    record_headline(benchmark, result)
+    # Paper: ~40% of requests served from cache at alpha=0 vs ~7% at alpha=1.
+    assert result.headline["hit_rate_alpha0"] > result.headline["hit_rate_alpha1"]
+    assert result.headline["hit_rate_alpha0"] > 0.2

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 2 (scan vs. index speed-up curve)."""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import figure2
+
+
+def test_bench_figure2_scan_vs_index(benchmark):
+    result = benchmark.pedantic(figure2.run, rounds=3, iterations=1)
+    record_headline(benchmark, result)
+    # Paper: break-even near 3% of the bucket, up to ~20x gap.
+    assert 0.02 <= result.headline["breakeven_fraction"] <= 0.04
+    assert result.headline["max_strategy_gap"] > 10.0

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 4 (trade-off curves, tolerance-threshold α)."""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import figure4
+
+
+def test_bench_figure4_tradeoff_curves(benchmark, trace, simulator):
+    result = benchmark.pedantic(
+        figure4.run, kwargs={"trace": trace, "simulator": simulator}, rounds=1, iterations=1
+    )
+    record_headline(benchmark, result)
+    # Paper: the controller tolerates more aging at low saturation than at high.
+    assert result.headline["alpha_selected_low"] >= result.headline["alpha_selected_high"]

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 5 (top-ten bucket reuse across the trace)."""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import figure5
+
+
+def test_bench_figure5_bucket_reuse(benchmark, trace):
+    result = benchmark.pedantic(figure5.run, kwargs={"trace": trace}, rounds=3, iterations=1)
+    record_headline(benchmark, result)
+    # Paper: the top ten buckets are accessed by ~61% of queries.
+    assert 0.4 <= result.headline["fraction_queries_touching_top10"] <= 0.9

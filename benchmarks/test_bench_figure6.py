@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 6 (cumulative workload by bucket)."""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import figure6
+
+
+def test_bench_figure6_cumulative_workload(benchmark, trace):
+    result = benchmark.pedantic(figure6.run, kwargs={"trace": trace}, rounds=3, iterations=1)
+    record_headline(benchmark, result)
+    # Paper: ~2% of buckets carry ~50% of the workload.
+    assert 0.3 <= result.headline["workload_fraction_in_top_2pct"] <= 0.7
+    assert result.headline["bucket_fraction_for_half_workload"] <= 0.1

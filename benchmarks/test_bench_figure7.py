@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 7 (throughput/response time by scheduler)."""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import figure7
+
+
+def test_bench_figure7_scheduler_comparison(benchmark, trace, simulator):
+    result = benchmark.pedantic(
+        figure7.run, kwargs={"trace": trace, "simulator": simulator}, rounds=1, iterations=1
+    )
+    record_headline(benchmark, result)
+    # Paper's headline: >2x throughput of the greedy scheduler over NoShare,
+    # RR behaving like alpha=1, and the greedy scheduler showing the largest
+    # response-time variance.
+    assert result.headline["greedy_vs_noshare_throughput"] > 1.5
+    assert abs(result.headline["rr_vs_alpha1_throughput"] - 1.0) < 0.25
+    assert result.headline["greedy_response_cov"] > result.headline["alpha1_response_cov"]

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 8 (saturation sweep per age bias)."""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import figure8
+
+
+def test_bench_figure8_saturation_sweep(benchmark, trace, simulator):
+    result = benchmark.pedantic(
+        figure8.run, kwargs={"trace": trace, "simulator": simulator}, rounds=1, iterations=1
+    )
+    record_headline(benchmark, result)
+    # Paper: the throughput gap between age biases widens with saturation.
+    assert (
+        result.headline["throughput_gap_at_highest_saturation"]
+        >= result.headline["throughput_gap_at_lowest_saturation"] - 1e-6
+    )

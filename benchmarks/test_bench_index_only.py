@@ -1,0 +1,13 @@
+"""Benchmark for the §5 claim that index-only evaluation loses badly to NoShare."""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import index_only
+
+
+def test_bench_index_only_slowdown(benchmark, simulator):
+    result = benchmark.pedantic(
+        index_only.run, kwargs={"simulator": simulator}, rounds=1, iterations=1
+    )
+    record_headline(benchmark, result)
+    # Paper: "seven times slower than even NoShare" for data-intensive queries.
+    assert result.headline["index_only_slowdown_busy_time"] > 3.0

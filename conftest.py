@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. in a fully offline environment where ``pip install -e .`` cannot
+resolve build dependencies).  When the package *is* installed this is a
+harmless no-op because the installed location takes precedence only if it
+differs, and both point at the same source tree for an editable install.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Workload-adaptive tuning of the age bias α.
+
+Reproduces the control loop described in §4 of the paper:
+
+1. Offline, measure one throughput/response-time trade-off curve per
+   saturation level by sweeping the age bias α over a representative trace.
+2. Online, estimate the current saturation from recent arrivals and pick,
+   for the closest curve, the α that minimises response time while staying
+   within a tolerance threshold (20 %) of the maximum throughput.
+
+The example then plays a bursty day — quiet mornings, a saturated evening —
+and shows the controller moving α as the arrival rate changes.
+
+Run with::
+
+    python examples/adaptive_scheduling.py
+"""
+
+from repro.core.adaptive import AlphaController
+from repro.experiments.common import render_table
+from repro.experiments.figure4 import build_tradeoff_curves
+from repro.sim.simulator import SimulationConfig, Simulator
+from repro.workload.arrival import BurstyArrivalProcess
+from repro.workload.generator import TraceConfig, TraceGenerator
+
+
+def main() -> None:
+    trace_config = TraceConfig(query_count=250, bucket_count=512, seed=11)
+    trace = TraceGenerator(trace_config).generate()
+    simulator = Simulator(SimulationConfig(bucket_count=trace_config.bucket_count))
+
+    # ---- offline: measure the trade-off curves -------------------------
+    print("measuring offline trade-off curves (alpha sweep per saturation)...")
+    curves = build_tradeoff_curves(
+        trace, simulator, saturation_fractions={"low": 0.45, "medium": 1.0, "high": 2.2}
+    )
+    rows = []
+    for label, curve in curves.items():
+        for alpha, throughput_norm, response_norm in curve.normalized():
+            rows.append((label, f"{curve.saturation_qps:.3f}", alpha, throughput_norm, response_norm))
+    print(
+        render_table(
+            ("saturation", "q/s", "alpha", "throughput/max", "response/max"), rows
+        )
+    )
+
+    # ---- online: let the controller follow a bursty arrival stream ------
+    controller = AlphaController(list(curves.values()), tolerance=0.2)
+    print()
+    print("tolerance threshold: give up at most 20% of the maximum throughput")
+    for label, curve in curves.items():
+        chosen = curve.select_alpha(0.2)
+        print(f"  saturation {label:6s} ({curve.saturation_qps:.3f} q/s) -> alpha = {chosen:g}")
+
+    print()
+    print("online adaptation over a bursty arrival stream:")
+    arrivals = BurstyArrivalProcess(
+        burst_rate_qps=2.0, burst_length=40, gap_seconds=600.0, seed=3
+    ).arrival_times(160)
+    checkpoints = (20, 60, 100, 140)
+    for index, time_s in enumerate(arrivals):
+        controller.observe_arrival(time_s)
+        if index in checkpoints:
+            rate = controller.estimator.rate_qps(now_s=time_s)
+            alpha = controller.current_alpha(now_s=time_s)
+            print(
+                f"  after {index + 1:3d} arrivals (t={time_s:8.1f}s): "
+                f"estimated rate {rate:.3f} q/s -> alpha = {alpha:g}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Federated cross-match: the SkyQuery scenario from the paper's introduction.
+
+Builds a three-archive federation (SDSS, 2MASS, USNO-B) from synthetic but
+correlated skies, submits federated cross-match queries over sky regions,
+and reports where each query spends its time: cross-matching at each site
+(in LifeRaft's data-driven batches) versus shipping intermediate results
+over the wide-area network.
+
+Run with::
+
+    python examples/federated_crossmatch.py
+"""
+
+from repro.catalog.archive import ArchiveConfig, build_archive
+from repro.catalog.generator import SkyGenerator, SkyGeneratorConfig
+from repro.experiments.common import render_table
+from repro.federation.network import NetworkModel
+from repro.federation.skyquery import FederatedQuery, SkyQueryFederation
+from repro.htm.geometry import SkyPoint
+
+
+def build_federation() -> tuple[SkyQueryFederation, SkyGenerator]:
+    """Create three correlated survey archives and register them."""
+    generator = SkyGenerator(SkyGeneratorConfig(object_count=1_500, cluster_count=5, seed=77))
+    sdss = generator.generate("sdss")
+    twomass = generator.derive_companion(sdss, "twomass", completeness=0.8, extra_fraction=0.1)
+    usnob = generator.derive_companion(sdss, "usnob", completeness=0.9, extra_fraction=0.2)
+
+    archive_config = ArchiveConfig(
+        objects_per_bucket=200, bucket_megabytes=8.0, target_bucket_read_s=0.3
+    )
+    federation = SkyQueryFederation(NetworkModel(latency_ms=120.0, bandwidth_mbps=60.0))
+    for name, catalog in (("sdss", sdss), ("twomass", twomass), ("usnob", usnob)):
+        federation.register_archive(build_archive(name, catalog, archive_config))
+    return federation, generator
+
+
+def main() -> None:
+    federation, generator = build_federation()
+    print(f"federation archives: {', '.join(federation.archives)}")
+
+    rows = []
+    for query_id, center in enumerate(generator.cluster_centers[:4]):
+        query = FederatedQuery(
+            query_id=query_id,
+            archives=("twomass", "sdss", "usnob"),
+            center=SkyPoint(center.ra, center.dec),
+            radius_deg=2.0,
+            match_radius_arcsec=3.0,
+        )
+        result = federation.execute(query)
+        rows.append(
+            (
+                query_id,
+                " -> ".join(result.plan.archives),
+                result.final_matches,
+                result.total_site_time_ms / 1000.0,
+                result.total_network_time_ms / 1000.0,
+            )
+        )
+
+    print()
+    print(
+        render_table(
+            ("query", "left-deep plan", "final matches", "site time (s)", "network time (s)"),
+            rows,
+        )
+    )
+
+    print()
+    print("per-archive engine statistics (data-driven batching at each site):")
+    for name, stats in federation.statistics().items():
+        print(
+            f"  {name:8s} services={stats['bucket_services']:.0f} "
+            f"cache hit rate={stats['cache_hit_rate']:.2f} matches={stats['total_matches']:.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Reproduction of LifeRaft (CIDR 2009).
+
+LifeRaft is a data-driven, batch query scheduler for data-intensive
+scientific workloads.  Rather than evaluating queries in arrival order, it
+partitions the fact table into equal-sized buckets along the HTM
+space-filling curve, groups the data requirements of concurrent queries by
+bucket, and services the bucket with the highest *aged workload throughput*
+next so that one sequential read satisfies many queries at once.
+
+The package is organised as a set of substrates plus the core scheduler:
+
+``repro.htm``
+    Spherical geometry and the Hierarchical Triangular Mesh used to
+    linearise the sky into a space-filling curve.
+``repro.storage``
+    Disk cost model, LRU cache, bucket partitioner/store and spatial index.
+``repro.catalog``
+    Synthetic astronomical catalogs and archives.
+``repro.core``
+    The LifeRaft scheduler itself: pre-processor, workload manager,
+    scheduling metrics, hybrid join evaluator, baselines and the engine.
+``repro.sim``
+    Discrete-event simulation used to drive the evaluation.
+``repro.workload``
+    Cross-match query model, trace generators and arrival processes.
+``repro.federation``
+    A SkyQuery-style federation substrate (archives, plans, shipping).
+``repro.experiments``
+    One module per figure/table of the paper's evaluation.
+"""
+
+from repro.core.engine import LifeRaftEngine, EngineConfig
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
+from repro.core.metrics import CostModel, workload_throughput, aged_workload_throughput
+from repro.core.baselines import (
+    NoShareScheduler,
+    RoundRobinScheduler,
+    IndexOnlyScheduler,
+    LeastSharableFirstScheduler,
+)
+from repro.workload.query import CrossMatchQuery, CrossMatchObject
+from repro.workload.generator import TraceConfig, TraceGenerator
+from repro.sim.simulator import SimulationConfig, Simulator, SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LifeRaftEngine",
+    "EngineConfig",
+    "LifeRaftScheduler",
+    "SchedulerConfig",
+    "CostModel",
+    "workload_throughput",
+    "aged_workload_throughput",
+    "NoShareScheduler",
+    "RoundRobinScheduler",
+    "IndexOnlyScheduler",
+    "LeastSharableFirstScheduler",
+    "CrossMatchQuery",
+    "CrossMatchObject",
+    "TraceConfig",
+    "TraceGenerator",
+    "SimulationConfig",
+    "Simulator",
+    "SimulationResult",
+    "__version__",
+]

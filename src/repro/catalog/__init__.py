@@ -1,0 +1,30 @@
+"""Catalog substrate: synthetic astronomical archives.
+
+The paper evaluates LifeRaft at the SDSS node of the SkyQuery federation;
+the cross-match workload joins SDSS against the 2MASS and USNO-B surveys.
+Since the real multi-terabyte archives are not available offline, this
+package provides synthetic stand-ins:
+
+* :mod:`repro.catalog.objects` — the row types (celestial observations) and
+  an in-memory catalog table sorted along the HTM curve;
+* :mod:`repro.catalog.generator` — sky generators producing clustered,
+  survey-like object distributions at configurable scale;
+* :mod:`repro.catalog.archive` — an archive bundles a catalog with its
+  storage substrate (partition layout, bucket store, spatial index) the way
+  one SkyQuery site does.
+"""
+
+from repro.catalog.objects import CelestialObject, CatalogTable
+from repro.catalog.generator import SkyGeneratorConfig, SkyGenerator, SURVEY_PROFILES
+from repro.catalog.archive import Archive, ArchiveConfig, build_archive
+
+__all__ = [
+    "CelestialObject",
+    "CatalogTable",
+    "SkyGeneratorConfig",
+    "SkyGenerator",
+    "SURVEY_PROFILES",
+    "Archive",
+    "ArchiveConfig",
+    "build_archive",
+]

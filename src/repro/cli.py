@@ -1,0 +1,95 @@
+"""Command-line interface: run experiments and inspect traces.
+
+Examples
+--------
+Run the whole experiment suite at the default scale::
+
+    liferaft experiments --scale default
+
+Run only the headline scheduling comparison and the cache study::
+
+    liferaft experiments figure7 cache_hits --scale small
+
+Print the workload characterisation of a freshly generated trace::
+
+    liferaft trace --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import EXPERIMENTS, run_all
+from repro.experiments.common import SCALES, build_trace
+from repro.workload.stats import TraceStatistics
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="liferaft",
+        description="LifeRaft (CIDR 2009) reproduction: experiments and trace tools",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the paper's experiments and print their tables"
+    )
+    experiments.add_argument(
+        "names",
+        nargs="*",
+        choices=sorted(EXPERIMENTS) + [[]],
+        help="experiments to run (default: all)",
+    )
+    experiments.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="experiment scale (trace and partition size)",
+    )
+
+    trace = subparsers.add_parser("trace", help="generate a trace and print its statistics")
+    trace.add_argument("--scale", default="small", choices=sorted(SCALES))
+    trace.add_argument("--seed", type=int, default=8675309)
+
+    subparsers.add_parser("list", help="list available experiments")
+    return parser
+
+
+def _run_experiments(names: List[str], scale: str) -> int:
+    results = run_all(scale=scale, names=names or None)
+    for result in results:
+        print(result.render())
+        print()
+    return 0
+
+
+def _run_trace(scale: str, seed: int) -> int:
+    trace = build_trace(scale, seed=seed)
+    stats = TraceStatistics(trace.queries)
+    print(f"trace: {len(trace)} queries, {trace.total_objects()} cross-match objects")
+    for key, value in stats.describe().items():
+        print(f"  {key}: {value:.4g}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.command == "experiments":
+        return _run_experiments(list(args.names), args.scale)
+    if args.command == "trace":
+        return _run_trace(args.scale, args.seed)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

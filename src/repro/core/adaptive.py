@@ -1,0 +1,157 @@
+"""Workload-adaptive selection of the age bias α.
+
+Section 4 of the paper describes how α is chosen: trade-off curves of
+(normalised) query throughput versus (normalised) response time are
+determined offline for representative saturation levels by sweeping α
+(Figure 4); online, the controller estimates the current saturation and
+picks, for the closest curve, the α that minimises response time while
+giving up no more than a user-specified **tolerance threshold** of the
+maximum achievable throughput.  At low saturation that pushes α toward 1
+(arrival order — big response-time wins for a small throughput cost); at
+high saturation toward small α (contention wins dominate).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of a trade-off curve: the outcome of running one α."""
+
+    alpha: float
+    throughput_qps: float
+    avg_response_time_s: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be within [0, 1]")
+        if self.throughput_qps < 0 or self.avg_response_time_s < 0:
+            raise ValueError("throughput and response time must be non-negative")
+
+
+@dataclass
+class TradeoffCurve:
+    """A throughput/response-time trade-off curve at one saturation level."""
+
+    saturation_qps: float
+    points: List[TradeoffPoint] = field(default_factory=list)
+
+    def add(self, point: TradeoffPoint) -> None:
+        """Add one measured point to the curve."""
+        self.points.append(point)
+
+    def max_throughput(self) -> float:
+        """Best throughput achieved by any α on this curve."""
+        if not self.points:
+            raise ValueError("empty trade-off curve")
+        return max(p.throughput_qps for p in self.points)
+
+    def max_response_time(self) -> float:
+        """Worst average response time on this curve (normalisation reference)."""
+        if not self.points:
+            raise ValueError("empty trade-off curve")
+        return max(p.avg_response_time_s for p in self.points)
+
+    def normalized(self) -> List[Tuple[float, float, float]]:
+        """Figure 4 view: (alpha, throughput/max, response/max) triples."""
+        max_tp = self.max_throughput() or 1.0
+        max_rt = self.max_response_time() or 1.0
+        return [
+            (
+                p.alpha,
+                p.throughput_qps / max_tp if max_tp else 0.0,
+                p.avg_response_time_s / max_rt if max_rt else 0.0,
+            )
+            for p in sorted(self.points, key=lambda p: p.alpha)
+        ]
+
+    def select_alpha(self, tolerance: float = 0.2) -> float:
+        """Pick the α minimising response time within the throughput tolerance.
+
+        "average response time is minimized without sacrificing more than
+        20 % of maximum achievable throughput" (§4) corresponds to
+        ``tolerance=0.2``.
+        """
+        if not 0.0 <= tolerance < 1.0:
+            raise ValueError("tolerance must be within [0, 1)")
+        if not self.points:
+            raise ValueError("empty trade-off curve")
+        floor = (1.0 - tolerance) * self.max_throughput()
+        eligible = [p for p in self.points if p.throughput_qps >= floor]
+        if not eligible:
+            eligible = list(self.points)
+        best = min(eligible, key=lambda p: (p.avg_response_time_s, -p.alpha))
+        return best.alpha
+
+
+class SaturationEstimator:
+    """Sliding-window estimate of the query arrival rate.
+
+    The controller needs to know how saturated the workload currently is;
+    a window over recent arrival timestamps gives a rate estimate robust to
+    the bursty, non-stationary traffic the paper worries about in §6.
+    """
+
+    def __init__(self, window_s: float = 600.0) -> None:
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self._arrivals: List[float] = []
+
+    def observe_arrival(self, time_s: float) -> None:
+        """Record one query arrival at *time_s* (seconds)."""
+        if self._arrivals and time_s < self._arrivals[-1]:
+            raise ValueError("arrival times must be non-decreasing")
+        self._arrivals.append(time_s)
+
+    def rate_qps(self, now_s: Optional[float] = None) -> float:
+        """Arrivals per second over the trailing window."""
+        if not self._arrivals:
+            return 0.0
+        now = now_s if now_s is not None else self._arrivals[-1]
+        cutoff = now - self.window_s
+        start = bisect.bisect_left(self._arrivals, cutoff)
+        recent = len(self._arrivals) - start
+        if recent <= 0:
+            return 0.0
+        # Divide by the full window once enough history exists; during the
+        # cold start divide by the span actually observed so far.
+        observed_span = now - self._arrivals[0]
+        horizon = max(min(self.window_s, observed_span), 1e-9)
+        return recent / horizon
+
+
+class AlphaController:
+    """Chooses α from offline trade-off curves and a tolerance threshold."""
+
+    def __init__(
+        self,
+        curves: Sequence[TradeoffCurve],
+        tolerance: float = 0.2,
+        estimator: Optional[SaturationEstimator] = None,
+    ) -> None:
+        if not curves:
+            raise ValueError("at least one trade-off curve is required")
+        self.curves: List[TradeoffCurve] = sorted(curves, key=lambda c: c.saturation_qps)
+        self.tolerance = tolerance
+        self.estimator = estimator or SaturationEstimator()
+
+    def curve_for_saturation(self, saturation_qps: float) -> TradeoffCurve:
+        """The offline curve whose saturation level is closest to the estimate."""
+        return min(self.curves, key=lambda c: abs(c.saturation_qps - saturation_qps))
+
+    def alpha_for_saturation(self, saturation_qps: float) -> float:
+        """α recommended for an explicitly given saturation level."""
+        return self.curve_for_saturation(saturation_qps).select_alpha(self.tolerance)
+
+    def observe_arrival(self, time_s: float) -> None:
+        """Feed one arrival into the saturation estimator."""
+        self.estimator.observe_arrival(time_s)
+
+    def current_alpha(self, now_s: Optional[float] = None) -> float:
+        """α recommended for the currently estimated saturation."""
+        return self.alpha_for_saturation(self.estimator.rate_qps(now_s))

@@ -1,0 +1,274 @@
+"""The LifeRaft engine: the query-processing loop of Figure 3.
+
+The engine wires together the pre-processor, workload manager, bucket
+cache, hybrid join evaluator and a scheduling policy.  It exposes a small
+surface:
+
+* :meth:`LifeRaftEngine.submit` — a client query arrives and is split into
+  per-bucket workloads;
+* :meth:`LifeRaftEngine.process_next` — service the next work item chosen
+  by the scheduler, returning what was done and what it cost (the caller
+  owns the clock, so the same engine is driven by the online examples and
+  by the discrete-event simulator);
+* :meth:`LifeRaftEngine.run_until_idle` — convenience loop advancing an
+  internal virtual clock until all submitted work is done;
+* :meth:`LifeRaftEngine.report` — throughput, response times, cache and
+  join statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bucket_cache import BucketCacheManager, PAPER_CACHE_BUCKETS
+from repro.core.join_evaluator import HybridJoinEvaluator, JoinResult, JoinStrategy
+from repro.core.metrics import CostModel
+from repro.core.preprocessor import QueryPreProcessor
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig, SchedulingPolicy, WorkItem
+from repro.core.workload_manager import WorkloadManager
+from repro.storage.bucket_store import BucketStore
+from repro.storage.index import SpatialIndex
+from repro.storage.partitioner import PartitionLayout
+from repro.workload.query import CrossMatchQuery
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of the engine that are not part of the scheduling policy."""
+
+    cache_buckets: int = PAPER_CACHE_BUCKETS
+    cost: CostModel = field(default_factory=CostModel.paper_defaults)
+    #: Hybrid-join threshold as a fraction of the bucket; ``None`` derives
+    #: the break-even point from the cost model.
+    hybrid_threshold_fraction: Optional[float] = None
+    enable_hybrid: bool = True
+    match_probability: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.cache_buckets <= 0:
+            raise ValueError("cache_buckets must be positive")
+
+
+@dataclass
+class BatchResult:
+    """What one call to :meth:`LifeRaftEngine.process_next` accomplished."""
+
+    work_item: WorkItem
+    join: JoinResult
+    queries_served: Tuple[int, ...]
+    queries_completed: Tuple[int, ...]
+    started_at_ms: float
+    finished_at_ms: float
+
+    @property
+    def cost_ms(self) -> float:
+        """Service time of the batch."""
+        return self.join.cost_ms
+
+
+@dataclass
+class EngineReport:
+    """Aggregate outcome of everything the engine has processed so far."""
+
+    scheduler_name: str
+    submitted_queries: int
+    completed_queries: int
+    busy_time_ms: float
+    makespan_ms: float
+    response_times_ms: Dict[int, float]
+    bucket_services: int
+    cache_hit_rate: float
+    cache_statistics: Dict[str, float]
+    join_statistics: Dict[str, float]
+    strategy_counts: Dict[str, int]
+    total_io_ms: float
+    total_match_ms: float
+    total_matches: int
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per second of makespan."""
+        if self.makespan_ms <= 0:
+            return 0.0
+        return self.completed_queries / (self.makespan_ms / 1000.0)
+
+    @property
+    def avg_response_time_s(self) -> float:
+        """Mean response time over completed queries, in seconds."""
+        if not self.response_times_ms:
+            return 0.0
+        return sum(self.response_times_ms.values()) / len(self.response_times_ms) / 1000.0
+
+
+class LifeRaftEngine:
+    """Single-site query processing with data-driven batch scheduling."""
+
+    def __init__(
+        self,
+        layout: PartitionLayout,
+        store: BucketStore,
+        scheduler: Optional[SchedulingPolicy] = None,
+        index: Optional[SpatialIndex] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.layout = layout
+        self.store = store
+        self.scheduler: SchedulingPolicy = scheduler or LifeRaftScheduler(
+            SchedulerConfig(cost=self.config.cost)
+        )
+        self.preprocessor = QueryPreProcessor(layout)
+        self.manager = WorkloadManager()
+        self.cache = BucketCacheManager(store, self.config.cache_buckets)
+        self.evaluator = HybridJoinEvaluator(
+            cost=self.config.cost,
+            cache=self.cache,
+            index=index,
+            threshold_fraction=self.config.hybrid_threshold_fraction,
+            enable_hybrid=self.config.enable_hybrid,
+            match_probability=self.config.match_probability,
+        )
+        self._queries: Dict[int, CrossMatchQuery] = {}
+        self._now_ms = 0.0
+        self._busy_ms = 0.0
+        self._first_arrival_ms: Optional[float] = None
+        self._last_completion_ms: float = 0.0
+        self._batches: List[BatchResult] = []
+        self._strategy_counts: Dict[str, int] = {s.value: 0 for s in JoinStrategy}
+        self._total_io_ms = 0.0
+        self._total_match_ms = 0.0
+        self._total_matches = 0
+
+    # ------------------------------------------------------------------ #
+    # intake
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now_ms(self) -> float:
+        """The engine's internal virtual clock (used by :meth:`run_until_idle`)."""
+        return self._now_ms
+
+    def submit(self, query: CrossMatchQuery, now_ms: Optional[float] = None) -> None:
+        """Accept a query: pre-process it and enqueue its per-bucket workloads."""
+        arrival_ms = now_ms if now_ms is not None else query.arrival_time_s * 1000.0
+        assignments = self.preprocessor.assign(query)
+        if not assignments:
+            # A query with no overlap at this site completes immediately.
+            return
+        self.manager.add_query(query.query_id, assignments, arrival_ms)
+        self._queries[query.query_id] = query
+        if self._first_arrival_ms is None or arrival_ms < self._first_arrival_ms:
+            self._first_arrival_ms = arrival_ms
+        self._now_ms = max(self._now_ms, arrival_ms)
+
+    def has_pending_work(self) -> bool:
+        """``True`` while any workload queue is non-empty."""
+        return self.manager.has_pending_work()
+
+    # ------------------------------------------------------------------ #
+    # the service loop
+    # ------------------------------------------------------------------ #
+
+    def process_next(self, now_ms: Optional[float] = None) -> Optional[BatchResult]:
+        """Service the next work item chosen by the scheduler.
+
+        Returns ``None`` when nothing is pending.  The caller is responsible
+        for advancing its clock by ``result.cost_ms`` (the simulator does);
+        the engine's own clock is advanced too so that ages stay meaningful
+        when the engine is used standalone.
+        """
+        start_ms = now_ms if now_ms is not None else self._now_ms
+        work = self.scheduler.next_work(self.manager, self.cache, start_ms)
+        if work is None:
+            return None
+        queue = self.manager.queue(work.bucket_index)
+        if work.query_ids is None:
+            entries = list(queue.entries)
+        else:
+            wanted = set(work.query_ids)
+            entries = [e for e in queue.entries if e.query_id in wanted]
+        join = self.evaluator.evaluate(
+            self.layout[work.bucket_index],
+            entries,
+            force_strategy=work.force_strategy,
+            share_io=work.share_io,
+        )
+        finish_ms = start_ms + join.cost_ms
+        drained, completed = self.manager.drain_bucket(
+            work.bucket_index, finish_ms, query_ids=work.query_ids
+        )
+        served = tuple(sorted({entry.query_id for entry in drained}))
+        result = BatchResult(
+            work_item=work,
+            join=join,
+            queries_served=served,
+            queries_completed=tuple(completed),
+            started_at_ms=start_ms,
+            finished_at_ms=finish_ms,
+        )
+        self._record(result)
+        return result
+
+    def run_until_idle(self, max_batches: Optional[int] = None) -> int:
+        """Drain all pending work, advancing the internal clock.
+
+        Returns the number of batches processed.  ``max_batches`` guards
+        against runaway loops in tests.
+        """
+        processed = 0
+        while self.has_pending_work():
+            result = self.process_next(self._now_ms)
+            if result is None:
+                break
+            self._now_ms = result.finished_at_ms
+            processed += 1
+            if max_batches is not None and processed >= max_batches:
+                break
+        return processed
+
+    def _record(self, result: BatchResult) -> None:
+        self._batches.append(result)
+        self._busy_ms += result.cost_ms
+        self._now_ms = max(self._now_ms, result.finished_at_ms)
+        self._strategy_counts[result.join.strategy.value] += 1
+        self._total_io_ms += result.join.io_cost_ms
+        self._total_match_ms += result.join.match_cost_ms
+        self._total_matches += result.join.match_count
+        if result.queries_completed:
+            self._last_completion_ms = max(self._last_completion_ms, result.finished_at_ms)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def batches(self) -> Sequence[BatchResult]:
+        """Every batch processed so far, in execution order."""
+        return self._batches
+
+    def report(self) -> EngineReport:
+        """Summarise what the engine has done so far."""
+        response_times: Dict[int, float] = {}
+        for query_id in self.manager.completed_queries():
+            rt = self.manager.response_time_ms(query_id)
+            if rt is not None:
+                response_times[query_id] = rt
+        first_arrival = self._first_arrival_ms or 0.0
+        makespan = max(0.0, self._last_completion_ms - first_arrival)
+        return EngineReport(
+            scheduler_name=self.scheduler.name,
+            submitted_queries=self.manager.submitted_count(),
+            completed_queries=self.manager.completed_count(),
+            busy_time_ms=self._busy_ms,
+            makespan_ms=makespan,
+            response_times_ms=response_times,
+            bucket_services=len(self._batches),
+            cache_hit_rate=self.cache.hit_rate,
+            cache_statistics=self.cache.statistics(),
+            join_statistics=self.evaluator.statistics(),
+            strategy_counts=dict(self._strategy_counts),
+            total_io_ms=self._total_io_ms,
+            total_match_ms=self._total_match_ms,
+            total_matches=self._total_matches,
+        )

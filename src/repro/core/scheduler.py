@@ -1,0 +1,187 @@
+"""The LifeRaft scheduler: data-driven bucket selection with aging.
+
+Given the Workload Manager's queues and the Bucket Cache's residency
+information, the scheduler repeatedly answers one question: *which bucket
+should be serviced next, and for whom?*  LifeRaft's answer (§3.2–3.3) is
+the bucket with the highest **aged workload throughput**
+
+    ``Ua(i) = Ut(i)·(1 − α) + A(i)·α``
+
+— a greedy, most-contentious-data-first policy tempered by the age of the
+oldest pending request so that no bucket starves indefinitely.  α = 0 is
+the pure throughput-greedy scheduler, α = 1 processes requests purely in
+arrival order; both extremes still share I/O because every service drains
+the *entire* workload queue of the chosen bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Protocol, Tuple
+
+from repro.core.bucket_cache import BucketCacheManager
+from repro.core.join_evaluator import JoinStrategy
+from repro.core.metrics import CostModel, aged_workload_throughput, workload_throughput
+from repro.core.workload_manager import WorkloadManager
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One unit of work handed from a scheduler to the engine.
+
+    Attributes
+    ----------
+    bucket_index:
+        The bucket to service.
+    query_ids:
+        Restrict the service to these queries' entries; ``None`` drains the
+        whole workload queue (the normal, shared-I/O case).
+    share_io:
+        Whether the bucket cache may be used.  The NoShare baseline sets
+        this to ``False`` to model fully independent, per-query I/O.
+    force_strategy:
+        Override for the hybrid join choice (baselines only).
+    """
+
+    bucket_index: int
+    query_ids: Optional[Tuple[int, ...]] = None
+    share_io: bool = True
+    force_strategy: Optional[JoinStrategy] = None
+
+
+class SchedulingPolicy(Protocol):
+    """Interface every scheduler (LifeRaft and the baselines) implements."""
+
+    name: str
+
+    def next_work(
+        self, manager: WorkloadManager, cache: BucketCacheManager, now_ms: float
+    ) -> Optional[WorkItem]:
+        """Return the next work item, or ``None`` when there is nothing to do."""
+        ...
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Configuration of the LifeRaft scheduler.
+
+    Attributes
+    ----------
+    alpha:
+        The age bias of Equation (2); 0 = most contentious data first,
+        1 = arrival order.
+    cost:
+        Cost model supplying ``Tb`` and ``Tm`` for the throughput term.
+    normalize_metric:
+        Combine the contention and age terms on a common ``[0, 1]`` scale
+        (see :mod:`repro.core.metrics`); the raw combination is available
+        for the ablation study.
+    """
+
+    alpha: float = 0.25
+    cost: CostModel = field(default_factory=CostModel.paper_defaults)
+    normalize_metric: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be within [0, 1]")
+
+    def with_alpha(self, alpha: float) -> "SchedulerConfig":
+        """Return a copy with a different age bias."""
+        return replace(self, alpha=alpha)
+
+
+class LifeRaftScheduler:
+    """Selects the pending bucket with the highest aged workload throughput."""
+
+    def __init__(self, config: Optional[SchedulerConfig] = None) -> None:
+        self.config = config or SchedulerConfig()
+        self.decisions = 0
+
+    @property
+    def name(self) -> str:
+        """Human-readable policy name used in reports."""
+        return f"liferaft(alpha={self.config.alpha:g})"
+
+    @property
+    def alpha(self) -> float:
+        """Current age bias."""
+        return self.config.alpha
+
+    def set_alpha(self, alpha: float) -> None:
+        """Adjust the age bias (the adaptive controller calls this online)."""
+        self.config = self.config.with_alpha(alpha)
+
+    def score(
+        self,
+        bucket_index: int,
+        manager: WorkloadManager,
+        cache: BucketCacheManager,
+        now_ms: float,
+        max_age_ms: Optional[float] = None,
+    ) -> float:
+        """The aged workload throughput ``Ua`` of one bucket right now."""
+        cfg = self.config
+        queue_objects = manager.queue_size(bucket_index)
+        ut = workload_throughput(queue_objects, cache.resident(bucket_index), cfg.cost)
+        age = manager.oldest_age_ms(bucket_index, now_ms)
+        if max_age_ms is None:
+            max_age_ms = manager.max_pending_age_ms(now_ms)
+        return aged_workload_throughput(
+            ut,
+            age,
+            cfg.alpha,
+            cost=cfg.cost,
+            max_age_ms=max_age_ms,
+            normalize=cfg.normalize_metric,
+        )
+
+    def rank_buckets(
+        self, manager: WorkloadManager, cache: BucketCacheManager, now_ms: float
+    ) -> Dict[int, float]:
+        """Score every pending bucket (exposed for tests and introspection)."""
+        max_age = manager.max_pending_age_ms(now_ms)
+        return {
+            bucket: self.score(bucket, manager, cache, now_ms, max_age)
+            for bucket in manager.pending_buckets()
+        }
+
+    def next_work(
+        self, manager: WorkloadManager, cache: BucketCacheManager, now_ms: float
+    ) -> Optional[WorkItem]:
+        """Pick the pending bucket with the highest ``Ua``.
+
+        Ties are broken toward the lower bucket index so behaviour is
+        deterministic (and therefore reproducible across runs).  The body is
+        a tight hand-inlined loop over the manager's pending-state snapshot:
+        it runs once per bucket service over potentially thousands of
+        pending buckets, which makes it the hot path of every simulation.
+        """
+        state = manager.pending_state(now_ms)
+        if not state:
+            return None
+        self.decisions += 1
+        cfg = self.config
+        tb = cfg.cost.tb_ms
+        tm = cfg.cost.tm_ms
+        alpha = cfg.alpha
+        one_minus_alpha = 1.0 - alpha
+        normalize = cfg.normalize_metric
+        resident = cache.resident
+        max_age = max(age for _bucket, _size, age in state)
+        best_bucket: Optional[int] = None
+        best_score = float("-inf")
+        for bucket, queue_objects, age in state:
+            io_term = 0.0 if resident(bucket) else tb
+            ut = queue_objects / (io_term + tm * queue_objects) if queue_objects else 0.0
+            if normalize:
+                age_term = (age / max_age) if max_age > 0 else 0.0
+                score = one_minus_alpha * ut * tm + alpha * age_term
+            else:
+                score = one_minus_alpha * ut + alpha * age
+            if score > best_score or (score == best_score and (best_bucket is None or bucket < best_bucket)):
+                best_score = score
+                best_bucket = bucket
+        if best_bucket is None:
+            return None
+        return WorkItem(bucket_index=best_bucket)

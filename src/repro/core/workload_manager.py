@@ -1,0 +1,350 @@
+"""The Workload Manager: per-bucket workload queues and query bookkeeping.
+
+In the LifeRaft architecture (§4) the Workload Manager "maintains state
+information such as a mapping of pending queries to workload queues and the
+age of the oldest query in each queue".  Concretely it owns:
+
+* one :class:`WorkloadQueue` per bucket with pending work, each holding the
+  :class:`WorkloadEntry` contributed by every query that overlaps the
+  bucket (the paper's ``W_i^j``);
+* per-query bookkeeping: which buckets a query still needs, its arrival
+  time and completion time, so the engine knows when a query finishes
+  ("a query cannot finish until every object is cross-matched", §3.3).
+
+The manager is deliberately policy-free: schedulers read its state (queue
+sizes, oldest ages) and the engine mutates it (enqueue on arrival, drain on
+service).  Queue size and oldest-request age are maintained incrementally
+because the scheduler consults them for every pending bucket on every
+scheduling decision — the hot loop of the whole system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.workload.query import CrossMatchObject
+
+
+@dataclass(slots=True)
+class WorkloadEntry:
+    """The work one query contributes to one bucket's queue (``W_i^j``)."""
+
+    query_id: int
+    object_count: int
+    enqueue_time_ms: float
+    objects: Tuple[CrossMatchObject, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.object_count <= 0:
+            raise ValueError("a workload entry must carry at least one object")
+
+
+class WorkloadQueue:
+    """All pending work for a single bucket.
+
+    The total object count and the oldest enqueue time are maintained
+    incrementally on append and recomputed only on partial drains (which
+    only the per-query baselines perform).
+    """
+
+    __slots__ = ("bucket_index", "entries", "_total_objects", "_oldest_ms")
+
+    def __init__(self, bucket_index: int, entries: Optional[List[WorkloadEntry]] = None) -> None:
+        self.bucket_index = bucket_index
+        self.entries: List[WorkloadEntry] = list(entries) if entries else []
+        self._total_objects = sum(e.object_count for e in self.entries)
+        self._oldest_ms = (
+            min(e.enqueue_time_ms for e in self.entries) if self.entries else float("inf")
+        )
+
+    @property
+    def total_objects(self) -> int:
+        """Size of the workload queue (the ``sum_j W_i^j`` of Equation 1)."""
+        return self._total_objects
+
+    @property
+    def query_ids(self) -> List[int]:
+        """Queries with pending work in this bucket, in enqueue order."""
+        return [entry.query_id for entry in self.entries]
+
+    @property
+    def oldest_enqueue_time_ms(self) -> float:
+        """Enqueue time of the oldest pending entry."""
+        if not self.entries:
+            raise ValueError(f"bucket {self.bucket_index} has an empty workload queue")
+        return self._oldest_ms
+
+    def age_ms(self, now_ms: float) -> float:
+        """Age ``A(i)`` of the oldest request at time *now_ms*."""
+        if not self.entries:
+            return 0.0
+        return max(0.0, now_ms - self._oldest_ms)
+
+    def append(self, entry: WorkloadEntry) -> None:
+        """Add one entry, updating the cached aggregates."""
+        self.entries.append(entry)
+        self._total_objects += entry.object_count
+        if entry.enqueue_time_ms < self._oldest_ms:
+            self._oldest_ms = entry.enqueue_time_ms
+
+    def remove_queries(self, query_ids: Set[int]) -> List[WorkloadEntry]:
+        """Remove and return the entries belonging to *query_ids*."""
+        removed = [e for e in self.entries if e.query_id in query_ids]
+        if not removed:
+            return []
+        self.entries = [e for e in self.entries if e.query_id not in query_ids]
+        self._total_objects = sum(e.object_count for e in self.entries)
+        self._oldest_ms = (
+            min(e.enqueue_time_ms for e in self.entries) if self.entries else float("inf")
+        )
+        return removed
+
+    def drain_all(self) -> List[WorkloadEntry]:
+        """Remove and return every entry."""
+        drained = self.entries
+        self.entries = []
+        self._total_objects = 0
+        self._oldest_ms = float("inf")
+        return drained
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+
+@dataclass
+class _QueryState:
+    """Internal per-query bookkeeping."""
+
+    query_id: int
+    arrival_time_ms: float
+    total_buckets: int
+    total_objects: int
+    remaining_buckets: Set[int]
+    completion_time_ms: Optional[float] = None
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.remaining_buckets
+
+
+class WorkloadManager:
+    """Owns the workload queues and the query-to-queue mapping."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[int, WorkloadQueue] = {}
+        self._queries: Dict[int, _QueryState] = {}
+        self._completed: List[int] = []
+        #: Query ids in arrival order with a cursor for oldest_pending_query().
+        self._arrival_order: List[int] = []
+        self._arrival_cursor = 0
+
+    # ------------------------------------------------------------------ #
+    # intake
+    # ------------------------------------------------------------------ #
+
+    def add_query(
+        self,
+        query_id: int,
+        assignments: Mapping[int, Sequence[CrossMatchObject]] | Mapping[int, int],
+        arrival_time_ms: float,
+    ) -> None:
+        """Register a pre-processed query.
+
+        *assignments* maps bucket index to either the explicit objects or an
+        integer object count (abstract mode).  The entries are appended to
+        the corresponding workload queues with *arrival_time_ms* as their
+        enqueue time, which is what the age term of the scheduler measures.
+        """
+        if query_id in self._queries:
+            raise ValueError(f"query {query_id} was already submitted")
+        if not assignments:
+            raise ValueError(f"query {query_id} has no per-bucket work")
+        total_objects = 0
+        for bucket_index, payload in assignments.items():
+            if isinstance(payload, int):
+                count, objects = payload, ()
+            else:
+                objects = tuple(payload)
+                count = len(objects)
+            if count <= 0:
+                raise ValueError(
+                    f"query {query_id} contributes no objects to bucket {bucket_index}"
+                )
+            queue = self._queues.get(bucket_index)
+            if queue is None:
+                queue = WorkloadQueue(bucket_index)
+                self._queues[bucket_index] = queue
+            queue.append(
+                WorkloadEntry(
+                    query_id=query_id,
+                    object_count=count,
+                    enqueue_time_ms=arrival_time_ms,
+                    objects=objects,
+                )
+            )
+            total_objects += count
+        self._queries[query_id] = _QueryState(
+            query_id=query_id,
+            arrival_time_ms=arrival_time_ms,
+            total_buckets=len(assignments),
+            total_objects=total_objects,
+            remaining_buckets=set(assignments.keys()),
+        )
+        self._arrival_order.append(query_id)
+
+    # ------------------------------------------------------------------ #
+    # scheduler-facing state
+    # ------------------------------------------------------------------ #
+
+    def pending_buckets(self) -> List[int]:
+        """Bucket indices with non-empty workload queues."""
+        return [index for index, queue in self._queues.items() if queue]
+
+    def pending_state(self, now_ms: float) -> List[Tuple[int, int, float]]:
+        """One-pass snapshot for schedulers: (bucket, queue size, age in ms).
+
+        This is the hot path of every scheduling decision; building the
+        snapshot in one sweep avoids per-bucket method dispatch.
+        """
+        state: List[Tuple[int, int, float]] = []
+        for index, queue in self._queues.items():
+            if queue.entries:
+                state.append(
+                    (index, queue._total_objects, max(0.0, now_ms - queue._oldest_ms))
+                )
+        return state
+
+    def has_pending_work(self) -> bool:
+        """``True`` when any workload queue is non-empty."""
+        return any(self._queues.values())
+
+    def queue(self, bucket_index: int) -> WorkloadQueue:
+        """The workload queue of *bucket_index* (empty queue if none yet)."""
+        return self._queues.get(bucket_index) or WorkloadQueue(bucket_index)
+
+    def queue_size(self, bucket_index: int) -> int:
+        """Number of pending objects for *bucket_index*."""
+        queue = self._queues.get(bucket_index)
+        return queue.total_objects if queue else 0
+
+    def oldest_age_ms(self, bucket_index: int, now_ms: float) -> float:
+        """Age of the oldest pending request in the bucket's queue."""
+        queue = self._queues.get(bucket_index)
+        if not queue:
+            return 0.0
+        return queue.age_ms(now_ms)
+
+    def max_pending_age_ms(self, now_ms: float) -> float:
+        """Age of the oldest request over all queues (normalisation reference)."""
+        oldest: Optional[float] = None
+        for queue in self._queues.values():
+            if queue.entries:
+                t = queue._oldest_ms
+                if oldest is None or t < oldest:
+                    oldest = t
+        if oldest is None:
+            return 0.0
+        return max(0.0, now_ms - oldest)
+
+    def pending_queries(self) -> List[int]:
+        """Queries submitted but not yet complete, ordered by arrival time."""
+        states = [s for s in self._queries.values() if not s.is_complete]
+        states.sort(key=lambda s: (s.arrival_time_ms, s.query_id))
+        return [s.query_id for s in states]
+
+    def oldest_pending_query(self) -> Optional[int]:
+        """The earliest-arriving incomplete query (NoShare's next victim).
+
+        Amortised O(1): queries were appended in arrival order, so a cursor
+        that skips completed queries suffices.
+        """
+        while self._arrival_cursor < len(self._arrival_order):
+            query_id = self._arrival_order[self._arrival_cursor]
+            if not self._queries[query_id].is_complete:
+                return query_id
+            self._arrival_cursor += 1
+        return None
+
+    def remaining_buckets_for(self, query_id: int) -> Set[int]:
+        """Buckets the query still has pending work in."""
+        return set(self._queries[query_id].remaining_buckets)
+
+    def query_arrival_ms(self, query_id: int) -> float:
+        """Arrival time of a submitted query."""
+        return self._queries[query_id].arrival_time_ms
+
+    def query_total_objects(self, query_id: int) -> int:
+        """Total objects the query submitted across all buckets."""
+        return self._queries[query_id].total_objects
+
+    # ------------------------------------------------------------------ #
+    # service
+    # ------------------------------------------------------------------ #
+
+    def drain_bucket(
+        self,
+        bucket_index: int,
+        now_ms: float,
+        query_ids: Optional[Iterable[int]] = None,
+    ) -> Tuple[List[WorkloadEntry], List[int]]:
+        """Remove work from a bucket's queue after it has been serviced.
+
+        Removes the entries of *query_ids* (all entries when ``None``) and
+        returns ``(drained entries, queries completed by this service)``.
+        Completed queries are stamped with *now_ms* as completion time.
+        """
+        queue = self._queues.get(bucket_index)
+        if queue is None or not queue.entries:
+            return [], []
+        if query_ids is None:
+            drained = queue.drain_all()
+        else:
+            drained = queue.remove_queries(set(query_ids))
+        completed: List[int] = []
+        for entry in drained:
+            state = self._queries[entry.query_id]
+            state.remaining_buckets.discard(bucket_index)
+            if state.is_complete and state.completion_time_ms is None:
+                state.completion_time_ms = now_ms
+                completed.append(entry.query_id)
+                self._completed.append(entry.query_id)
+        if not queue.entries:
+            # Keep the dict small: drop empty queues so pending_buckets()
+            # stays proportional to the live working set.
+            del self._queues[bucket_index]
+        return drained, completed
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def completed_queries(self) -> List[int]:
+        """Query IDs in completion order."""
+        return list(self._completed)
+
+    def completion_time_ms(self, query_id: int) -> Optional[float]:
+        """Completion time of a query, or ``None`` while it is pending."""
+        return self._queries[query_id].completion_time_ms
+
+    def response_time_ms(self, query_id: int) -> Optional[float]:
+        """Response time (completion − arrival) of a query."""
+        state = self._queries[query_id]
+        if state.completion_time_ms is None:
+            return None
+        return state.completion_time_ms - state.arrival_time_ms
+
+    def submitted_count(self) -> int:
+        """Number of queries submitted so far."""
+        return len(self._queries)
+
+    def completed_count(self) -> int:
+        """Number of queries fully serviced so far."""
+        return len(self._completed)
+
+    def total_pending_objects(self) -> int:
+        """Objects waiting across all queues (the buffering the paper worries about)."""
+        return sum(queue.total_objects for queue in self._queues.values())

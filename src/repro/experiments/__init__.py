@@ -1,0 +1,48 @@
+"""Experiment registry: one module per figure/claim of the paper's evaluation.
+
+Every experiment module exposes ``run(scale=..., **kwargs)`` returning an
+:class:`~repro.experiments.common.ExperimentResult` that carries the table
+the paper's figure plots, the paper's expectation, and our measured
+headline numbers.  ``run_all`` executes the full suite (the CLI and the
+benchmark harness call the same functions).
+"""
+
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments.common import ExperimentResult, SCALES
+from repro.experiments import (
+    figure2,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    index_only,
+    cache_hits,
+    ablations,
+)
+
+#: Registry mapping experiment name to its ``run`` callable.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "figure2": figure2.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "index_only": index_only.run,
+    "cache_hits": cache_hits.run,
+    "ablations": ablations.run,
+}
+
+
+def run_all(scale: str = "small", names: Optional[List[str]] = None) -> List[ExperimentResult]:
+    """Run every registered experiment (or the named subset) at *scale*."""
+    selected = names or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
+    return [EXPERIMENTS[name](scale=scale) for name in selected]
+
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "SCALES", "run_all"]

@@ -1,0 +1,106 @@
+"""Figure 4: normalised trade-off curves and tolerance-threshold α selection.
+
+For a low-saturation and a high-saturation replay of the trace, the paper
+plots throughput (normalised to the maximum over all α) against average
+response time (also normalised) and picks, per curve, the α that minimises
+response time while giving up no more than a 20 % tolerance of the maximum
+throughput.  This experiment regenerates both curves, applies the same
+selection rule through :class:`~repro.core.adaptive.TradeoffCurve`, and
+reports the chosen α per saturation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.adaptive import AlphaController, TradeoffCurve, TradeoffPoint
+from repro.experiments.common import (
+    ExperimentResult,
+    build_simulator,
+    build_trace,
+    estimate_capacity_qps,
+)
+from repro.sim.simulator import Simulator
+from repro.workload.generator import QueryTrace
+
+ALPHA_SWEEP = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Low / high saturation as fractions of the greedy scheduler's capacity,
+#: mirroring the paper's 0.1 vs 0.5 q/s curves.
+DEFAULT_SATURATION_FRACTIONS = {"low": 0.45, "high": 2.2}
+
+
+def build_tradeoff_curves(
+    trace: QueryTrace,
+    simulator: Simulator,
+    saturation_fractions: Dict[str, float],
+    alphas: Sequence[float] = ALPHA_SWEEP,
+) -> Dict[str, TradeoffCurve]:
+    """Measure one trade-off curve per saturation label."""
+    capacity = estimate_capacity_qps(trace, simulator)
+    curves: Dict[str, TradeoffCurve] = {}
+    for label, fraction in saturation_fractions.items():
+        saturation = capacity * fraction
+        curve = TradeoffCurve(saturation_qps=saturation)
+        replayed = trace.with_saturation(saturation)
+        for alpha in alphas:
+            result = simulator.run(
+                replayed.queries, "liferaft", alpha=alpha, saturation_qps=saturation
+            )
+            curve.add(
+                TradeoffPoint(
+                    alpha=alpha,
+                    throughput_qps=result.throughput_qps,
+                    avg_response_time_s=result.avg_response_time_s,
+                )
+            )
+        curves[label] = curve
+    return curves
+
+
+def run(
+    scale: str = "small",
+    trace: Optional[QueryTrace] = None,
+    simulator: Optional[Simulator] = None,
+    tolerance: float = 0.2,
+    saturation_fractions: Optional[Dict[str, float]] = None,
+) -> ExperimentResult:
+    """Reproduce the trade-off curves and the tolerance-threshold α choice."""
+    trace = trace or build_trace(scale)
+    simulator = simulator or build_simulator(scale)
+    fractions = saturation_fractions or dict(DEFAULT_SATURATION_FRACTIONS)
+    curves = build_tradeoff_curves(trace, simulator, fractions)
+
+    rows: List[Sequence[object]] = []
+    headline: Dict[str, float] = {"tolerance": tolerance}
+    for label, curve in curves.items():
+        chosen = curve.select_alpha(tolerance)
+        headline[f"alpha_selected_{label}"] = chosen
+        headline[f"saturation_{label}_qps"] = curve.saturation_qps
+        for alpha, throughput_norm, response_norm in curve.normalized():
+            rows.append((label, curve.saturation_qps, alpha, throughput_norm, response_norm))
+    controller = AlphaController(list(curves.values()), tolerance=tolerance)
+    headline["controller_alpha_at_low"] = controller.alpha_for_saturation(
+        curves["low"].saturation_qps
+    )
+    headline["controller_alpha_at_high"] = controller.alpha_for_saturation(
+        curves["high"].saturation_qps
+    )
+    return ExperimentResult(
+        name="figure4",
+        title="Normalised throughput / response-time trade-off curves by saturation",
+        paper_expectation=(
+            "per-saturation curves normalised to their maxima; with a 20% tolerance "
+            "threshold the controller picks a larger alpha at low saturation than at "
+            "high saturation"
+        ),
+        headers=(
+            "saturation label",
+            "saturation (q/s)",
+            "alpha",
+            "throughput / max",
+            "response / max",
+        ),
+        rows=rows,
+        headline=headline,
+    )

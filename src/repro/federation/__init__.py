@@ -1,0 +1,43 @@
+"""Federation substrate: a SkyQuery-style multi-archive cross-match service.
+
+The paper evaluates LifeRaft at a single site (SDSS) by replaying the
+per-site work of federated cross-match queries; the federation itself —
+"a serial, left-deep join plan … in which intermediate join results are
+shipped from database to database until all archives are cross-matched"
+(§3) — is the substrate that produces that per-site work.  This package
+implements that substrate so the examples can run end-to-end federated
+cross-matches and so per-site workloads can be derived the same way the
+paper derives them:
+
+``network``    latency/bandwidth model for shipping intermediate results
+``crossmatch`` conversions between catalog rows and cross-match objects and
+               the region-selection step that seeds a plan
+``plans``      left-deep cross-match plans over an ordered list of archives
+``node``       one archive wrapped with a LifeRaft engine and result shipping
+``skyquery``   the federation service: registration, planning, execution
+"""
+
+from repro.federation.network import NetworkModel, TransferResult
+from repro.federation.crossmatch import (
+    to_crossmatch_objects,
+    select_region_objects,
+    crossmatch_catalogs,
+)
+from repro.federation.plans import CrossMatchPlan, PlanStep
+from repro.federation.node import FederationNode, NodeExecutionResult
+from repro.federation.skyquery import SkyQueryFederation, FederatedQuery, FederatedResult
+
+__all__ = [
+    "NetworkModel",
+    "TransferResult",
+    "to_crossmatch_objects",
+    "select_region_objects",
+    "crossmatch_catalogs",
+    "CrossMatchPlan",
+    "PlanStep",
+    "FederationNode",
+    "NodeExecutionResult",
+    "SkyQueryFederation",
+    "FederatedQuery",
+    "FederatedResult",
+]

@@ -1,0 +1,52 @@
+"""Network cost model for shipping intermediate cross-match results.
+
+SkyQuery's archives are "distributed across three continents" and
+cross-match queries "transfer large amounts of data over the network" (§1).
+The model charges a per-message latency plus a bandwidth-proportional
+transfer time for the object lists shipped between sites, so the federated
+examples can report where time goes even though scheduling decisions inside
+one site do not depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Approximate wire size of one shipped cross-match object (identifier,
+#: position, HTM range, a few attributes).
+DEFAULT_OBJECT_BYTES = 96
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one simulated transfer between two sites."""
+
+    object_count: int
+    megabytes: float
+    cost_ms: float
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Latency + bandwidth model of the wide-area links between archives."""
+
+    latency_ms: float = 80.0
+    bandwidth_mbps: float = 100.0
+    object_bytes: int = DEFAULT_OBJECT_BYTES
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.object_bytes <= 0:
+            raise ValueError("object_bytes must be positive")
+
+    def transfer(self, object_count: int) -> TransferResult:
+        """Cost of shipping *object_count* intermediate-result objects."""
+        if object_count < 0:
+            raise ValueError("cannot ship a negative number of objects")
+        megabytes = object_count * self.object_bytes / (1024.0 * 1024.0)
+        megabits = megabytes * 8.0
+        cost = self.latency_ms + 1000.0 * megabits / self.bandwidth_mbps
+        return TransferResult(object_count, megabytes, cost)

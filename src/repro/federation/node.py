@@ -1,0 +1,146 @@
+"""A federation node: one archive plus its batched cross-match service.
+
+Each node owns an :class:`~repro.catalog.archive.Archive` and a LifeRaft
+engine over it.  Incoming per-query object lists are submitted to the
+engine, serviced in data-driven batches, and the successful matches (after
+query-specific predicates) are returned so the federation can ship them to
+the next site in the plan — exactly the role one SkyQuery site plays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.archive import Archive
+from repro.core.engine import EngineConfig, LifeRaftEngine
+from repro.core.join_evaluator import MatchedPair
+from repro.core.metrics import CostModel
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig, SchedulingPolicy
+from repro.workload.query import CrossMatchObject, CrossMatchQuery
+
+
+@dataclass
+class NodeExecutionResult:
+    """Outcome of cross-matching one query's object list at one node."""
+
+    archive: str
+    query_id: int
+    input_objects: int
+    matches: List[MatchedPair]
+    busy_time_ms: float
+    bucket_services: int
+
+    @property
+    def matched_objects(self) -> List[object]:
+        """The catalog rows that matched (what gets shipped onward)."""
+        return [pair.catalog_object for pair in self.matches]
+
+
+class FederationNode:
+    """One archive wrapped with a LifeRaft engine and predicate application."""
+
+    def __init__(
+        self,
+        archive: Archive,
+        scheduler: Optional[SchedulingPolicy] = None,
+        engine_config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.archive = archive
+        cost = CostModel.from_disk(
+            archive.disk,
+            bucket_megabytes=archive.layout[0].megabytes or 40.0,
+            bucket_objects=max(1, archive.layout[0].object_count),
+        )
+        self.engine_config = engine_config or EngineConfig(cost=cost)
+        self._scheduler = scheduler or LifeRaftScheduler(SchedulerConfig(cost=self.engine_config.cost))
+        self.engine = LifeRaftEngine(
+            archive.layout,
+            archive.store,
+            scheduler=self._scheduler,
+            index=archive.index,
+            config=self.engine_config,
+        )
+        self._executed: Dict[int, NodeExecutionResult] = {}
+
+    @property
+    def name(self) -> str:
+        """Archive name this node serves."""
+        return self.archive.name
+
+    def execute(
+        self,
+        query_id: int,
+        objects: Sequence[CrossMatchObject],
+        predicate: Optional[Callable[[object], bool]] = None,
+    ) -> NodeExecutionResult:
+        """Cross-match one query's object list against this node's catalog.
+
+        The objects are submitted as a query to the node's engine, the
+        engine is drained (data-driven batching still applies when several
+        queries are pending), and the matches for *query_id* are collected
+        with the query's predicate applied.
+        """
+        if not objects:
+            return NodeExecutionResult(self.name, query_id, 0, [], 0.0, 0)
+        query = CrossMatchQuery(query_id=query_id, objects=tuple(objects), predicate=predicate)
+        busy_before = self.engine.report().busy_time_ms
+        services_before = len(self.engine.batches)
+        self.engine.submit(query, now_ms=self.engine.now_ms)
+        self.engine.run_until_idle()
+        matches = self._collect_matches(query_id, predicate)
+        report = self.engine.report()
+        result = NodeExecutionResult(
+            archive=self.name,
+            query_id=query_id,
+            input_objects=len(objects),
+            matches=matches,
+            busy_time_ms=report.busy_time_ms - busy_before,
+            bucket_services=len(self.engine.batches) - services_before,
+        )
+        self._executed[query_id] = result
+        return result
+
+    def submit(self, query: CrossMatchQuery) -> None:
+        """Queue a query without draining (used when batching several queries)."""
+        self.engine.submit(query, now_ms=self.engine.now_ms)
+
+    def drain(self) -> None:
+        """Service everything currently queued at this node."""
+        self.engine.run_until_idle()
+
+    def collect(self, query_id: int, predicate: Optional[Callable[[object], bool]] = None) -> NodeExecutionResult:
+        """Collect the matches of a previously submitted and drained query."""
+        matches = self._collect_matches(query_id, predicate)
+        report = self.engine.report()
+        return NodeExecutionResult(
+            archive=self.name,
+            query_id=query_id,
+            input_objects=0,
+            matches=matches,
+            busy_time_ms=report.busy_time_ms,
+            bucket_services=len(self.engine.batches),
+        )
+
+    def _collect_matches(
+        self, query_id: int, predicate: Optional[Callable[[object], bool]]
+    ) -> List[MatchedPair]:
+        matches: List[MatchedPair] = []
+        for batch in self.engine.batches:
+            for pair in batch.join.matches:
+                if pair.query_id != query_id:
+                    continue
+                if predicate is not None and not predicate(pair.catalog_object):
+                    continue
+                matches.append(pair)
+        return matches
+
+    def statistics(self) -> Dict[str, float]:
+        """Cache and join statistics of the node's engine."""
+        report = self.engine.report()
+        return {
+            "busy_time_ms": report.busy_time_ms,
+            "bucket_services": float(report.bucket_services),
+            "cache_hit_rate": report.cache_hit_rate,
+            "total_matches": float(report.total_matches),
+        }

@@ -1,0 +1,92 @@
+"""Left-deep cross-match plans.
+
+"SkyQuery produces a serial, left-deep join plan for each query that joins
+(against a large fact table) each archive serially in which intermediate
+join results are shipped from database to database until all archives are
+cross-matched" (§3).  A plan is therefore just an ordered list of archive
+names plus the query's region and match radius; the interesting part —
+choosing the order — follows SkyQuery's practice of starting at the most
+selective archive so the intermediate results stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.htm.geometry import SkyPoint
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One hop of a left-deep plan: cross-match the running result at *archive*."""
+
+    position: int
+    archive: str
+    is_seed: bool = False
+
+
+@dataclass
+class CrossMatchPlan:
+    """An ordered cross-match plan over the federation's archives."""
+
+    query_id: int
+    center: SkyPoint
+    radius_deg: float
+    steps: List[PlanStep] = field(default_factory=list)
+    match_radius_arcsec: float = 3.0
+    magnitude_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.radius_deg <= 0:
+            raise ValueError("plan radius must be positive")
+        if not self.steps:
+            raise ValueError("a plan needs at least one step")
+        if not self.steps[0].is_seed:
+            raise ValueError("the first step of a left-deep plan must be the seed archive")
+
+    @property
+    def archives(self) -> Tuple[str, ...]:
+        """Archive names in execution order."""
+        return tuple(step.archive for step in self.steps)
+
+    @property
+    def seed_archive(self) -> str:
+        """The archive that evaluates the region predicate first."""
+        return self.steps[0].archive
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def build_left_deep_plan(
+    query_id: int,
+    archives: Sequence[str],
+    center: SkyPoint,
+    radius_deg: float,
+    selectivity: Optional[Dict[str, float]] = None,
+    match_radius_arcsec: float = 3.0,
+    magnitude_limit: Optional[float] = None,
+) -> CrossMatchPlan:
+    """Build a left-deep plan, seeding at the most selective archive.
+
+    ``selectivity`` maps archive name to the expected fraction of the region
+    it returns (lower = more selective).  When omitted the given order is
+    kept, which matches how SkyQuery accepts user-specified plans.
+    """
+    if not archives:
+        raise ValueError("a cross-match needs at least one archive")
+    ordered = list(archives)
+    if selectivity:
+        ordered.sort(key=lambda name: selectivity.get(name, 1.0))
+    steps = [
+        PlanStep(position=i, archive=name, is_seed=(i == 0)) for i, name in enumerate(ordered)
+    ]
+    return CrossMatchPlan(
+        query_id=query_id,
+        center=center,
+        radius_deg=radius_deg,
+        steps=steps,
+        match_radius_arcsec=match_radius_arcsec,
+        magnitude_limit=magnitude_limit,
+    )

@@ -1,0 +1,155 @@
+"""The SkyQuery-style federation service.
+
+Archives register as :class:`~repro.federation.node.FederationNode`; a
+federated cross-match query names a sky region and the archives to join.
+Execution follows the paper's serial, left-deep strategy: the seed archive
+evaluates the region predicate, its result is converted into cross-match
+objects and shipped to the next archive, cross-matched there in LifeRaft's
+data-driven batches, and so on until every archive in the plan has been
+visited.  The federation records the time spent at each site and on each
+network transfer so the examples can show where federated queries spend
+their lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.archive import Archive
+from repro.federation.crossmatch import (
+    select_region_objects,
+    to_crossmatch_objects,
+)
+from repro.federation.network import NetworkModel, TransferResult
+from repro.federation.node import FederationNode, NodeExecutionResult
+from repro.federation.plans import CrossMatchPlan, build_left_deep_plan
+from repro.htm.geometry import SkyPoint
+
+
+@dataclass
+class FederatedQuery:
+    """A federated cross-match request as a client would submit it."""
+
+    query_id: int
+    archives: Tuple[str, ...]
+    center: SkyPoint
+    radius_deg: float
+    match_radius_arcsec: float = 3.0
+    magnitude_limit: Optional[float] = None
+    predicate: Optional[Callable[[object], bool]] = None
+
+
+@dataclass
+class FederatedResult:
+    """Outcome of a federated cross-match."""
+
+    query_id: int
+    plan: CrossMatchPlan
+    site_results: List[NodeExecutionResult]
+    transfers: List[TransferResult]
+    final_matches: int
+
+    @property
+    def total_site_time_ms(self) -> float:
+        """Time spent cross-matching at the archives."""
+        return sum(result.busy_time_ms for result in self.site_results)
+
+    @property
+    def total_network_time_ms(self) -> float:
+        """Time spent shipping intermediate results."""
+        return sum(transfer.cost_ms for transfer in self.transfers)
+
+    @property
+    def total_time_ms(self) -> float:
+        """End-to-end cost of the federated query."""
+        return self.total_site_time_ms + self.total_network_time_ms
+
+
+class SkyQueryFederation:
+    """Registry and executor for federated cross-match queries."""
+
+    def __init__(self, network: Optional[NetworkModel] = None) -> None:
+        self.network = network or NetworkModel()
+        self._nodes: Dict[str, FederationNode] = {}
+
+    def register(self, node: FederationNode) -> None:
+        """Add a node (one archive) to the federation."""
+        if node.name in self._nodes:
+            raise ValueError(f"archive {node.name!r} is already registered")
+        self._nodes[node.name] = node
+
+    def register_archive(self, archive: Archive) -> FederationNode:
+        """Wrap an archive in a node with default settings and register it."""
+        node = FederationNode(archive)
+        self.register(node)
+        return node
+
+    @property
+    def archives(self) -> Tuple[str, ...]:
+        """Names of the registered archives."""
+        return tuple(self._nodes.keys())
+
+    def node(self, name: str) -> FederationNode:
+        """Look up a registered node by archive name."""
+        if name not in self._nodes:
+            raise KeyError(f"archive {name!r} is not registered with the federation")
+        return self._nodes[name]
+
+    # ------------------------------------------------------------------ #
+    # planning and execution
+    # ------------------------------------------------------------------ #
+
+    def plan(self, query: FederatedQuery) -> CrossMatchPlan:
+        """Build the left-deep plan for *query*, seeding at the smallest archive.
+
+        Archive size is used as the selectivity proxy: the archive expected
+        to return the fewest objects for the region goes first so that the
+        shipped intermediate results stay small.
+        """
+        unknown = [name for name in query.archives if name not in self._nodes]
+        if unknown:
+            raise KeyError(f"unknown archives in query {query.query_id}: {unknown}")
+        selectivity = {
+            name: float(len(self._nodes[name].archive.catalog)) for name in query.archives
+        }
+        return build_left_deep_plan(
+            query.query_id,
+            query.archives,
+            query.center,
+            query.radius_deg,
+            selectivity=selectivity,
+            match_radius_arcsec=query.match_radius_arcsec,
+            magnitude_limit=query.magnitude_limit,
+        )
+
+    def execute(self, query: FederatedQuery) -> FederatedResult:
+        """Run a federated cross-match end to end."""
+        plan = self.plan(query)
+        site_results: List[NodeExecutionResult] = []
+        transfers: List[TransferResult] = []
+
+        seed_node = self.node(plan.seed_archive)
+        current_rows = select_region_objects(
+            seed_node.archive.catalog, plan.center, plan.radius_deg, plan.magnitude_limit
+        )
+        for step in plan.steps[1:]:
+            shipped = to_crossmatch_objects(current_rows, plan.match_radius_arcsec)
+            transfers.append(self.network.transfer(len(shipped)))
+            node = self.node(step.archive)
+            result = node.execute(query.query_id, shipped, predicate=query.predicate)
+            site_results.append(result)
+            current_rows = result.matched_objects
+            if not current_rows:
+                break
+        return FederatedResult(
+            query_id=query.query_id,
+            plan=plan,
+            site_results=site_results,
+            transfers=transfers,
+            final_matches=len(current_rows) if len(plan) > 1 else len(current_rows),
+        )
+
+    def statistics(self) -> Dict[str, Dict[str, float]]:
+        """Per-archive engine statistics (cache hit rates, services, matches)."""
+        return {name: node.statistics() for name, node in self._nodes.items()}

@@ -1,0 +1,62 @@
+"""Hierarchical Triangular Mesh (HTM) substrate.
+
+The HTM indexes points on the celestial sphere by recursively subdividing
+the eight faces of an octahedron into spherical triangles ("trixels").
+Each trixel is named by an integer ID whose bit pattern encodes the path
+from the root face down to the trixel; sibling trixels therefore have
+adjacent IDs and the numbering forms a space-filling curve that preserves
+spatial locality.  SkyQuery assigns every observation a level-14 HTM ID;
+LifeRaft exploits the curve to partition the sky into equal-sized buckets
+that are contiguous in HTM order.
+
+Modules
+-------
+``geometry``
+    Unit-vector math on the sphere: RA/Dec conversion, angular separation,
+    triangle containment tests, circular (cone) regions.
+``mesh``
+    The trixel decomposition itself: computing trixel corners, locating the
+    trixel that contains a point, and enumerating trixels at a level.
+``ids``
+    Encoding and decoding of HTM IDs and conversions between levels.
+``curve``
+    Range arithmetic on the HTM curve: covers of cone regions, range
+    unions/intersections, and mapping ranges onto bucket boundaries.
+"""
+
+from repro.htm.geometry import (
+    SkyPoint,
+    unit_vector,
+    radec_from_vector,
+    angular_separation,
+    cone_contains,
+)
+from repro.htm.mesh import HTMMesh, Trixel
+from repro.htm.ids import (
+    htm_level,
+    htm_name_to_id,
+    htm_id_to_name,
+    parent_id,
+    child_ids,
+    id_range_at_level,
+)
+from repro.htm.curve import HTMRange, HTMRangeSet, cone_cover
+
+__all__ = [
+    "SkyPoint",
+    "unit_vector",
+    "radec_from_vector",
+    "angular_separation",
+    "cone_contains",
+    "HTMMesh",
+    "Trixel",
+    "htm_level",
+    "htm_name_to_id",
+    "htm_id_to_name",
+    "parent_id",
+    "child_ids",
+    "id_range_at_level",
+    "HTMRange",
+    "HTMRangeSet",
+    "cone_cover",
+]

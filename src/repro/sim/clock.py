@@ -1,0 +1,43 @@
+"""A virtual clock for discrete-event simulation.
+
+All simulated components express costs in milliseconds; the clock only
+moves forward, which catches accounting bugs (a service that would "end
+before it started") early.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonically non-decreasing simulated time in milliseconds."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        if start_ms < 0:
+            raise ValueError("the clock cannot start before time zero")
+        self._now_ms = start_ms
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_ms / 1000.0
+
+    def advance(self, delta_ms: float) -> float:
+        """Move the clock forward by *delta_ms* and return the new time."""
+        if delta_ms < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now_ms += delta_ms
+        return self._now_ms
+
+    def advance_to(self, time_ms: float) -> float:
+        """Jump forward to *time_ms* (no-op if already past it)."""
+        if time_ms > self._now_ms:
+            self._now_ms = time_ms
+        return self._now_ms
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now_ms={self._now_ms:.3f})"

@@ -1,0 +1,77 @@
+"""A minimal event queue for discrete-event simulation.
+
+The main simulator's service loop is sequential (one bucket batch at a
+time), so it mostly needs ordered query arrivals; the federation examples
+additionally schedule network-transfer completions.  Both use this queue.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class EventKind(enum.Enum):
+    """Categories of simulated events."""
+
+    QUERY_ARRIVAL = "query_arrival"
+    SERVICE_COMPLETE = "service_complete"
+    TRANSFER_COMPLETE = "transfer_complete"
+    CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled event."""
+
+    time_ms: float
+    kind: EventKind
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise ValueError("events cannot be scheduled before time zero")
+
+
+class EventQueue:
+    """A priority queue of events ordered by time (FIFO within a timestamp)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Schedule *event*."""
+        heapq.heappush(self._heap, (event.time_ms, next(self._counter), event))
+
+    def peek(self) -> Optional[Event]:
+        """The earliest pending event, without removing it."""
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def pop(self) -> Event:
+        """Remove and return the earliest pending event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def pop_until(self, time_ms: float) -> Iterator[Event]:
+        """Yield and remove every event scheduled at or before *time_ms*."""
+        while self._heap and self._heap[0][0] <= time_ms:
+            yield heapq.heappop(self._heap)[2]
+
+    def next_time_ms(self) -> Optional[float]:
+        """Timestamp of the earliest pending event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]

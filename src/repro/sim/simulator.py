@@ -1,0 +1,304 @@
+"""The open-system simulator that replays a trace against a LifeRaft engine.
+
+The simulator owns virtual time.  Queries are delivered to the engine at
+their arrival timestamps; the engine services one work item at a time (the
+scheduler's choice), each service advancing the clock by the cost the
+evaluator charges.  Arrivals that occur during a service are enqueued with
+their true arrival time, so request ages — and therefore the aged workload
+throughput metric — behave exactly as in a live system.
+
+A :class:`SimulationResult` gathers everything the paper's evaluation
+reports: query throughput, average response time and its coefficient of
+variance, cache hit rate, and per-strategy service counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.baselines import (
+    IndexOnlyScheduler,
+    LeastSharableFirstScheduler,
+    NoShareScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.bucket_cache import PAPER_CACHE_BUCKETS
+from repro.core.engine import EngineConfig, LifeRaftEngine
+from repro.core.metrics import CostModel
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig, SchedulingPolicy
+from repro.sim.stats import ResponseTimeStats, summarize_response_times
+from repro.storage.bucket_store import BucketStore
+from repro.storage.disk import DiskModel, calibrated_disk_for_bucket_read
+from repro.storage.index import SpatialIndex
+from repro.storage.partitioner import BucketPartitioner, PartitionLayout
+from repro.workload.query import CrossMatchQuery
+
+#: Policy names accepted by :func:`make_policy` and the CLI.
+POLICY_NAMES = (
+    "liferaft",
+    "noshare",
+    "round_robin",
+    "index_only",
+    "least_sharable_first",
+)
+
+
+def make_policy(
+    name: str, alpha: float = 0.25, cost: Optional[CostModel] = None, normalize_metric: bool = True
+) -> SchedulingPolicy:
+    """Construct a scheduling policy by name.
+
+    ``liferaft`` takes the age bias *alpha*; the baselines ignore it.
+    """
+    cost = cost or CostModel.paper_defaults()
+    if name == "liferaft":
+        return LifeRaftScheduler(
+            SchedulerConfig(alpha=alpha, cost=cost, normalize_metric=normalize_metric)
+        )
+    if name == "noshare":
+        return NoShareScheduler()
+    if name == "round_robin":
+        return RoundRobinScheduler()
+    if name == "index_only":
+        return IndexOnlyScheduler()
+    if name == "least_sharable_first":
+        return LeastSharableFirstScheduler()
+    raise ValueError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Static configuration of the simulated site.
+
+    Defaults follow the paper's setup (10,000-object / 40 MB buckets,
+    20-bucket cache, paper cost constants); ``bucket_count`` is the scaled
+    knob — the paper's SDSS table has ~20,000 buckets, the default here is
+    sized for minutes-long laptop runs.
+    """
+
+    bucket_count: int = 2_048
+    objects_per_bucket: int = 10_000
+    bucket_megabytes: float = 40.0
+    cache_buckets: int = PAPER_CACHE_BUCKETS
+    cost: CostModel = field(default_factory=CostModel.paper_defaults)
+    enable_hybrid: bool = True
+    hybrid_threshold_fraction: Optional[float] = None
+    match_probability: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.bucket_count <= 0:
+            raise ValueError("bucket_count must be positive")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated run of one policy over one trace."""
+
+    policy_name: str
+    alpha: Optional[float]
+    submitted_queries: int
+    completed_queries: int
+    makespan_s: float
+    busy_time_s: float
+    throughput_qps: float
+    response_stats: ResponseTimeStats
+    cache_hit_rate: float
+    bucket_services: int
+    bucket_reads: int
+    strategy_counts: Dict[str, int]
+    total_io_s: float
+    total_match_s: float
+    saturation_qps: Optional[float] = None
+    label: str = ""
+
+    @property
+    def avg_response_time_s(self) -> float:
+        """Mean query response time in seconds."""
+        return self.response_stats.mean_s
+
+    @property
+    def response_time_cov(self) -> float:
+        """Coefficient of variance of the response time (Figure 7b)."""
+        return self.response_stats.coefficient_of_variance
+
+    def to_row(self) -> Dict[str, float]:
+        """Flatten the result for table rendering."""
+        return {
+            "policy": self.policy_name,
+            "alpha": self.alpha if self.alpha is not None else float("nan"),
+            "completed": self.completed_queries,
+            "throughput_qps": self.throughput_qps,
+            "avg_response_s": self.avg_response_time_s,
+            "response_cov": self.response_time_cov,
+            "cache_hit_rate": self.cache_hit_rate,
+            "bucket_services": self.bucket_services,
+            "bucket_reads": self.bucket_reads,
+        }
+
+
+class Simulator:
+    """Replays traces against a freshly built engine per run."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config or SimulationConfig()
+        self._layout = self._build_layout()
+
+    @property
+    def layout(self) -> PartitionLayout:
+        """The partition layout shared by every run of this simulator."""
+        return self._layout
+
+    def _build_layout(self) -> PartitionLayout:
+        partitioner = BucketPartitioner(
+            objects_per_bucket=self.config.objects_per_bucket,
+            bucket_megabytes=self.config.bucket_megabytes,
+        )
+        return partitioner.partition_density(self.config.bucket_count)
+
+    def _build_engine(self, policy: SchedulingPolicy) -> LifeRaftEngine:
+        cost = self.config.cost
+        disk = calibrated_disk_for_bucket_read(
+            self.config.bucket_megabytes, cost.tb_ms / 1000.0
+        )
+        store = BucketStore(self._layout, disk)
+        # An (empty) index object signals that an index on the join key
+        # exists, enabling the hybrid strategy; cost accounting for index
+        # services flows through the cost model, not through this object.
+        index = SpatialIndex([], rows=None, disk=None)
+        engine_config = EngineConfig(
+            cache_buckets=self.config.cache_buckets,
+            cost=cost,
+            hybrid_threshold_fraction=self.config.hybrid_threshold_fraction,
+            enable_hybrid=self.config.enable_hybrid,
+            match_probability=self.config.match_probability,
+        )
+        return LifeRaftEngine(self._layout, store, scheduler=policy, index=index, config=engine_config)
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        queries: Sequence[CrossMatchQuery],
+        policy: Union[str, SchedulingPolicy],
+        alpha: float = 0.25,
+        label: str = "",
+        saturation_qps: Optional[float] = None,
+    ) -> SimulationResult:
+        """Simulate one policy over one trace and summarise the outcome."""
+        if isinstance(policy, str):
+            policy = make_policy(policy, alpha=alpha, cost=self.config.cost)
+        engine = self._build_engine(policy)
+        ordered = sorted(queries, key=lambda q: (q.arrival_time_s, q.query_id))
+        arrivals_ms = [q.arrival_time_s * 1000.0 for q in ordered]
+        index = 0
+        total = len(ordered)
+        now_ms = arrivals_ms[0] if ordered else 0.0
+        while index < total or engine.has_pending_work():
+            if not engine.has_pending_work() and index < total:
+                # Idle: jump to the next arrival.
+                now_ms = max(now_ms, arrivals_ms[index])
+            while index < total and arrivals_ms[index] <= now_ms + 1e-9:
+                engine.submit(ordered[index], now_ms=arrivals_ms[index])
+                index += 1
+            if not engine.has_pending_work():
+                continue
+            result = engine.process_next(now_ms)
+            if result is None:
+                break
+            now_ms = result.finished_at_ms
+        return self._summarise(engine, policy, alpha, label, saturation_qps)
+
+    def _summarise(
+        self,
+        engine: LifeRaftEngine,
+        policy: SchedulingPolicy,
+        alpha: float,
+        label: str,
+        saturation_qps: Optional[float],
+    ) -> SimulationResult:
+        report = engine.report()
+        response_s = [ms / 1000.0 for ms in report.response_times_ms.values()]
+        effective_alpha = getattr(policy, "alpha", None)
+        return SimulationResult(
+            policy_name=policy.name,
+            alpha=effective_alpha,
+            submitted_queries=report.submitted_queries,
+            completed_queries=report.completed_queries,
+            makespan_s=report.makespan_ms / 1000.0,
+            busy_time_s=report.busy_time_ms / 1000.0,
+            throughput_qps=report.throughput_qps,
+            response_stats=summarize_response_times(response_s),
+            cache_hit_rate=report.cache_hit_rate,
+            bucket_services=report.bucket_services,
+            bucket_reads=engine.store.reads,
+            strategy_counts=report.strategy_counts,
+            total_io_s=report.total_io_ms / 1000.0,
+            total_match_s=report.total_match_ms / 1000.0,
+            saturation_qps=saturation_qps,
+            label=label or policy.name,
+        )
+
+    def run_alpha_sweep(
+        self,
+        queries: Sequence[CrossMatchQuery],
+        alphas: Iterable[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+        saturation_qps: Optional[float] = None,
+    ) -> List[SimulationResult]:
+        """Run the LifeRaft scheduler across a sweep of age-bias values."""
+        results = []
+        for alpha in alphas:
+            results.append(
+                self.run(
+                    queries,
+                    "liferaft",
+                    alpha=alpha,
+                    label=f"liferaft(alpha={alpha:g})",
+                    saturation_qps=saturation_qps,
+                )
+            )
+        return results
+
+
+def run_policy_comparison(
+    queries: Sequence[CrossMatchQuery],
+    config: Optional[SimulationConfig] = None,
+    alphas: Iterable[float] = (1.0, 0.75, 0.5, 0.25, 0.0),
+    include_baselines: Iterable[str] = ("noshare", "round_robin"),
+    saturation_qps: Optional[float] = None,
+) -> Dict[str, SimulationResult]:
+    """Figure 7 style comparison: NoShare, the α sweep and Round Robin.
+
+    Returns a mapping from label to result, in the same order as the
+    paper's x-axis (NoShare, α = 1.0 … 0.0, RR).
+    """
+    simulator = Simulator(config)
+    results: Dict[str, SimulationResult] = {}
+    baselines = list(include_baselines)
+    if "noshare" in baselines:
+        results["NoShare"] = simulator.run(
+            queries, "noshare", label="NoShare", saturation_qps=saturation_qps
+        )
+    for alpha in alphas:
+        label = f"alpha={alpha:g}"
+        results[label] = simulator.run(
+            queries, "liferaft", alpha=alpha, label=label, saturation_qps=saturation_qps
+        )
+    if "round_robin" in baselines:
+        results["RR"] = simulator.run(
+            queries, "round_robin", label="RR", saturation_qps=saturation_qps
+        )
+    if "index_only" in baselines:
+        results["IndexOnly"] = simulator.run(
+            queries, "index_only", label="IndexOnly", saturation_qps=saturation_qps
+        )
+    if "least_sharable_first" in baselines:
+        results["LeastSharableFirst"] = simulator.run(
+            queries,
+            "least_sharable_first",
+            label="LeastSharableFirst",
+            saturation_qps=saturation_qps,
+        )
+    return results

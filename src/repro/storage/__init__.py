@@ -1,0 +1,38 @@
+"""Storage substrate: the "database server" underneath LifeRaft.
+
+The paper runs on SQL Server over a 15-disk array; scheduling behaviour,
+however, depends only on the *relative* costs of the storage operations:
+
+* reading a 40 MB bucket sequentially from disk (``Tb``, measured 1.2 s),
+* matching one object against an in-memory bucket (``Tm``, 0.13 ms), and
+* probing a spatial index (a handful of random I/Os per object).
+
+This package provides those pieces as explicit, testable components: an
+analytical :class:`~repro.storage.disk.DiskModel`, a generic LRU cache, an
+equal-population bucket partitioner over the HTM curve, a bucket store that
+answers HTM range queries the way the DBMS does for the bucket cache, and a
+sorted spatial index with probe-cost accounting for the hybrid join and the
+index-only baseline.
+"""
+
+from repro.storage.disk import DiskModel, DiskParameters, IOTrace, IOKind
+from repro.storage.cache import LRUCache, CacheStatistics
+from repro.storage.partitioner import BucketPartitioner, BucketSpec, PartitionLayout
+from repro.storage.bucket_store import BucketStore, Bucket
+from repro.storage.index import SpatialIndex, IndexProbeResult
+
+__all__ = [
+    "DiskModel",
+    "DiskParameters",
+    "IOTrace",
+    "IOKind",
+    "LRUCache",
+    "CacheStatistics",
+    "BucketPartitioner",
+    "BucketSpec",
+    "PartitionLayout",
+    "BucketStore",
+    "Bucket",
+    "SpatialIndex",
+    "IndexProbeResult",
+]

@@ -1,0 +1,147 @@
+"""Bucket store: the database server behind the bucket cache.
+
+The Bucket Cache in the LifeRaft architecture (§4) "either reads an
+existing bucket from memory or executes a range query to ask for the
+bucket from the database server".  :class:`BucketStore` plays the part of
+that database server.  It owns the partition layout and, for every bucket,
+either
+
+* the materialised, HTM-sorted list of catalog objects (full-fidelity mode,
+  used by the examples and the correctness tests of the join), or
+* only the object count from the layout (virtual mode, used by the scaled
+  experiments where matching individual base-table rows is unnecessary —
+  the cost model only needs counts).
+
+Reading a bucket always charges the sequential-scan cost to the disk
+model, which is how ``Tb`` enters the simulation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.storage.disk import DiskModel
+from repro.storage.partitioner import BucketSpec, PartitionLayout
+
+
+@dataclass
+class Bucket:
+    """An in-memory image of one bucket, as handed to the join evaluator."""
+
+    spec: BucketSpec
+    #: Objects sorted by HTM ID; empty in virtual mode.
+    objects: Tuple[object, ...] = ()
+    #: HTM IDs aligned with ``objects`` (kept separately for cheap merging).
+    htm_ids: Tuple[int, ...] = ()
+
+    @property
+    def index(self) -> int:
+        """Bucket position along the HTM curve."""
+        return self.spec.index
+
+    @property
+    def object_count(self) -> int:
+        """Number of objects the bucket holds on disk."""
+        return self.spec.object_count
+
+    @property
+    def is_virtual(self) -> bool:
+        """``True`` when the bucket carries counts but no materialised rows."""
+        return not self.objects and self.spec.object_count > 0
+
+
+@dataclass
+class BucketReadResult:
+    """A bucket image together with the I/O cost paid to obtain it."""
+
+    bucket: Bucket
+    cost_ms: float
+    from_disk: bool
+
+
+class BucketStore:
+    """Serves bucket reads against the partitioned fact table.
+
+    Parameters
+    ----------
+    layout:
+        The partition layout (bucket boundaries, counts, sizes).
+    disk:
+        Disk model charged for each read.
+    objects:
+        Optional full catalog as parallel, HTM-sorted sequences of
+        ``(htm_ids, objects)``.  When omitted the store operates in virtual
+        mode and returns count-only buckets.
+    """
+
+    def __init__(
+        self,
+        layout: PartitionLayout,
+        disk: Optional[DiskModel] = None,
+        objects: Optional[Tuple[Sequence[int], Sequence[object]]] = None,
+    ) -> None:
+        self.layout = layout
+        self.disk = disk or DiskModel()
+        self._sorted_ids: Optional[List[int]] = None
+        self._sorted_objects: Optional[List[object]] = None
+        self.reads = 0
+        self.bytes_read_mb = 0.0
+        if objects is not None:
+            ids, rows = objects
+            if len(ids) != len(rows):
+                raise ValueError("htm_ids and objects must be the same length")
+            if any(ids[i] > ids[i + 1] for i in range(len(ids) - 1)):
+                raise ValueError("objects must be sorted by HTM ID")
+            self._sorted_ids = list(ids)
+            self._sorted_objects = list(rows)
+
+    @property
+    def is_virtual(self) -> bool:
+        """``True`` when no materialised catalog is attached."""
+        return self._sorted_ids is None
+
+    def read_bucket(self, bucket_index: int, charge_io: bool = True) -> BucketReadResult:
+        """Execute the range query for bucket *bucket_index*.
+
+        Returns the bucket image and the sequential-read cost.  ``charge_io``
+        can be disabled by callers that account for I/O themselves (the
+        NoShare baseline charges per query rather than per distinct bucket).
+        """
+        spec = self.layout[bucket_index]
+        cost = 0.0
+        if charge_io:
+            cost = self.disk.bucket_read_ms(spec.megabytes, label=f"bucket:{bucket_index}")
+        self.reads += 1
+        self.bytes_read_mb += spec.megabytes
+        return BucketReadResult(self._materialise(spec), cost, from_disk=True)
+
+    def bucket_image(self, bucket_index: int) -> Bucket:
+        """Return the bucket image without charging any I/O (for tests)."""
+        return self._materialise(self.layout[bucket_index])
+
+    def read_cost_ms(self, bucket_index: int) -> float:
+        """Cost of reading bucket *bucket_index* without performing the read."""
+        spec = self.layout[bucket_index]
+        return self.disk.parameters.positioning_ms + self.disk.parameters.transfer_ms(
+            spec.megabytes
+        )
+
+    def _materialise(self, spec: BucketSpec) -> Bucket:
+        if self._sorted_ids is None or self._sorted_objects is None:
+            return Bucket(spec)
+        low = bisect.bisect_left(self._sorted_ids, spec.htm_range.low)
+        high = bisect.bisect_right(self._sorted_ids, spec.htm_range.high)
+        return Bucket(
+            spec,
+            objects=tuple(self._sorted_objects[low:high]),
+            htm_ids=tuple(self._sorted_ids[low:high]),
+        )
+
+    def statistics(self) -> Dict[str, float]:
+        """Aggregate read counters (used by the experiment reports)."""
+        return {
+            "bucket_reads": float(self.reads),
+            "megabytes_read": self.bytes_read_mb,
+        }

@@ -1,0 +1,63 @@
+"""Tests for archive construction (catalog + partitioning + index)."""
+
+import pytest
+
+from repro.catalog.archive import ArchiveConfig, build_archive, build_synthetic_archive
+from repro.catalog.generator import SkyGenerator, SkyGeneratorConfig
+from repro.htm.curve import HTMRange
+
+
+@pytest.fixture(scope="module")
+def archive():
+    generator = SkyGenerator(SkyGeneratorConfig(object_count=600, seed=13))
+    catalog = generator.generate("sdss")
+    config = ArchiveConfig(objects_per_bucket=100, bucket_megabytes=4.0, target_bucket_read_s=0.2)
+    return build_archive("sdss", catalog, config)
+
+
+class TestBuildArchive:
+    def test_partitioning_matches_catalog(self, archive):
+        assert archive.layout.total_objects() == len(archive.catalog)
+        assert archive.bucket_count == 6
+        assert len(archive.index) == len(archive.catalog)
+
+    def test_bucket_read_cost_is_calibrated(self, archive):
+        cost = archive.store.read_bucket(0).cost_ms
+        assert cost == pytest.approx(200.0, rel=1e-6)
+
+    def test_buckets_contain_their_objects(self, archive):
+        image = archive.store.bucket_image(0)
+        spec = archive.layout[0]
+        assert len(image.objects) == spec.object_count
+        assert all(spec.htm_range.low <= hid <= spec.htm_range.high for hid in image.htm_ids)
+
+    def test_index_probe_agrees_with_catalog_scan(self, archive):
+        spec = archive.layout[1]
+        probe = archive.index.probe_range(spec.htm_range)
+        assert probe.row_count == archive.catalog.count_range(spec.htm_range)
+
+    def test_describe_summarises_shape(self, archive):
+        summary = archive.describe()
+        assert summary["catalog_rows"] == len(archive.catalog)
+        assert summary["bucket_count"] == archive.bucket_count
+
+
+class TestSyntheticArchive:
+    def test_synthetic_archive_builds_end_to_end(self):
+        archive = build_synthetic_archive(
+            "twomass",
+            generator_config=SkyGeneratorConfig(object_count=200, seed=5),
+            archive_config=ArchiveConfig(objects_per_bucket=50, bucket_megabytes=2.0, target_bucket_read_s=0.1),
+        )
+        assert archive.name == "twomass"
+        assert archive.bucket_count == pytest.approx(len(archive.catalog) / 50, abs=1)
+
+    def test_uncalibrated_disk_still_reads(self):
+        archive = build_synthetic_archive(
+            "sdss",
+            generator_config=SkyGeneratorConfig(object_count=100, seed=6),
+            archive_config=ArchiveConfig(
+                objects_per_bucket=50, bucket_megabytes=2.0, calibrate_disk=False
+            ),
+        )
+        assert archive.store.read_bucket(0).cost_ms > 0

@@ -1,0 +1,93 @@
+"""Tests for celestial objects and catalog tables."""
+
+import pytest
+
+from repro.catalog.objects import CatalogTable, CelestialObject
+from repro.htm.curve import HTMRange
+from repro.htm.geometry import SkyPoint
+from repro.htm.mesh import HTMMesh
+
+
+def make_object(object_id, ra, dec, mesh=None, survey="sdss"):
+    mesh = mesh or HTMMesh()
+    return CelestialObject(
+        object_id=object_id,
+        ra=ra,
+        dec=dec,
+        htm_id=mesh.locate(SkyPoint(ra, dec), 14),
+        survey=survey,
+    )
+
+
+class TestCelestialObject:
+    def test_position_and_separation(self):
+        mesh = HTMMesh()
+        a = make_object(1, 10.0, 10.0, mesh)
+        b = make_object(2, 10.0, 10.0 + 1.0 / 3600.0, mesh)
+        assert a.position.ra == pytest.approx(10.0)
+        assert a.separation_arcsec(b) == pytest.approx(1.0, rel=1e-5)
+        assert a.separation_deg(b) == pytest.approx(1.0 / 3600.0, rel=1e-5)
+
+
+class TestCatalogTable:
+    def test_rows_are_sorted_by_htm_id(self):
+        mesh = HTMMesh()
+        objects = [make_object(i, ra, 5.0, mesh) for i, ra in enumerate((200.0, 10.0, 100.0))]
+        table = CatalogTable("sdss", objects)
+        ids = list(table.htm_ids)
+        assert ids == sorted(ids)
+        assert len(table) == 3
+
+    def test_insert_preserves_order(self):
+        mesh = HTMMesh()
+        table = CatalogTable("sdss", [make_object(0, 10.0, 0.0, mesh)])
+        table.insert(make_object(1, 300.0, 0.0, mesh))
+        table.insert(make_object(2, 150.0, 0.0, mesh))
+        ids = list(table.htm_ids)
+        assert ids == sorted(ids)
+        assert len(table) == 3
+
+    def test_extend_resorts(self):
+        mesh = HTMMesh()
+        table = CatalogTable("sdss", [make_object(0, 10.0, 0.0, mesh)])
+        table.extend([make_object(1, 340.0, 2.0, mesh), make_object(2, 170.0, -2.0, mesh)])
+        ids = list(table.htm_ids)
+        assert ids == sorted(ids)
+
+    def test_range_scan_and_count(self):
+        mesh = HTMMesh()
+        objects = [make_object(i, 10.0 + 0.001 * i, 10.0, mesh) for i in range(20)]
+        table = CatalogTable("sdss", objects)
+        full = HTMRange(min(table.htm_ids), max(table.htm_ids))
+        assert len(table.range_scan(full)) == 20
+        assert table.count_range(full) == 20
+        empty = HTMRange(0, 7)
+        assert table.range_scan(empty) == []
+        assert table.count_range(empty) == 0
+
+    def test_cone_search_matches_separation(self):
+        mesh = HTMMesh()
+        center = SkyPoint(50.0, 20.0)
+        near = make_object(0, 50.01, 20.0, mesh)
+        far = make_object(1, 60.0, 20.0, mesh)
+        table = CatalogTable("sdss", [near, far])
+        found = table.cone_search(center, 0.1)
+        assert [o.object_id for o in found] == [0]
+
+    def test_from_positions_assigns_htm_ids(self):
+        table = CatalogTable.from_positions("twomass", [(10.0, 10.0), (11.0, 11.0)], level=10)
+        assert len(table) == 2
+        assert all(obj.survey == "twomass" for obj in table)
+        mesh = HTMMesh()
+        assert table.rows[0].htm_id in (
+            mesh.locate(SkyPoint(10.0, 10.0), 10),
+            mesh.locate(SkyPoint(11.0, 11.0), 10),
+        )
+
+    def test_describe_empty_and_nonempty(self):
+        assert CatalogTable("sdss").describe()["rows"] == 0
+        mesh = HTMMesh()
+        table = CatalogTable("sdss", [make_object(0, 1.0, 1.0, mesh)])
+        summary = table.describe()
+        assert summary["rows"] == 1
+        assert summary["min_htm_id"] == summary["max_htm_id"]

@@ -1,0 +1,120 @@
+"""Tests for the adaptive α controller, trade-off curves and saturation estimation."""
+
+import pytest
+
+from repro.core.adaptive import (
+    AlphaController,
+    SaturationEstimator,
+    TradeoffCurve,
+    TradeoffPoint,
+)
+
+
+def make_curve(saturation, points):
+    curve = TradeoffCurve(saturation_qps=saturation)
+    for alpha, throughput, response in points:
+        curve.add(TradeoffPoint(alpha=alpha, throughput_qps=throughput, avg_response_time_s=response))
+    return curve
+
+
+# A high-saturation curve where giving up throughput buys little response
+# time, and a low-saturation curve where a small throughput sacrifice buys a
+# large response-time improvement (the paper's Figure 4 shapes).
+HIGH_CURVE = make_curve(
+    0.5,
+    [(0.0, 0.22, 300.0), (0.25, 0.20, 250.0), (0.5, 0.17, 240.0), (0.75, 0.15, 235.0), (1.0, 0.14, 230.0)],
+)
+LOW_CURVE = make_curve(
+    0.1,
+    [(0.0, 0.105, 290.0), (0.25, 0.104, 220.0), (0.5, 0.103, 180.0), (0.75, 0.102, 150.0), (1.0, 0.10, 135.0)],
+)
+
+
+class TestTradeoffPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TradeoffPoint(alpha=1.5, throughput_qps=1.0, avg_response_time_s=1.0)
+        with pytest.raises(ValueError):
+            TradeoffPoint(alpha=0.5, throughput_qps=-1.0, avg_response_time_s=1.0)
+
+
+class TestTradeoffCurve:
+    def test_empty_curve_rejected(self):
+        empty = TradeoffCurve(saturation_qps=0.2)
+        with pytest.raises(ValueError):
+            empty.max_throughput()
+        with pytest.raises(ValueError):
+            empty.select_alpha()
+
+    def test_normalisation_divides_by_maxima(self):
+        normalized = HIGH_CURVE.normalized()
+        assert max(t for _a, t, _r in normalized) == pytest.approx(1.0)
+        assert max(r for _a, _t, r in normalized) == pytest.approx(1.0)
+        assert [a for a, _t, _r in normalized] == sorted(a for a, _t, _r in normalized)
+
+    def test_selection_respects_tolerance_at_high_saturation(self):
+        # Only alpha in {0, 0.25} keep throughput within 20% of the max.
+        assert HIGH_CURVE.select_alpha(tolerance=0.2) == 0.25
+        # A very strict tolerance forces the greedy scheduler.
+        assert HIGH_CURVE.select_alpha(tolerance=0.05) == 0.0
+
+    def test_selection_picks_large_alpha_at_low_saturation(self):
+        # Every alpha is within tolerance, so the best response time wins.
+        assert LOW_CURVE.select_alpha(tolerance=0.2) == 1.0
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            HIGH_CURVE.select_alpha(tolerance=1.0)
+
+
+class TestSaturationEstimator:
+    def test_rate_estimate_over_window(self):
+        estimator = SaturationEstimator(window_s=100.0)
+        for t in range(0, 50, 5):
+            estimator.observe_arrival(float(t))
+        assert estimator.rate_qps(now_s=50.0) == pytest.approx(10 / 50.0, rel=0.05)
+
+    def test_old_arrivals_age_out_of_the_window(self):
+        estimator = SaturationEstimator(window_s=10.0)
+        estimator.observe_arrival(0.0)
+        estimator.observe_arrival(1.0)
+        estimator.observe_arrival(100.0)
+        assert estimator.rate_qps(now_s=100.0) == pytest.approx(1 / 10.0, rel=0.2)
+
+    def test_empty_estimator_reports_zero(self):
+        assert SaturationEstimator().rate_qps() == 0.0
+
+    def test_non_monotone_arrivals_rejected(self):
+        estimator = SaturationEstimator()
+        estimator.observe_arrival(10.0)
+        with pytest.raises(ValueError):
+            estimator.observe_arrival(5.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SaturationEstimator(window_s=0.0)
+
+
+class TestAlphaController:
+    def test_requires_curves(self):
+        with pytest.raises(ValueError):
+            AlphaController([])
+
+    def test_picks_closest_curve(self):
+        controller = AlphaController([LOW_CURVE, HIGH_CURVE], tolerance=0.2)
+        assert controller.curve_for_saturation(0.12).saturation_qps == 0.1
+        assert controller.curve_for_saturation(0.45).saturation_qps == 0.5
+
+    def test_alpha_recommendation_varies_with_saturation(self):
+        controller = AlphaController([LOW_CURVE, HIGH_CURVE], tolerance=0.2)
+        assert controller.alpha_for_saturation(0.1) == 1.0
+        assert controller.alpha_for_saturation(0.5) == 0.25
+        # The paper's conclusion: increasing alpha becomes progressively more
+        # attractive with less saturation.
+        assert controller.alpha_for_saturation(0.1) > controller.alpha_for_saturation(0.5)
+
+    def test_online_estimation_drives_alpha(self):
+        controller = AlphaController([LOW_CURVE, HIGH_CURVE], tolerance=0.2)
+        for t in range(20):
+            controller.observe_arrival(t * 2.0)  # 0.5 q/s
+        assert controller.current_alpha(now_s=40.0) == 0.25

@@ -1,0 +1,114 @@
+"""Tests for the baseline scheduling policies."""
+
+import pytest
+
+from repro.core.baselines import (
+    IndexOnlyScheduler,
+    LeastSharableFirstScheduler,
+    NoShareScheduler,
+    RoundRobinScheduler,
+)
+from repro.core.bucket_cache import BucketCacheManager
+from repro.core.join_evaluator import JoinStrategy
+from repro.core.workload_manager import WorkloadManager
+from repro.storage.bucket_store import BucketStore
+from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.partitioner import BucketPartitioner
+
+
+def make_environment(bucket_count=16):
+    layout = BucketPartitioner(objects_per_bucket=10_000, bucket_megabytes=40.0).partition_density(
+        bucket_count
+    )
+    store = BucketStore(layout, calibrated_disk_for_bucket_read(40.0, 1.2))
+    return WorkloadManager(), BucketCacheManager(store, 4)
+
+
+class TestNoShare:
+    def test_picks_oldest_query_and_its_lowest_bucket(self):
+        manager, cache = make_environment()
+        manager.add_query(7, {5: 10, 2: 10}, 100.0)
+        manager.add_query(8, {0: 10}, 200.0)
+        work = NoShareScheduler().next_work(manager, cache, 1_000.0)
+        assert work.bucket_index == 2
+        assert work.query_ids == (7,)
+        assert not work.share_io
+
+    def test_moves_to_next_query_after_completion(self):
+        manager, cache = make_environment()
+        manager.add_query(7, {2: 10}, 100.0)
+        manager.add_query(8, {0: 10}, 200.0)
+        scheduler = NoShareScheduler()
+        first = scheduler.next_work(manager, cache, 1_000.0)
+        manager.drain_bucket(first.bucket_index, 1_500.0, query_ids=first.query_ids)
+        second = scheduler.next_work(manager, cache, 2_000.0)
+        assert second.query_ids == (8,)
+        assert second.bucket_index == 0
+
+    def test_returns_none_when_idle(self):
+        manager, cache = make_environment()
+        assert NoShareScheduler().next_work(manager, cache, 0.0) is None
+
+
+class TestIndexOnly:
+    def test_forces_indexed_join(self):
+        manager, cache = make_environment()
+        manager.add_query(1, {3: 10_000}, 0.0)
+        work = IndexOnlyScheduler().next_work(manager, cache, 1.0)
+        assert work.force_strategy is JoinStrategy.INDEXED_JOIN
+        assert work.query_ids == (1,)
+        assert not work.share_io
+
+
+class TestRoundRobin:
+    def test_services_buckets_in_increasing_order_with_wraparound(self):
+        manager, cache = make_environment()
+        manager.add_query(1, {3: 10, 9: 10, 1: 10}, 0.0)
+        scheduler = RoundRobinScheduler()
+        order = []
+        for _ in range(3):
+            work = scheduler.next_work(manager, cache, 0.0)
+            order.append(work.bucket_index)
+            manager.drain_bucket(work.bucket_index, 1.0)
+        assert order == [1, 3, 9]
+
+    def test_wraps_to_lowest_pending_bucket(self):
+        manager, cache = make_environment()
+        manager.add_query(1, {9: 10}, 0.0)
+        scheduler = RoundRobinScheduler()
+        first = scheduler.next_work(manager, cache, 0.0)
+        manager.drain_bucket(first.bucket_index, 1.0)
+        manager.add_query(2, {1: 10}, 2.0)
+        second = scheduler.next_work(manager, cache, 3.0)
+        assert second.bucket_index == 1
+
+    def test_shares_io(self):
+        manager, cache = make_environment()
+        manager.add_query(1, {4: 10}, 0.0)
+        work = RoundRobinScheduler().next_work(manager, cache, 0.0)
+        assert work.share_io
+        assert work.query_ids is None
+
+    def test_idle_returns_none(self):
+        manager, cache = make_environment()
+        assert RoundRobinScheduler().next_work(manager, cache, 0.0) is None
+
+
+class TestLeastSharableFirst:
+    def test_prefers_smallest_workload_queue(self):
+        manager, cache = make_environment()
+        manager.add_query(1, {2: 5_000}, 0.0)
+        manager.add_query(2, {7: 10}, 0.0)
+        work = LeastSharableFirstScheduler().next_work(manager, cache, 10.0)
+        assert work.bucket_index == 7
+
+    def test_ties_break_by_age_then_bucket(self):
+        manager, cache = make_environment()
+        manager.add_query(1, {2: 10}, 100.0)
+        manager.add_query(2, {7: 10}, 0.0)
+        work = LeastSharableFirstScheduler().next_work(manager, cache, 1_000.0)
+        assert work.bucket_index == 7  # same size, older request wins
+
+    def test_idle_returns_none(self):
+        manager, cache = make_environment()
+        assert LeastSharableFirstScheduler().next_work(manager, cache, 0.0) is None

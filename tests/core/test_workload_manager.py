@@ -1,0 +1,178 @@
+"""Tests for the workload manager (queues, ages, query bookkeeping)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.workload_manager import WorkloadEntry, WorkloadManager, WorkloadQueue
+
+
+class TestWorkloadEntry:
+    def test_positive_object_count_required(self):
+        with pytest.raises(ValueError):
+            WorkloadEntry(query_id=1, object_count=0, enqueue_time_ms=0.0)
+
+
+class TestWorkloadQueue:
+    def test_aggregates_maintained_on_append(self):
+        queue = WorkloadQueue(7)
+        queue.append(WorkloadEntry(1, 10, 100.0))
+        queue.append(WorkloadEntry(2, 5, 50.0))
+        assert queue.total_objects == 15
+        assert queue.oldest_enqueue_time_ms == 50.0
+        assert queue.age_ms(150.0) == 100.0
+        assert queue.query_ids == [1, 2]
+
+    def test_remove_queries_recomputes_aggregates(self):
+        queue = WorkloadQueue(7)
+        queue.append(WorkloadEntry(1, 10, 100.0))
+        queue.append(WorkloadEntry(2, 5, 50.0))
+        removed = queue.remove_queries({2})
+        assert [e.query_id for e in removed] == [2]
+        assert queue.total_objects == 10
+        assert queue.oldest_enqueue_time_ms == 100.0
+
+    def test_drain_all_empties_queue(self):
+        queue = WorkloadQueue(7)
+        queue.append(WorkloadEntry(1, 10, 100.0))
+        drained = queue.drain_all()
+        assert len(drained) == 1
+        assert not queue
+        assert queue.total_objects == 0
+        assert queue.age_ms(500.0) == 0.0
+        with pytest.raises(ValueError):
+            queue.oldest_enqueue_time_ms
+
+
+class TestIntake:
+    def test_add_query_with_counts_and_objects(self):
+        manager = WorkloadManager()
+        manager.add_query(1, {3: 10, 5: 20}, arrival_time_ms=100.0)
+        assert manager.queue_size(3) == 10
+        assert manager.queue_size(5) == 20
+        assert manager.query_total_objects(1) == 30
+        assert manager.remaining_buckets_for(1) == {3, 5}
+        assert manager.query_arrival_ms(1) == 100.0
+
+    def test_duplicate_query_rejected(self):
+        manager = WorkloadManager()
+        manager.add_query(1, {0: 1}, 0.0)
+        with pytest.raises(ValueError):
+            manager.add_query(1, {1: 1}, 0.0)
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadManager().add_query(1, {}, 0.0)
+
+    def test_zero_count_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadManager().add_query(1, {0: 0}, 0.0)
+
+
+class TestSchedulerFacingState:
+    def test_pending_buckets_and_state(self):
+        manager = WorkloadManager()
+        manager.add_query(1, {2: 5}, 1_000.0)
+        manager.add_query(2, {2: 7, 9: 3}, 2_000.0)
+        assert sorted(manager.pending_buckets()) == [2, 9]
+        state = dict((b, (size, age)) for b, size, age in manager.pending_state(3_000.0))
+        assert state[2] == (12, 2_000.0)
+        assert state[9] == (3, 1_000.0)
+        assert manager.max_pending_age_ms(3_000.0) == 2_000.0
+
+    def test_oldest_age_for_unknown_bucket_is_zero(self):
+        manager = WorkloadManager()
+        assert manager.oldest_age_ms(42, 100.0) == 0.0
+        assert manager.max_pending_age_ms(100.0) == 0.0
+
+    def test_oldest_pending_query_follows_arrival_order(self):
+        manager = WorkloadManager()
+        manager.add_query(10, {0: 1}, 5.0)
+        manager.add_query(11, {1: 1}, 10.0)
+        assert manager.oldest_pending_query() == 10
+        manager.drain_bucket(0, 20.0)
+        assert manager.oldest_pending_query() == 11
+        manager.drain_bucket(1, 30.0)
+        assert manager.oldest_pending_query() is None
+
+    def test_pending_queries_ordering(self):
+        manager = WorkloadManager()
+        manager.add_query(2, {0: 1}, 50.0)
+        manager.add_query(1, {1: 1}, 10.0)
+        assert manager.pending_queries() == [1, 2]
+
+
+class TestService:
+    def test_full_drain_completes_single_bucket_query(self):
+        manager = WorkloadManager()
+        manager.add_query(1, {4: 10}, 0.0)
+        drained, completed = manager.drain_bucket(4, 250.0)
+        assert [e.query_id for e in drained] == [1]
+        assert completed == [1]
+        assert manager.completed_count() == 1
+        assert manager.completion_time_ms(1) == 250.0
+        assert manager.response_time_ms(1) == 250.0
+        assert not manager.has_pending_work()
+
+    def test_query_completes_only_after_every_bucket(self):
+        manager = WorkloadManager()
+        manager.add_query(1, {0: 5, 1: 5, 2: 5}, 0.0)
+        _, completed = manager.drain_bucket(0, 10.0)
+        assert completed == []
+        _, completed = manager.drain_bucket(1, 20.0)
+        assert completed == []
+        _, completed = manager.drain_bucket(2, 30.0)
+        assert completed == [1]
+        assert manager.response_time_ms(1) == 30.0
+
+    def test_partial_drain_by_query_id(self):
+        manager = WorkloadManager()
+        manager.add_query(1, {0: 5}, 0.0)
+        manager.add_query(2, {0: 7}, 1.0)
+        drained, completed = manager.drain_bucket(0, 10.0, query_ids=[1])
+        assert [e.query_id for e in drained] == [1]
+        assert completed == [1]
+        assert manager.queue_size(0) == 7
+        assert manager.response_time_ms(2) is None
+
+    def test_drain_unknown_bucket_is_noop(self):
+        manager = WorkloadManager()
+        assert manager.drain_bucket(99, 0.0) == ([], [])
+
+    def test_total_pending_objects(self):
+        manager = WorkloadManager()
+        manager.add_query(1, {0: 5, 1: 3}, 0.0)
+        assert manager.total_pending_objects() == 8
+        manager.drain_bucket(0, 1.0)
+        assert manager.total_pending_objects() == 3
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=1, max_value=50),
+                min_size=1,
+                max_size=5,
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50)
+    def test_draining_everything_completes_every_query(self, footprints):
+        manager = WorkloadManager()
+        for query_id, footprint in enumerate(footprints):
+            manager.add_query(query_id, footprint, float(query_id))
+        total_objects = sum(sum(f.values()) for f in footprints)
+        assert manager.total_pending_objects() == total_objects
+        now = 1_000.0
+        while manager.has_pending_work():
+            bucket = manager.pending_buckets()[0]
+            manager.drain_bucket(bucket, now)
+            now += 1.0
+        assert manager.completed_count() == len(footprints)
+        assert manager.total_pending_objects() == 0
+        assert sorted(manager.completed_queries()) == list(range(len(footprints)))
+        assert all(manager.response_time_ms(q) is not None for q in range(len(footprints)))

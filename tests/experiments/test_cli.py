@@ -1,0 +1,32 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure7" in output and "cache_hits" in output
+
+    def test_trace_command_prints_statistics(self, capsys):
+        assert main(["trace", "--scale", "small", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "cross-match objects" in output
+        assert "fraction_queries_touching_top10" in output
+
+    def test_experiments_command_runs_named_experiment(self, capsys):
+        assert main(["experiments", "figure2", "--scale", "small"]) == 0
+        output = capsys.readouterr().out
+        assert "figure2" in output
+        assert "breakeven_fraction" in output
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "--scale", "galactic"])
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,178 @@
+"""Tests for the federation substrate (network, plans, nodes, SkyQuery)."""
+
+import pytest
+
+from repro.catalog.archive import ArchiveConfig, build_archive
+from repro.catalog.generator import SkyGenerator, SkyGeneratorConfig
+from repro.federation.crossmatch import (
+    crossmatch_catalogs,
+    error_circle_range,
+    select_region_objects,
+    to_crossmatch_objects,
+)
+from repro.federation.network import NetworkModel
+from repro.federation.node import FederationNode
+from repro.federation.plans import build_left_deep_plan
+from repro.federation.skyquery import FederatedQuery, SkyQueryFederation
+from repro.htm.geometry import SkyPoint
+
+
+@pytest.fixture(scope="module")
+def surveys():
+    generator = SkyGenerator(SkyGeneratorConfig(object_count=400, cluster_count=3, seed=31))
+    sdss = generator.generate("sdss")
+    twomass = generator.derive_companion(sdss, "twomass", completeness=0.85, extra_fraction=0.05)
+    return generator, sdss, twomass
+
+
+@pytest.fixture(scope="module")
+def archives(surveys):
+    _generator, sdss, twomass = surveys
+    config = ArchiveConfig(objects_per_bucket=100, bucket_megabytes=4.0, target_bucket_read_s=0.2)
+    return build_archive("sdss", sdss, config), build_archive("twomass", twomass, config)
+
+
+class TestNetworkModel:
+    def test_transfer_costs_latency_plus_bandwidth(self):
+        network = NetworkModel(latency_ms=50.0, bandwidth_mbps=80.0, object_bytes=128)
+        result = network.transfer(10_000)
+        assert result.object_count == 10_000
+        assert result.megabytes == pytest.approx(10_000 * 128 / 1024 / 1024)
+        assert result.cost_ms > 50.0
+
+    def test_empty_transfer_still_pays_latency(self):
+        assert NetworkModel(latency_ms=30.0).transfer(0).cost_ms == pytest.approx(30.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(latency_ms=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            NetworkModel().transfer(-1)
+
+
+class TestCrossmatchHelpers:
+    def test_error_circle_range_contains_object(self, surveys):
+        _generator, sdss, _twomass = surveys
+        obj = sdss.rows[0]
+        htm_range = error_circle_range(obj, radius_arcsec=3.0)
+        assert obj.htm_id in htm_range
+
+    def test_to_crossmatch_objects_carries_positions(self, surveys):
+        _generator, sdss, _twomass = surveys
+        shipped = to_crossmatch_objects(list(sdss)[:10], match_radius_arcsec=2.5)
+        assert len(shipped) == 10
+        assert all(o.ra is not None and o.match_radius_arcsec == 2.5 for o in shipped)
+
+    def test_select_region_objects_filters_by_cone_and_magnitude(self, surveys):
+        _generator, sdss, _twomass = surveys
+        center = SkyPoint(sdss.rows[0].ra, sdss.rows[0].dec)
+        selected = select_region_objects(sdss, center, radius_deg=2.0)
+        assert selected
+        bright = select_region_objects(sdss, center, radius_deg=2.0, magnitude_limit=16.0)
+        assert len(bright) <= len(selected)
+        assert all(obj.magnitude <= 16.0 for obj in bright)
+
+    def test_reference_crossmatch_finds_jittered_counterparts(self, surveys):
+        _generator, sdss, twomass = surveys
+        incoming = to_crossmatch_objects(list(twomass)[:50], match_radius_arcsec=3.0)
+        pairs = crossmatch_catalogs(incoming, sdss)
+        assert pairs
+        for shipped, matched in pairs:
+            separation = 3600.0 * abs(shipped.dec - matched.dec)
+            assert separation < 10.0  # sanity: matches are close in declination
+
+
+class TestPlans:
+    def test_left_deep_plan_orders_by_selectivity(self):
+        plan = build_left_deep_plan(
+            1,
+            ["usnob", "twomass", "sdss"],
+            SkyPoint(10.0, 10.0),
+            1.0,
+            selectivity={"usnob": 3.0, "twomass": 1.0, "sdss": 2.0},
+        )
+        assert plan.archives == ("twomass", "sdss", "usnob")
+        assert plan.seed_archive == "twomass"
+        assert len(plan) == 3
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            build_left_deep_plan(1, [], SkyPoint(0, 0), 1.0)
+        with pytest.raises(ValueError):
+            build_left_deep_plan(1, ["sdss"], SkyPoint(0, 0), 0.0)
+
+
+class TestFederationNode:
+    def test_node_crossmatch_agrees_with_reference(self, archives, surveys):
+        sdss_archive, _twomass_archive = archives
+        _generator, sdss, twomass = surveys
+        node = FederationNode(sdss_archive)
+        incoming = to_crossmatch_objects(list(twomass)[:60], match_radius_arcsec=3.0)
+        result = node.execute(query_id=1, objects=incoming)
+        reference = crossmatch_catalogs(incoming, sdss)
+        assert len(result.matches) == len(reference)
+        assert result.busy_time_ms > 0
+        assert result.bucket_services > 0
+        assert node.statistics()["total_matches"] >= len(result.matches)
+
+    def test_empty_input_is_free(self, archives):
+        sdss_archive, _ = archives
+        node = FederationNode(sdss_archive)
+        result = node.execute(query_id=2, objects=[])
+        assert result.matches == []
+        assert result.busy_time_ms == 0.0
+
+    def test_predicate_filters_matches(self, archives, surveys):
+        sdss_archive, _ = archives
+        _generator, _sdss, twomass = surveys
+        node = FederationNode(sdss_archive)
+        incoming = to_crossmatch_objects(list(twomass)[:60], match_radius_arcsec=3.0)
+        all_matches = node.execute(query_id=3, objects=incoming).matches
+        filtered = node.execute(
+            query_id=4, objects=incoming, predicate=lambda row: row.magnitude < 16.0
+        ).matches
+        assert len(filtered) <= len(all_matches)
+        assert all(pair.catalog_object.magnitude < 16.0 for pair in filtered)
+
+
+class TestSkyQueryFederation:
+    def test_end_to_end_federated_crossmatch(self, archives, surveys):
+        sdss_archive, twomass_archive = archives
+        _generator, sdss, _twomass = surveys
+        federation = SkyQueryFederation(NetworkModel(latency_ms=10.0))
+        federation.register_archive(sdss_archive)
+        federation.register_archive(twomass_archive)
+        assert set(federation.archives) == {"sdss", "twomass"}
+
+        center = SkyPoint(sdss.rows[0].ra, sdss.rows[0].dec)
+        query = FederatedQuery(
+            query_id=1, archives=("twomass", "sdss"), center=center, radius_deg=3.0
+        )
+        result = federation.execute(query)
+        assert result.plan.seed_archive in ("twomass", "sdss")
+        assert len(result.site_results) >= 1
+        assert result.transfers
+        assert result.total_time_ms > 0
+        assert result.final_matches >= 0
+        assert set(federation.statistics()) == {"sdss", "twomass"}
+
+    def test_duplicate_registration_rejected(self, archives):
+        sdss_archive, _ = archives
+        federation = SkyQueryFederation()
+        federation.register_archive(sdss_archive)
+        with pytest.raises(ValueError):
+            federation.register_archive(sdss_archive)
+
+    def test_unknown_archive_in_query_rejected(self, archives):
+        sdss_archive, _ = archives
+        federation = SkyQueryFederation()
+        federation.register_archive(sdss_archive)
+        query = FederatedQuery(
+            query_id=1, archives=("sdss", "rosat"), center=SkyPoint(0, 0), radius_deg=1.0
+        )
+        with pytest.raises(KeyError):
+            federation.plan(query)
+        with pytest.raises(KeyError):
+            federation.node("rosat")

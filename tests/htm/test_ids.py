@@ -1,0 +1,123 @@
+"""Unit and property tests for HTM ID encoding and arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.htm import ids as htm_ids
+
+
+valid_ids = st.integers(min_value=0, max_value=14).flatmap(
+    lambda level: st.integers(
+        min_value=8 << (2 * level), max_value=(16 << (2 * level)) - 1
+    )
+)
+
+
+class TestValidity:
+    def test_root_faces_are_valid(self):
+        for face in range(8, 16):
+            assert htm_ids.is_valid_htm_id(face)
+            assert htm_ids.htm_level(face) == 0
+
+    def test_small_integers_are_invalid(self):
+        for value in range(0, 8):
+            assert not htm_ids.is_valid_htm_id(value)
+
+    def test_odd_bit_lengths_are_invalid(self):
+        # 16..31 have 5 bits: one child digit short of a valid level-1 ID.
+        assert not htm_ids.is_valid_htm_id(17)
+        with pytest.raises(ValueError):
+            htm_ids.htm_level(17)
+
+
+class TestNames:
+    def test_known_names(self):
+        assert htm_ids.htm_name_to_id("S0") == 8
+        assert htm_ids.htm_name_to_id("N3") == 15
+        # "N012" is face N0 (ID 12) followed by child digits 1 and 2.
+        assert htm_ids.htm_name_to_id("N012") == ((12 << 2) | 1) << 2 | 2
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError):
+            htm_ids.htm_name_to_id("X0")
+        with pytest.raises(ValueError):
+            htm_ids.htm_name_to_id("N04")
+
+    @given(valid_ids)
+    def test_name_roundtrip(self, htm_id):
+        assert htm_ids.htm_name_to_id(htm_ids.htm_id_to_name(htm_id)) == htm_id
+
+
+class TestHierarchy:
+    @given(valid_ids)
+    def test_children_have_parent(self, htm_id):
+        for child in htm_ids.child_ids(htm_id):
+            assert htm_ids.parent_id(child) == htm_id
+            assert htm_ids.htm_level(child) == htm_ids.htm_level(htm_id) + 1
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            htm_ids.parent_id(8)
+
+    @given(valid_ids)
+    def test_ancestor_at_own_level_is_identity(self, htm_id):
+        level = htm_ids.htm_level(htm_id)
+        assert htm_ids.ancestor_at_level(htm_id, level) == htm_id
+
+    @given(valid_ids)
+    def test_ancestor_deeper_level_rejected(self, htm_id):
+        level = htm_ids.htm_level(htm_id)
+        with pytest.raises(ValueError):
+            htm_ids.ancestor_at_level(htm_id, level + 1)
+
+
+class TestRanges:
+    @given(valid_ids, st.integers(min_value=0, max_value=4))
+    def test_descendant_range_size(self, htm_id, extra_levels):
+        level = htm_ids.htm_level(htm_id) + extra_levels
+        low, high = htm_ids.id_range_at_level(htm_id, level)
+        assert high - low + 1 == 4**extra_levels
+        assert htm_ids.ancestor_at_level(low, htm_ids.htm_level(htm_id)) == htm_id
+        assert htm_ids.ancestor_at_level(high, htm_ids.htm_level(htm_id)) == htm_id
+
+    @given(valid_ids)
+    def test_child_ranges_partition_parent_range(self, htm_id):
+        level = htm_ids.htm_level(htm_id) + 3
+        parent_low, parent_high = htm_ids.id_range_at_level(htm_id, level)
+        covered = []
+        for child in htm_ids.child_ids(htm_id):
+            covered.append(htm_ids.id_range_at_level(child, level))
+        covered.sort()
+        assert covered[0][0] == parent_low
+        assert covered[-1][1] == parent_high
+        for (low_a, high_a), (low_b, _high_b) in zip(covered, covered[1:]):
+            assert low_b == high_a + 1
+
+    def test_shallower_level_rejected(self):
+        child = htm_ids.child_ids(8)[0]
+        with pytest.raises(ValueError):
+            htm_ids.id_range_at_level(child, 0)
+
+
+class TestEnumeration:
+    def test_count_at_level(self):
+        assert htm_ids.count_at_level(0) == 8
+        assert htm_ids.count_at_level(1) == 32
+        assert htm_ids.count_at_level(3) == 8 * 64
+
+    def test_iteration_matches_count(self):
+        ids = list(htm_ids.iter_ids_at_level(2))
+        assert len(ids) == htm_ids.count_at_level(2)
+        assert all(htm_ids.htm_level(i) == 2 for i in ids)
+        assert ids == sorted(ids)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            htm_ids.count_at_level(-1)
+        with pytest.raises(ValueError):
+            list(htm_ids.iter_ids_at_level(-2))
+
+    def test_skyquery_level_ids_fit_in_32_bits(self):
+        last_id = (16 << (2 * htm_ids.SKYQUERY_LEVEL)) - 1
+        assert last_id.bit_length() <= 32

@@ -1,0 +1,102 @@
+"""Tests for the hierarchical triangular mesh."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htm import ids as htm_ids
+from repro.htm.geometry import SkyPoint, radec_from_vector
+from repro.htm.mesh import HTMMesh, htm_id_for
+
+ras = st.floats(min_value=0.0, max_value=359.99)
+decs = st.floats(min_value=-89.9, max_value=89.9)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return HTMMesh()
+
+
+class TestRootFaces:
+    def test_there_are_eight_roots(self, mesh):
+        roots = mesh.root_trixels()
+        assert len(roots) == 8
+        assert sorted(t.htm_id for t in roots) == list(range(8, 16))
+
+    def test_root_areas_cover_the_sphere(self, mesh):
+        total = sum(t.area_steradians() for t in mesh.root_trixels())
+        assert total == pytest.approx(4.0 * math.pi, rel=1e-9)
+
+    def test_every_point_is_in_exactly_one_root(self, mesh):
+        point = SkyPoint(123.0, 45.0)
+        containing = [t for t in mesh.root_trixels() if t.contains(point)]
+        assert len(containing) >= 1
+
+
+class TestLocate:
+    @given(ras, decs, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_located_id_has_requested_level(self, ra, dec, level):
+        mesh = HTMMesh()
+        htm_id = mesh.locate(SkyPoint(ra, dec), level)
+        assert htm_ids.htm_level(htm_id) == level
+
+    @given(ras, decs)
+    @settings(max_examples=40, deadline=None)
+    def test_located_trixel_contains_point(self, ra, dec):
+        mesh = HTMMesh()
+        point = SkyPoint(ra, dec)
+        htm_id = mesh.locate(point, 8)
+        trixel = mesh.trixel(htm_id)
+        axis, radius = trixel.circumcircle()
+        axis_ra, axis_dec = radec_from_vector(axis)
+        # The point must fall inside the trixel's bounding cone.
+        assert point.separation(SkyPoint(axis_ra, axis_dec)) <= radius + 1e-6
+
+    @given(ras, decs)
+    @settings(max_examples=40, deadline=None)
+    def test_deeper_ids_refine_shallower_ids(self, ra, dec):
+        mesh = HTMMesh()
+        point = SkyPoint(ra, dec)
+        shallow = mesh.locate(point, 5)
+        deep = mesh.locate(point, 9)
+        assert htm_ids.ancestor_at_level(deep, 5) == shallow
+
+    def test_negative_level_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.locate(SkyPoint(0.0, 0.0), -1)
+
+    def test_nearby_points_share_prefix(self, mesh):
+        a = mesh.locate(SkyPoint(150.0, 30.0), 14)
+        b = mesh.locate(SkyPoint(150.0001, 30.0001), 14)
+        # Spatial locality: very close points agree at a coarse level.
+        assert htm_ids.ancestor_at_level(a, 6) == htm_ids.ancestor_at_level(b, 6)
+
+    def test_module_level_helper(self):
+        assert htm_ids.htm_level(htm_id_for(10.0, 10.0, level=7)) == 7
+
+
+class TestTrixels:
+    def test_children_partition_parent_area(self, mesh):
+        parent = mesh.trixel(9)
+        child_area = sum(c.area_steradians() for c in parent.children())
+        assert child_area == pytest.approx(parent.area_steradians(), rel=1e-6)
+
+    def test_trixel_lookup_matches_children(self, mesh):
+        parent = mesh.trixel(12)
+        for child in parent.children():
+            looked_up = mesh.trixel(child.htm_id)
+            for corner_a, corner_b in zip(looked_up.corners, child.corners):
+                assert corner_a == pytest.approx(corner_b)
+
+    def test_trixels_at_level_enumeration(self, mesh):
+        level2 = list(mesh.trixels_at_level(2))
+        assert len(level2) == htm_ids.count_at_level(2)
+        total_area = sum(t.area_steradians() for t in level2)
+        assert total_area == pytest.approx(4.0 * math.pi, rel=1e-6)
+
+    def test_trixel_name_property(self, mesh):
+        assert mesh.trixel(8).name == "S0"
+        assert mesh.trixel(htm_ids.child_ids(15)[2]).name == "N32"

@@ -1,0 +1,118 @@
+"""Integration tests spanning the whole stack.
+
+These tests exercise the public API the way the examples and the benchmark
+harness do: generate a sky, build archives, derive a workload, schedule it
+with LifeRaft and the baselines, and check the paper's qualitative claims
+end to end (plus conservation invariants the unit tests cannot see).
+"""
+
+import pytest
+
+from repro.catalog.archive import ArchiveConfig, build_archive
+from repro.catalog.generator import SkyGenerator, SkyGeneratorConfig
+from repro.core.engine import EngineConfig, LifeRaftEngine
+from repro.core.metrics import CostModel
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
+from repro.federation.crossmatch import to_crossmatch_objects
+from repro.sim.simulator import SimulationConfig, Simulator
+from repro.workload.generator import TraceConfig, TraceGenerator
+from repro.workload.query import CrossMatchQuery
+from repro.workload.replay import replay_into_engine
+from repro.workload.stats import TraceStatistics
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return TraceGenerator(TraceConfig(query_count=150, bucket_count=256, seed=23)).generate()
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return Simulator(SimulationConfig(bucket_count=256))
+
+
+class TestSchedulingClaims:
+    def test_data_driven_scheduling_beats_noshare_on_throughput(self, trace, simulator):
+        queries = trace.with_saturation(1.0).queries
+        greedy = simulator.run(queries, "liferaft", alpha=0.0)
+        noshare = simulator.run(queries, "noshare")
+        assert greedy.throughput_qps > 1.5 * noshare.throughput_qps
+        assert greedy.avg_response_time_s < noshare.avg_response_time_s
+
+    def test_round_robin_tracks_pure_aging(self, trace, simulator):
+        queries = trace.with_saturation(1.0).queries
+        aged = simulator.run(queries, "liferaft", alpha=1.0)
+        round_robin = simulator.run(queries, "round_robin")
+        assert round_robin.throughput_qps == pytest.approx(aged.throughput_qps, rel=0.2)
+
+    def test_contention_scheduling_improves_cache_hit_rate(self, trace, simulator):
+        queries = trace.with_saturation(1.0).queries
+        greedy = simulator.run(queries, "liferaft", alpha=0.0)
+        aged = simulator.run(queries, "liferaft", alpha=1.0)
+        assert greedy.cache_hit_rate > aged.cache_hit_rate
+
+    def test_every_policy_conserves_queries(self, trace, simulator):
+        queries = trace.with_saturation(0.5).queries
+        for policy in ("liferaft", "noshare", "round_robin", "least_sharable_first"):
+            result = simulator.run(queries, policy, alpha=0.25)
+            assert result.completed_queries == len(queries)
+            assert result.response_stats.count == len(queries)
+            assert result.response_stats.minimum_s >= 0.0
+
+    def test_workload_statistics_match_engine_accounting(self, trace, simulator):
+        stats = TraceStatistics(trace.queries)
+        result = simulator.run(trace.with_saturation(2.0).queries, "liferaft", alpha=0.0)
+        # Every cross-match object submitted must have been processed by some
+        # bucket service exactly once (shared services process whole queues).
+        processed = result.strategy_counts["sequential_scan"] + result.strategy_counts[
+            "indexed_join"
+        ]
+        assert processed == result.bucket_services
+        assert result.bucket_services <= stats.total_objects
+
+
+class TestReplayIntoEngine:
+    def test_replay_helper_drains_everything(self, trace):
+        config = SimulationConfig(bucket_count=256)
+        simulator = Simulator(config)
+        engine = simulator._build_engine(LifeRaftScheduler(SchedulerConfig(alpha=0.25)))
+        report = replay_into_engine(engine, trace.with_saturation(5.0).queries[:40])
+        assert report.completed_queries == 40
+        assert not engine.has_pending_work()
+
+
+class TestFullFidelityPipeline:
+    def test_cross_survey_workload_through_real_archive(self):
+        generator = SkyGenerator(SkyGeneratorConfig(object_count=500, cluster_count=4, seed=41))
+        sdss = generator.generate("sdss")
+        twomass = generator.derive_companion(sdss, "twomass", completeness=0.9)
+        archive = build_archive(
+            "sdss",
+            sdss,
+            ArchiveConfig(objects_per_bucket=100, bucket_megabytes=4.0, target_bucket_read_s=0.2),
+        )
+        cost = CostModel.from_disk(archive.disk, bucket_megabytes=4.0, bucket_objects=100)
+        engine = LifeRaftEngine(
+            archive.layout,
+            archive.store,
+            scheduler=LifeRaftScheduler(SchedulerConfig(alpha=0.25, cost=cost)),
+            index=archive.index,
+            config=EngineConfig(cost=cost, cache_buckets=4),
+        )
+        # Three concurrent queries shipping different slices of 2MASS.
+        rows = list(twomass)
+        for query_id, chunk in enumerate((rows[0:80], rows[40:120], rows[100:180])):
+            objects = to_crossmatch_objects(chunk, match_radius_arcsec=3.0)
+            engine.submit(CrossMatchQuery(query_id=query_id, objects=tuple(objects)), now_ms=0.0)
+        engine.run_until_idle()
+        report = engine.report()
+        assert report.completed_queries == 3
+        assert report.total_matches > 0
+        # Overlapping slices hit the same buckets, so batching shares reads.
+        assert report.bucket_services < sum(
+            len(engine.preprocessor.assign(q)) for q in (
+                CrossMatchQuery(query_id=10, objects=tuple(to_crossmatch_objects(rows[0:80]))),
+                CrossMatchQuery(query_id=11, objects=tuple(to_crossmatch_objects(rows[40:120]))),
+                CrossMatchQuery(query_id=12, objects=tuple(to_crossmatch_objects(rows[100:180]))),
+            )
+        )

@@ -1,0 +1,98 @@
+"""Tests for the simulation kernel helpers: clock, events and statistics."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.stats import normalize_to, summarize_response_times, throughput_qps
+
+
+class TestVirtualClock:
+    def test_advance_and_convert(self):
+        clock = VirtualClock()
+        clock.advance(1_500.0)
+        assert clock.now_ms == 1_500.0
+        assert clock.now_s == 1.5
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = VirtualClock(start_ms=100.0)
+        clock.advance_to(50.0)
+        assert clock.now_ms == 100.0
+        clock.advance_to(200.0)
+        assert clock.now_ms == 200.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_ms=-1.0)
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_repr_mentions_time(self):
+        assert "now_ms" in repr(VirtualClock())
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.push(Event(30.0, EventKind.SERVICE_COMPLETE))
+        queue.push(Event(10.0, EventKind.QUERY_ARRIVAL, payload="q1"))
+        queue.push(Event(20.0, EventKind.TRANSFER_COMPLETE))
+        assert queue.pop().payload == "q1"
+        assert queue.pop().kind is EventKind.TRANSFER_COMPLETE
+        assert len(queue) == 1
+
+    def test_fifo_within_same_timestamp(self):
+        queue = EventQueue()
+        queue.push(Event(5.0, EventKind.CONTROL, payload="first"))
+        queue.push(Event(5.0, EventKind.CONTROL, payload="second"))
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+
+    def test_peek_and_next_time(self):
+        queue = EventQueue()
+        assert queue.peek() is None
+        assert queue.next_time_ms() is None
+        queue.push(Event(42.0, EventKind.CONTROL))
+        assert queue.peek().time_ms == 42.0
+        assert queue.next_time_ms() == 42.0
+        assert len(queue) == 1
+
+    def test_pop_until_drains_only_due_events(self):
+        queue = EventQueue()
+        for t in (1.0, 2.0, 3.0, 10.0):
+            queue.push(Event(t, EventKind.CONTROL))
+        due = list(queue.pop_until(3.0))
+        assert [e.time_ms for e in due] == [1.0, 2.0, 3.0]
+        assert len(queue) == 1
+
+    def test_pop_empty_raises_and_negative_time_rejected(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(ValueError):
+            Event(-1.0, EventKind.CONTROL)
+
+
+class TestResponseTimeStats:
+    def test_summary_of_known_values(self):
+        stats = summarize_response_times([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean_s == pytest.approx(2.5)
+        assert stats.median_s == pytest.approx(2.5)
+        assert stats.minimum_s == 1.0
+        assert stats.maximum_s == 4.0
+        assert stats.std_s == pytest.approx(1.118, rel=1e-3)
+        assert stats.coefficient_of_variance == pytest.approx(1.118 / 2.5, rel=1e-3)
+        assert stats.p95_s <= stats.maximum_s
+
+    def test_empty_and_single_value(self):
+        empty = summarize_response_times([])
+        assert empty.count == 0 and empty.mean_s == 0.0
+        assert empty.coefficient_of_variance == 0.0
+        single = summarize_response_times([5.0])
+        assert single.median_s == 5.0 and single.p95_s == 5.0 and single.std_s == 0.0
+
+    def test_throughput_and_normalisation_helpers(self):
+        assert throughput_qps(10, 20.0) == 0.5
+        assert throughput_qps(10, 0.0) == 0.0
+        assert normalize_to([1.0, 2.0], 2.0) == [0.5, 1.0]
+        assert normalize_to([1.0], 0.0) == [0.0]

@@ -1,0 +1,80 @@
+"""Tests for the bucket store (range queries against the partitioned table)."""
+
+import pytest
+
+from repro.htm.curve import HTMRange
+from repro.storage.bucket_store import BucketStore
+from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.partitioner import BucketPartitioner
+
+LEAF_LEVEL = 8
+CURVE_START = 8 << (2 * LEAF_LEVEL)
+
+
+def build_store(with_objects=True, objects_per_bucket=10, total=35):
+    ids = [CURVE_START + 3 * i for i in range(total)]
+    rows = [f"row-{i}" for i in range(total)]
+    partitioner = BucketPartitioner(
+        objects_per_bucket=objects_per_bucket, bucket_megabytes=40.0, leaf_level=LEAF_LEVEL
+    )
+    layout = partitioner.partition_objects(ids)
+    disk = calibrated_disk_for_bucket_read(40.0, 1.2)
+    objects = (ids, rows) if with_objects else None
+    return BucketStore(layout, disk, objects=objects), ids, rows
+
+
+class TestMaterialisedStore:
+    def test_read_returns_rows_of_that_bucket_only(self):
+        store, ids, rows = build_store()
+        result = store.read_bucket(0)
+        assert len(result.bucket.objects) == 10
+        assert result.bucket.objects == tuple(rows[:10])
+        assert result.bucket.htm_ids == tuple(ids[:10])
+        assert not result.bucket.is_virtual
+
+    def test_read_charges_full_bucket_cost(self):
+        store, _, _ = build_store()
+        result = store.read_bucket(0)
+        assert result.cost_ms == pytest.approx(1200.0, rel=1e-9)
+        assert store.reads == 1
+        assert store.statistics()["bucket_reads"] == 1
+
+    def test_read_cost_estimate_matches_actual(self):
+        store, _, _ = build_store()
+        estimate = store.read_cost_ms(1)
+        actual = store.read_bucket(1).cost_ms
+        assert estimate == pytest.approx(actual)
+
+    def test_charge_io_can_be_disabled(self):
+        store, _, _ = build_store()
+        result = store.read_bucket(0, charge_io=False)
+        assert result.cost_ms == 0.0
+
+    def test_bucket_image_has_no_io_side_effects(self):
+        store, _, rows = build_store()
+        image = store.bucket_image(2)
+        assert image.objects == tuple(rows[20:30])
+        assert store.reads == 0
+
+    def test_misaligned_objects_rejected(self):
+        store, ids, rows = build_store()
+        with pytest.raises(ValueError):
+            BucketStore(store.layout, store.disk, objects=(ids, rows[:-1]))
+        with pytest.raises(ValueError):
+            BucketStore(store.layout, store.disk, objects=(list(reversed(ids)), rows))
+
+
+class TestVirtualStore:
+    def test_virtual_buckets_carry_counts_only(self):
+        store, _, _ = build_store(with_objects=False)
+        assert store.is_virtual
+        result = store.read_bucket(0)
+        assert result.bucket.is_virtual
+        assert result.bucket.object_count == 10
+        assert result.bucket.objects == ()
+
+    def test_partial_final_bucket_costs_less(self):
+        store, _, _ = build_store(with_objects=False)
+        full = store.read_bucket(0).cost_ms
+        partial = store.read_bucket(3).cost_ms  # 5 of 10 objects
+        assert partial < full

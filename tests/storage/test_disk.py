@@ -1,0 +1,96 @@
+"""Tests for the analytical disk model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.disk import (
+    DiskModel,
+    DiskParameters,
+    IOKind,
+    IORecord,
+    IOTrace,
+    calibrated_disk_for_bucket_read,
+)
+
+
+class TestDiskParameters:
+    def test_defaults_are_physical(self):
+        params = DiskParameters()
+        assert params.positioning_ms > 0
+        assert params.transfer_ms(1.0) > 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParameters(sequential_bandwidth_mb_per_s=0)
+        with pytest.raises(ValueError):
+            DiskParameters(average_seek_ms=-1)
+        with pytest.raises(ValueError):
+            DiskParameters(page_size_kb=0)
+
+    @given(st.floats(min_value=0.0, max_value=1000.0))
+    def test_transfer_time_scales_linearly(self, megabytes):
+        params = DiskParameters()
+        assert params.transfer_ms(megabytes) == pytest.approx(
+            megabytes * params.transfer_ms(1.0), rel=1e-9, abs=1e-9
+        )
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParameters().transfer_ms(-1.0)
+
+
+class TestDiskModel:
+    def test_bucket_read_includes_positioning_and_transfer(self):
+        disk = DiskModel(DiskParameters(sequential_bandwidth_mb_per_s=40.0))
+        cost = disk.bucket_read_ms(40.0)
+        assert cost == pytest.approx(disk.parameters.positioning_ms + 1000.0)
+
+    def test_sequential_read_beats_random_pages_for_large_transfers(self):
+        disk = DiskModel()
+        sequential = disk.bucket_read_ms(40.0)
+        pages = int(40.0 * 1024 / disk.parameters.page_size_kb)
+        random_cost = disk.random_page_read_ms(pages)
+        assert sequential < random_cost
+
+    def test_probe_requires_positive_pages(self):
+        disk = DiskModel()
+        with pytest.raises(ValueError):
+            disk.index_probe_ms(0)
+        with pytest.raises(ValueError):
+            disk.random_page_read_ms(-1)
+
+    def test_trace_records_when_enabled(self):
+        trace = IOTrace(enabled=True)
+        disk = DiskModel(trace=trace)
+        disk.bucket_read_ms(40.0, label="bucket:1")
+        disk.index_probe_ms(3, label="probe")
+        assert trace.count(IOKind.SEQUENTIAL_BUCKET_READ) == 1
+        assert trace.count(IOKind.RANDOM_INDEX_PROBE) == 1
+        assert trace.total_ms() > 0
+        assert trace.total_megabytes(IOKind.SEQUENTIAL_BUCKET_READ) == pytest.approx(40.0)
+
+    def test_trace_disabled_by_default(self):
+        disk = DiskModel()
+        disk.bucket_read_ms(40.0)
+        assert disk.trace.records == []
+
+    def test_trace_cap_and_clear(self):
+        trace = IOTrace(enabled=True, max_records=2)
+        for _ in range(5):
+            trace.record(IORecord(IOKind.RANDOM_PAGE_READ, 0.01, 1.0))
+        assert len(trace.records) == 2
+        trace.clear()
+        assert trace.records == []
+
+
+class TestCalibration:
+    def test_calibrated_disk_reproduces_paper_tb(self):
+        disk = calibrated_disk_for_bucket_read(40.0, 1.2)
+        assert disk.bucket_read_ms(40.0) == pytest.approx(1200.0, rel=1e-9)
+
+    def test_calibration_rejects_impossible_targets(self):
+        with pytest.raises(ValueError):
+            calibrated_disk_for_bucket_read(40.0, 0.0)
+        with pytest.raises(ValueError):
+            calibrated_disk_for_bucket_read(40.0, 0.001)

@@ -1,0 +1,144 @@
+"""Tests for equal-sized bucket partitioning along the HTM curve."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htm import ids as htm_ids
+from repro.htm.curve import HTMRange
+from repro.storage.partitioner import (
+    BucketPartitioner,
+    BucketSpec,
+    PartitionLayout,
+    layout_from_ranges,
+)
+
+LEAF_LEVEL = 8
+CURVE_START = 8 << (2 * LEAF_LEVEL)
+CURVE_END = (16 << (2 * LEAF_LEVEL)) - 1
+
+
+def sorted_ids(draw_count=st.integers(min_value=1, max_value=400)):
+    return draw_count.flatmap(
+        lambda n: st.lists(
+            st.integers(min_value=CURVE_START, max_value=CURVE_END), min_size=n, max_size=n
+        ).map(sorted)
+    )
+
+
+class TestPartitionObjects:
+    def test_bucket_counts_and_sizes(self):
+        ids = sorted(range(CURVE_START, CURVE_START + 95))
+        partitioner = BucketPartitioner(objects_per_bucket=10, bucket_megabytes=40.0, leaf_level=LEAF_LEVEL)
+        layout = partitioner.partition_objects(ids)
+        assert len(layout) == 10
+        assert [b.object_count for b in layout][:-1] == [10] * 9
+        assert layout[9].object_count == 5
+        assert layout[0].megabytes == pytest.approx(40.0)
+        assert layout[9].megabytes == pytest.approx(20.0)
+        assert layout.total_objects() == 95
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ValueError):
+            BucketPartitioner().partition_objects([])
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(ValueError):
+            BucketPartitioner(leaf_level=LEAF_LEVEL).partition_objects([CURVE_START + 5, CURVE_START + 1])
+
+    @given(sorted_ids(), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_layout_covers_curve_without_gaps(self, ids, per_bucket):
+        partitioner = BucketPartitioner(
+            objects_per_bucket=per_bucket, bucket_megabytes=40.0, leaf_level=LEAF_LEVEL
+        )
+        layout = partitioner.partition_objects(ids)
+        assert layout[0].htm_range.low == CURVE_START
+        assert layout[-1].htm_range.high == CURVE_END
+        for a, b in zip(layout, list(layout)[1:]):
+            assert b.htm_range.low == a.htm_range.high + 1
+        assert layout.total_objects() == len(ids)
+
+    @given(sorted_ids(), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_every_object_maps_to_a_bucket_holding_it(self, ids, per_bucket):
+        partitioner = BucketPartitioner(
+            objects_per_bucket=per_bucket, bucket_megabytes=40.0, leaf_level=LEAF_LEVEL
+        )
+        layout = partitioner.partition_objects(ids)
+        # Reconstruct per-bucket counts by locating each object's bucket.
+        counts = {b.index: 0 for b in layout}
+        for htm_id in ids:
+            counts[layout.bucket_for_htm_id(htm_id).index] += 1
+        assert counts == {b.index: b.object_count for b in layout}
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            BucketPartitioner(objects_per_bucket=0)
+        with pytest.raises(ValueError):
+            BucketPartitioner(bucket_megabytes=0.0)
+
+
+class TestPartitionDensity:
+    def test_equal_width_by_default(self):
+        partitioner = BucketPartitioner(objects_per_bucket=100, leaf_level=LEAF_LEVEL)
+        layout = partitioner.partition_density(bucket_count=16)
+        widths = [len(b.htm_range) for b in layout]
+        assert max(widths) - min(widths) <= 1
+        assert layout.total_objects() == 16 * 100
+
+    def test_denser_regions_get_narrower_buckets(self):
+        partitioner = BucketPartitioner(objects_per_bucket=100, leaf_level=LEAF_LEVEL)
+        densities = [4.0] * 4 + [1.0] * 4
+        layout = partitioner.partition_density(bucket_count=8, densities=densities)
+        dense_width = len(layout[0].htm_range)
+        sparse_width = len(layout[7].htm_range)
+        assert dense_width < sparse_width
+        assert layout[-1].htm_range.high == CURVE_END
+
+    def test_density_validation(self):
+        partitioner = BucketPartitioner()
+        with pytest.raises(ValueError):
+            partitioner.partition_density(0)
+        with pytest.raises(ValueError):
+            partitioner.partition_density(4, densities=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            partitioner.partition_density(2, densities=[1.0, -1.0])
+
+
+class TestPartitionLayout:
+    def _layout(self):
+        return layout_from_ranges(
+            [(CURVE_START, CURVE_START + 99), (CURVE_START + 100, CURVE_END)],
+            [50, 70],
+            leaf_level=LEAF_LEVEL,
+        )
+
+    def test_lookup_by_htm_id(self):
+        layout = self._layout()
+        assert layout.bucket_for_htm_id(CURVE_START + 3).index == 0
+        assert layout.bucket_for_htm_id(CURVE_START + 100).index == 1
+        with pytest.raises(KeyError):
+            layout.bucket_for_htm_id(CURVE_START - 1)
+
+    def test_buckets_for_range(self):
+        layout = self._layout()
+        spanning = layout.buckets_for_range(HTMRange(CURVE_START + 90, CURVE_START + 110))
+        assert [b.index for b in spanning] == [0, 1]
+        single = layout.buckets_for_range(HTMRange(CURVE_START + 200, CURVE_START + 300))
+        assert [b.index for b in single] == [1]
+
+    def test_describe_and_sizes(self):
+        layout = self._layout()
+        summary = layout.describe()
+        assert summary["bucket_count"] == 2
+        assert summary["total_objects"] == 120
+        assert layout.total_megabytes() > 0
+
+    def test_layout_validation(self):
+        good = BucketSpec(0, HTMRange(CURVE_START, CURVE_END), 10, 1.0)
+        with pytest.raises(ValueError):
+            PartitionLayout([], leaf_level=LEAF_LEVEL)
+        bad_index = BucketSpec(2, HTMRange(CURVE_START, CURVE_END), 10, 1.0)
+        with pytest.raises(ValueError):
+            PartitionLayout([good, bad_index], leaf_level=LEAF_LEVEL)

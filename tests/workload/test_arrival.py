@@ -1,0 +1,77 @@
+"""Tests for arrival processes."""
+
+import pytest
+
+from repro.workload.arrival import (
+    BurstyArrivalProcess,
+    PoissonArrivalProcess,
+    UniformArrivalProcess,
+    apply_arrival_times,
+    observed_rate_qps,
+)
+from repro.workload.query import CrossMatchQuery
+
+
+def make_queries(count):
+    return [CrossMatchQuery(query_id=i, bucket_footprint={0: 1}) for i in range(count)]
+
+
+class TestPoisson:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PoissonArrivalProcess(0.0)
+
+    def test_times_are_monotone_and_rate_is_respected(self):
+        process = PoissonArrivalProcess(rate_qps=2.0, seed=1)
+        times = process.arrival_times(2_000)
+        assert times == sorted(times)
+        empirical = (len(times) - 1) / (times[-1] - times[0])
+        assert empirical == pytest.approx(2.0, rel=0.15)
+
+    def test_deterministic_given_seed(self):
+        assert PoissonArrivalProcess(1.0, seed=7).arrival_times(10) == PoissonArrivalProcess(
+            1.0, seed=7
+        ).arrival_times(10)
+
+
+class TestUniform:
+    def test_regular_spacing(self):
+        times = UniformArrivalProcess(rate_qps=0.5).arrival_times(4)
+        assert times == pytest.approx([2.0, 4.0, 6.0, 8.0])
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            UniformArrivalProcess(0.0)
+
+
+class TestBursty:
+    def test_bursts_are_separated_by_gaps(self):
+        process = BurstyArrivalProcess(burst_rate_qps=10.0, burst_length=5, gap_seconds=100.0, seed=3)
+        times = process.arrival_times(15)
+        assert times == sorted(times)
+        # The gap between burst 1 and burst 2 dwarfs intra-burst spacing.
+        assert times[5] - times[4] > 50.0
+        assert times[4] - times[0] < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivalProcess(0.0, 5, 1.0)
+        with pytest.raises(ValueError):
+            BurstyArrivalProcess(1.0, 0, 1.0)
+        with pytest.raises(ValueError):
+            BurstyArrivalProcess(1.0, 5, -1.0)
+
+
+class TestApplication:
+    def test_apply_arrival_times_preserves_order_and_queries(self):
+        queries = make_queries(5)
+        stamped = apply_arrival_times(queries, UniformArrivalProcess(1.0))
+        assert [q.query_id for q in stamped] == [0, 1, 2, 3, 4]
+        assert [q.arrival_time_s for q in stamped] == pytest.approx([1, 2, 3, 4, 5])
+        # Originals are untouched.
+        assert all(q.arrival_time_s == 0.0 for q in queries)
+
+    def test_observed_rate(self):
+        stamped = apply_arrival_times(make_queries(11), UniformArrivalProcess(2.0))
+        assert observed_rate_qps(stamped) == pytest.approx(2.0)
+        assert observed_rate_qps(make_queries(1)) == 0.0
