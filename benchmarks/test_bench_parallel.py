@@ -1,0 +1,36 @@
+"""Benchmark of the worker-scaling experiment (parallel shard execution)."""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import scaling
+
+
+def test_bench_parallel_scaling(benchmark, trace, simulator):
+    result = benchmark.pedantic(
+        scaling.run,
+        kwargs={"trace": trace, "simulator": simulator, "workers": (1, 2, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    record_headline(benchmark, result)
+    # Sharded execution with work stealing should scale: two workers must
+    # beat one by a clear margin, and four must beat two.
+    assert result.headline["speedup_2x"] > 1.4
+    assert result.headline["speedup_4x"] > result.headline["speedup_2x"]
+
+
+def test_bench_parallel_zone_sharding(benchmark, trace, simulator):
+    result = benchmark.pedantic(
+        scaling.run,
+        kwargs={
+            "trace": trace,
+            "simulator": simulator,
+            "workers": (1, 4),
+            "shard_strategy": "zone",
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_headline(benchmark, result)
+    # Zone sharding preserves cache locality; with stealing it must still
+    # deliver a real speedup at four workers.
+    assert result.headline["speedup_4x"] > 1.5

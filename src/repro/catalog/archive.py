@@ -10,7 +10,7 @@ examples) operate on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.catalog.generator import SkyGenerator, SkyGeneratorConfig

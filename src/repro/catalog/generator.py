@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.objects import CatalogTable, CelestialObject
 from repro.htm import ids as htm_ids
-from repro.htm.geometry import SkyPoint, radec_from_vector, unit_vector
+from repro.htm.geometry import SkyPoint
 from repro.htm.mesh import HTMMesh
 
 #: Rough relative source densities of the three surveys that dominate the

@@ -10,7 +10,7 @@ the filter step of the cross-match.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.htm.ids import SKYQUERY_LEVEL

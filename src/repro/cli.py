@@ -10,6 +10,10 @@ Run only the headline scheduling comparison and the cache study::
 
     liferaft experiments figure7 cache_hits --scale small
 
+Run the worker-scaling experiment, sweeping 1..8 parallel workers::
+
+    liferaft experiments scaling --scale small --workers 8
+
 Print the workload characterisation of a freshly generated trace::
 
     liferaft trace --scale small
@@ -24,6 +28,14 @@ from typing import List, Optional
 from repro.experiments import EXPERIMENTS, run_all
 from repro.experiments.common import SCALES, build_trace
 from repro.workload.stats import TraceStatistics
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be strictly positive integers."""
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +61,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SCALES),
         help="experiment scale (trace and partition size)",
     )
+    experiments.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "max parallel workers for the scaling experiment: sweeps powers "
+            "of two up to N (experiments without a parallel mode ignore it)"
+        ),
+    )
+    experiments.add_argument(
+        "--shard-strategy",
+        default=None,
+        choices=("round_robin", "zone"),
+        help="bucket-to-worker assignment used by the scaling experiment",
+    )
 
     trace = subparsers.add_parser("trace", help="generate a trace and print its statistics")
     trace.add_argument("--scale", default="small", choices=sorted(SCALES))
@@ -58,8 +86,31 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiments(names: List[str], scale: str) -> int:
-    results = run_all(scale=scale, names=names or None)
+def worker_sweep(max_workers: int) -> List[int]:
+    """Powers of two up to *max_workers*, always ending at *max_workers*."""
+    if max_workers <= 0:
+        raise ValueError("--workers must be positive")
+    sweep: List[int] = []
+    count = 1
+    while count < max_workers:
+        sweep.append(count)
+        count *= 2
+    sweep.append(max_workers)
+    return sweep
+
+
+def _run_experiments(
+    names: List[str],
+    scale: str,
+    workers: Optional[int] = None,
+    shard_strategy: Optional[str] = None,
+) -> int:
+    results = run_all(
+        scale=scale,
+        names=names or None,
+        workers=worker_sweep(workers) if workers is not None else None,
+        shard_strategy=shard_strategy,
+    )
     for result in results:
         print(result.render())
         print()
@@ -84,7 +135,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
     if args.command == "experiments":
-        return _run_experiments(list(args.names), args.scale)
+        return _run_experiments(
+            list(args.names), args.scale, workers=args.workers, shard_strategy=args.shard_strategy
+        )
     if args.command == "trace":
         return _run_trace(args.scale, args.seed)
     parser.error(f"unknown command {args.command!r}")

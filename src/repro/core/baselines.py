@@ -22,14 +22,58 @@ from typing import Optional
 
 from repro.core.bucket_cache import BucketCacheManager
 from repro.core.join_evaluator import JoinStrategy
-from repro.core.scheduler import WorkItem
+from repro.core.metrics import CostModel
+from repro.core.scheduler import (
+    LifeRaftScheduler,
+    SchedulerConfig,
+    SchedulingPolicy,
+    WorkItem,
+)
 from repro.core.workload_manager import WorkloadManager
+
+#: Policy names accepted by :func:`make_policy`, the simulator and the CLI.
+POLICY_NAMES = (
+    "liferaft",
+    "noshare",
+    "round_robin",
+    "index_only",
+    "least_sharable_first",
+)
+
+
+def make_policy(
+    name: str, alpha: float = 0.25, cost: Optional[CostModel] = None, normalize_metric: bool = True
+) -> SchedulingPolicy:
+    """Construct a scheduling policy by name.
+
+    ``liferaft`` takes the age bias *alpha*; the baselines ignore it.  Every
+    returned policy also supports ``clone()``, which is how the parallel
+    worker pool builds one independent instance per shard.
+    """
+    cost = cost or CostModel.paper_defaults()
+    if name == "liferaft":
+        return LifeRaftScheduler(
+            SchedulerConfig(alpha=alpha, cost=cost, normalize_metric=normalize_metric)
+        )
+    if name == "noshare":
+        return NoShareScheduler()
+    if name == "round_robin":
+        return RoundRobinScheduler()
+    if name == "index_only":
+        return IndexOnlyScheduler()
+    if name == "least_sharable_first":
+        return LeastSharableFirstScheduler()
+    raise ValueError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")
 
 
 class NoShareScheduler:
     """Arrival-order, per-query execution with no I/O sharing."""
 
     name = "noshare"
+
+    def clone(self) -> "NoShareScheduler":
+        """A fresh, stateless copy (per-shard construction)."""
+        return NoShareScheduler()
 
     def next_work(
         self, manager: WorkloadManager, cache: BucketCacheManager, now_ms: float
@@ -57,6 +101,10 @@ class IndexOnlyScheduler:
 
     name = "index_only"
 
+    def clone(self) -> "IndexOnlyScheduler":
+        """A fresh, stateless copy (per-shard construction)."""
+        return IndexOnlyScheduler()
+
     def next_work(
         self, manager: WorkloadManager, cache: BucketCacheManager, now_ms: float
     ) -> Optional[WorkItem]:
@@ -82,6 +130,10 @@ class RoundRobinScheduler:
 
     def __init__(self) -> None:
         self._cursor = -1
+
+    def clone(self) -> "RoundRobinScheduler":
+        """A fresh copy with its own rotation cursor (per-shard construction)."""
+        return RoundRobinScheduler()
 
     def next_work(
         self, manager: WorkloadManager, cache: BucketCacheManager, now_ms: float
@@ -112,6 +164,10 @@ class LeastSharableFirstScheduler:
     """
 
     name = "least_sharable_first"
+
+    def clone(self) -> "LeastSharableFirstScheduler":
+        """A fresh, stateless copy (per-shard construction)."""
+        return LeastSharableFirstScheduler()
 
     def next_work(
         self, manager: WorkloadManager, cache: BucketCacheManager, now_ms: float

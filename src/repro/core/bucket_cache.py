@@ -14,7 +14,7 @@ integration and the φ(i) probe the workload-throughput metric needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.storage.bucket_store import Bucket, BucketStore
 from repro.storage.cache import LRUCache

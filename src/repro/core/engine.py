@@ -14,6 +14,12 @@ surface:
   internal virtual clock until all submitted work is done;
 * :meth:`LifeRaftEngine.report` — throughput, response times, cache and
   join statistics.
+
+The schedule-evaluate-drain core of a single bucket service lives in
+:class:`ServiceLoop` so that the serial engine and the per-worker shards of
+:class:`repro.parallel.ParallelEngine` execute the *same* code path: one
+scheduling decision, one hybrid-join evaluation, one queue drain, with
+identical accounting.
 """
 
 from __future__ import annotations
@@ -101,6 +107,119 @@ class EngineReport:
         return sum(self.response_times_ms.values()) / len(self.response_times_ms) / 1000.0
 
 
+class ServiceLoop:
+    """The schedule → evaluate → drain pipeline over one workload manager.
+
+    A :class:`ServiceLoop` owns the mutable service-side state of one
+    execution lane — the workload manager, the scheduling policy, the
+    bucket cache and the hybrid join evaluator — together with the
+    accounting every report aggregates (busy time, per-strategy counts,
+    I/O and match cost totals).  It is deliberately clock-free: callers
+    pass ``now_ms`` and own time, so the same loop serves the serial
+    :class:`LifeRaftEngine`, the discrete-event simulator, and each shard
+    worker of :class:`repro.parallel.ParallelEngine`.
+    """
+
+    def __init__(
+        self,
+        layout: PartitionLayout,
+        scheduler: SchedulingPolicy,
+        manager: WorkloadManager,
+        cache: BucketCacheManager,
+        evaluator: HybridJoinEvaluator,
+    ) -> None:
+        self.layout = layout
+        self.scheduler = scheduler
+        self.manager = manager
+        self.cache = cache
+        self.evaluator = evaluator
+        self.batches: List[BatchResult] = []
+        self.busy_ms = 0.0
+        self.last_completion_ms = 0.0
+        self.strategy_counts: Dict[str, int] = {s.value: 0 for s in JoinStrategy}
+        self.total_io_ms = 0.0
+        self.total_match_ms = 0.0
+        self.total_matches = 0
+
+    def has_pending_work(self) -> bool:
+        """``True`` while any workload queue of this lane is non-empty."""
+        return self.manager.has_pending_work()
+
+    def service_next(self, now_ms: float) -> Optional[BatchResult]:
+        """Run one bucket service: pick, evaluate, drain, account.
+
+        Returns ``None`` when the scheduler has nothing to do.  The batch
+        starts at *now_ms*; the caller advances its clock to
+        ``result.finished_at_ms``.
+        """
+        work = self.scheduler.next_work(self.manager, self.cache, now_ms)
+        if work is None:
+            return None
+        queue = self.manager.queue(work.bucket_index)
+        if work.query_ids is None:
+            entries = list(queue.entries)
+        else:
+            wanted = set(work.query_ids)
+            entries = [e for e in queue.entries if e.query_id in wanted]
+        join = self.evaluator.evaluate(
+            self.layout[work.bucket_index],
+            entries,
+            force_strategy=work.force_strategy,
+            share_io=work.share_io,
+        )
+        finish_ms = now_ms + join.cost_ms
+        drained, completed = self.manager.drain_bucket(
+            work.bucket_index, finish_ms, query_ids=work.query_ids
+        )
+        served = tuple(sorted({entry.query_id for entry in drained}))
+        result = BatchResult(
+            work_item=work,
+            join=join,
+            queries_served=served,
+            queries_completed=tuple(completed),
+            started_at_ms=now_ms,
+            finished_at_ms=finish_ms,
+        )
+        self._record(result)
+        return result
+
+    def _record(self, result: BatchResult) -> None:
+        self.batches.append(result)
+        self.busy_ms += result.cost_ms
+        self.strategy_counts[result.join.strategy.value] += 1
+        self.total_io_ms += result.join.io_cost_ms
+        self.total_match_ms += result.join.match_cost_ms
+        self.total_matches += result.join.match_count
+        if result.queries_completed:
+            self.last_completion_ms = max(self.last_completion_ms, result.finished_at_ms)
+
+
+def build_service_loop(
+    layout: PartitionLayout,
+    store: BucketStore,
+    scheduler: SchedulingPolicy,
+    config: EngineConfig,
+    index: Optional[SpatialIndex] = None,
+) -> ServiceLoop:
+    """Assemble a :class:`ServiceLoop` with its own cache and evaluator.
+
+    This is the construction recipe shared by the serial engine and by
+    every shard worker of the parallel engine: one private LRU bucket
+    cache over *store* and one hybrid evaluator bound to it.
+    """
+    manager = WorkloadManager()
+    cache = BucketCacheManager(store, config.cache_buckets)
+    evaluator = HybridJoinEvaluator(
+        cost=config.cost,
+        cache=cache,
+        index=index,
+        threshold_fraction=config.hybrid_threshold_fraction,
+        enable_hybrid=config.enable_hybrid,
+        match_probability=config.match_probability,
+    )
+    return ServiceLoop(layout, scheduler, manager, cache, evaluator)
+
+
 class LifeRaftEngine:
     """Single-site query processing with data-driven batch scheduling."""
 
@@ -119,26 +238,15 @@ class LifeRaftEngine:
             SchedulerConfig(cost=self.config.cost)
         )
         self.preprocessor = QueryPreProcessor(layout)
-        self.manager = WorkloadManager()
-        self.cache = BucketCacheManager(store, self.config.cache_buckets)
-        self.evaluator = HybridJoinEvaluator(
-            cost=self.config.cost,
-            cache=self.cache,
-            index=index,
-            threshold_fraction=self.config.hybrid_threshold_fraction,
-            enable_hybrid=self.config.enable_hybrid,
-            match_probability=self.config.match_probability,
+        self.loop = build_service_loop(
+            layout, store, self.scheduler, self.config, index=index
         )
+        self.manager = self.loop.manager
+        self.cache = self.loop.cache
+        self.evaluator = self.loop.evaluator
         self._queries: Dict[int, CrossMatchQuery] = {}
         self._now_ms = 0.0
-        self._busy_ms = 0.0
         self._first_arrival_ms: Optional[float] = None
-        self._last_completion_ms: float = 0.0
-        self._batches: List[BatchResult] = []
-        self._strategy_counts: Dict[str, int] = {s.value: 0 for s in JoinStrategy}
-        self._total_io_ms = 0.0
-        self._total_match_ms = 0.0
-        self._total_matches = 0
 
     # ------------------------------------------------------------------ #
     # intake
@@ -179,35 +287,10 @@ class LifeRaftEngine:
         when the engine is used standalone.
         """
         start_ms = now_ms if now_ms is not None else self._now_ms
-        work = self.scheduler.next_work(self.manager, self.cache, start_ms)
-        if work is None:
+        result = self.loop.service_next(start_ms)
+        if result is None:
             return None
-        queue = self.manager.queue(work.bucket_index)
-        if work.query_ids is None:
-            entries = list(queue.entries)
-        else:
-            wanted = set(work.query_ids)
-            entries = [e for e in queue.entries if e.query_id in wanted]
-        join = self.evaluator.evaluate(
-            self.layout[work.bucket_index],
-            entries,
-            force_strategy=work.force_strategy,
-            share_io=work.share_io,
-        )
-        finish_ms = start_ms + join.cost_ms
-        drained, completed = self.manager.drain_bucket(
-            work.bucket_index, finish_ms, query_ids=work.query_ids
-        )
-        served = tuple(sorted({entry.query_id for entry in drained}))
-        result = BatchResult(
-            work_item=work,
-            join=join,
-            queries_served=served,
-            queries_completed=tuple(completed),
-            started_at_ms=start_ms,
-            finished_at_ms=finish_ms,
-        )
-        self._record(result)
+        self._now_ms = max(self._now_ms, result.finished_at_ms)
         return result
 
     def run_until_idle(self, max_batches: Optional[int] = None) -> int:
@@ -227,17 +310,6 @@ class LifeRaftEngine:
                 break
         return processed
 
-    def _record(self, result: BatchResult) -> None:
-        self._batches.append(result)
-        self._busy_ms += result.cost_ms
-        self._now_ms = max(self._now_ms, result.finished_at_ms)
-        self._strategy_counts[result.join.strategy.value] += 1
-        self._total_io_ms += result.join.io_cost_ms
-        self._total_match_ms += result.join.match_cost_ms
-        self._total_matches += result.join.match_count
-        if result.queries_completed:
-            self._last_completion_ms = max(self._last_completion_ms, result.finished_at_ms)
-
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
@@ -245,7 +317,7 @@ class LifeRaftEngine:
     @property
     def batches(self) -> Sequence[BatchResult]:
         """Every batch processed so far, in execution order."""
-        return self._batches
+        return self.loop.batches
 
     def report(self) -> EngineReport:
         """Summarise what the engine has done so far."""
@@ -255,20 +327,20 @@ class LifeRaftEngine:
             if rt is not None:
                 response_times[query_id] = rt
         first_arrival = self._first_arrival_ms or 0.0
-        makespan = max(0.0, self._last_completion_ms - first_arrival)
+        makespan = max(0.0, self.loop.last_completion_ms - first_arrival)
         return EngineReport(
             scheduler_name=self.scheduler.name,
             submitted_queries=self.manager.submitted_count(),
             completed_queries=self.manager.completed_count(),
-            busy_time_ms=self._busy_ms,
+            busy_time_ms=self.loop.busy_ms,
             makespan_ms=makespan,
             response_times_ms=response_times,
-            bucket_services=len(self._batches),
+            bucket_services=len(self.loop.batches),
             cache_hit_rate=self.cache.hit_rate,
             cache_statistics=self.cache.statistics(),
             join_statistics=self.evaluator.statistics(),
-            strategy_counts=dict(self._strategy_counts),
-            total_io_ms=self._total_io_ms,
-            total_match_ms=self._total_match_ms,
-            total_matches=self._total_matches,
+            strategy_counts=dict(self.loop.strategy_counts),
+            total_io_ms=self.loop.total_io_ms,
+            total_match_ms=self.loop.total_match_ms,
+            total_matches=self.loop.total_matches,
         )

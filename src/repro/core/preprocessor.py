@@ -15,7 +15,7 @@ experiment traces) pass through unchanged after validation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 from repro.storage.partitioner import PartitionLayout
 from repro.workload.query import CrossMatchObject, CrossMatchQuery

@@ -103,6 +103,15 @@ class LifeRaftScheduler:
         """Human-readable policy name used in reports."""
         return f"liferaft(alpha={self.config.alpha:g})"
 
+    def clone(self) -> "LifeRaftScheduler":
+        """A fresh scheduler with the same configuration and no history.
+
+        Parallel shards each need their own scheduler instance (decision
+        counters and the adaptive controller's alpha are per-lane state);
+        cloning a prototype is how the worker pool builds them.
+        """
+        return LifeRaftScheduler(self.config)
+
     @property
     def alpha(self) -> float:
         """Current age bias."""

@@ -20,7 +20,8 @@ scheduling decision — the hot loop of the whole system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import bisect
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.workload.query import CrossMatchObject
@@ -317,6 +318,83 @@ class WorkloadManager:
             # stays proportional to the live working set.
             del self._queues[bucket_index]
         return drained, completed
+
+    # ------------------------------------------------------------------ #
+    # bucket migration (work stealing between parallel shards)
+    # ------------------------------------------------------------------ #
+
+    def oldest_bucket_enqueue_ms(self, bucket_index: int) -> float:
+        """Enqueue time of the oldest entry in a bucket's queue (inf if empty)."""
+        queue = self._queues.get(bucket_index)
+        if queue is None or not queue.entries:
+            return float("inf")
+        return queue.oldest_enqueue_time_ms
+
+    def release_bucket(self, bucket_index: int) -> List[WorkloadEntry]:
+        """Hand a whole workload queue to another manager (steal source).
+
+        The entries are removed *without* completion bookkeeping: affected
+        queries simply forget this bucket, because responsibility for it —
+        including completion accounting — moves to the adopting manager.
+        Cross-shard query completion is tracked by the parallel engine, not
+        by either manager.
+        """
+        queue = self._queues.get(bucket_index)
+        if queue is None or not queue.entries:
+            return []
+        entries = queue.drain_all()
+        del self._queues[bucket_index]
+        for query_id in {entry.query_id for entry in entries}:
+            state = self._queries.get(query_id)
+            if state is not None:
+                state.remaining_buckets.discard(bucket_index)
+        return entries
+
+    def adopt_bucket(self, bucket_index: int, entries: Sequence[WorkloadEntry]) -> None:
+        """Take ownership of a stolen workload queue (steal destination).
+
+        Entries keep their original enqueue times so ages — and therefore
+        the aged-workload-throughput metric — are unaffected by migration.
+        Queries unknown to this manager get a lightweight state so drains
+        and per-query scheduling keep working on the new shard.
+        """
+        if not entries:
+            return
+        queue = self._queues.get(bucket_index)
+        if queue is None:
+            queue = WorkloadQueue(bucket_index)
+            self._queues[bucket_index] = queue
+        for entry in entries:
+            queue.append(entry)
+            state = self._queries.get(entry.query_id)
+            if state is None:
+                self._queries[entry.query_id] = _QueryState(
+                    query_id=entry.query_id,
+                    arrival_time_ms=entry.enqueue_time_ms,
+                    total_buckets=1,
+                    total_objects=entry.object_count,
+                    remaining_buckets={bucket_index},
+                )
+                # Keep _arrival_order sorted by arrival time so arrival-order
+                # policies (NoShare, IndexOnly) serve adopted queries in their
+                # true order, not in adoption order.
+                position = bisect.bisect_right(
+                    self._arrival_order,
+                    (entry.enqueue_time_ms, entry.query_id),
+                    key=lambda qid: (
+                        self._queries[qid].arrival_time_ms,
+                        qid,
+                    ),
+                )
+                self._arrival_order.insert(position, entry.query_id)
+            else:
+                state.remaining_buckets.add(bucket_index)
+                state.total_buckets += 1
+                state.total_objects += entry.object_count
+        # Adoption can re-open a query the oldest_pending_query() cursor has
+        # already skipped (its local share drained before the steal) and can
+        # insert behind the cursor; rewind so no pending query is ever missed.
+        self._arrival_cursor = 0
 
     # ------------------------------------------------------------------ #
     # reporting

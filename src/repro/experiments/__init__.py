@@ -7,6 +7,7 @@ headline numbers.  ``run_all`` executes the full suite (the CLI and the
 benchmark harness call the same functions).
 """
 
+import inspect
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.common import ExperimentResult, SCALES
@@ -20,6 +21,7 @@ from repro.experiments import (
     index_only,
     cache_hits,
     ablations,
+    scaling,
 )
 
 #: Registry mapping experiment name to its ``run`` callable.
@@ -33,16 +35,35 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "index_only": index_only.run,
     "cache_hits": cache_hits.run,
     "ablations": ablations.run,
+    "scaling": scaling.run,
 }
 
 
-def run_all(scale: str = "small", names: Optional[List[str]] = None) -> List[ExperimentResult]:
-    """Run every registered experiment (or the named subset) at *scale*."""
+def run_all(
+    scale: str = "small", names: Optional[List[str]] = None, **kwargs
+) -> List[ExperimentResult]:
+    """Run every registered experiment (or the named subset) at *scale*.
+
+    Extra keyword arguments (e.g. ``workers`` from the CLI's ``--workers``
+    flag) are forwarded to each experiment that accepts them and silently
+    dropped for those that do not, so one flag can steer the subset of
+    experiments it applies to.
+    """
     selected = names or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
-    return [EXPERIMENTS[name](scale=scale) for name in selected]
+    results = []
+    for name in selected:
+        runner = EXPERIMENTS[name]
+        accepted = inspect.signature(runner).parameters
+        forwarded = {
+            key: value
+            for key, value in kwargs.items()
+            if key in accepted and value is not None
+        }
+        results.append(runner(scale=scale, **forwarded))
+    return results
 
 
 __all__ = ["EXPERIMENTS", "ExperimentResult", "SCALES", "run_all"]

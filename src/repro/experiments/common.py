@@ -11,9 +11,8 @@ queries shrinks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-from repro.core.metrics import CostModel
 from repro.sim.simulator import SimulationConfig, SimulationResult, Simulator
 from repro.workload.generator import QueryTrace, TraceConfig, TraceGenerator
 

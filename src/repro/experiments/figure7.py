@@ -23,7 +23,7 @@ from repro.experiments.common import (
     estimate_capacity_qps,
     result_rows,
 )
-from repro.sim.simulator import SimulationResult, Simulator, run_policy_comparison
+from repro.sim.simulator import SimulationResult, Simulator
 from repro.workload.generator import QueryTrace
 
 #: α values on the figure's x axis, in the paper's order.

@@ -9,8 +9,8 @@ the next site in the plan — exactly the role one SkyQuery site plays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.catalog.archive import Archive
 from repro.core.engine import EngineConfig, LifeRaftEngine

@@ -13,8 +13,8 @@ their lives.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.catalog.archive import Archive
 from repro.federation.crossmatch import (

@@ -1,0 +1,45 @@
+"""Parallel multi-worker execution of the LifeRaft engine.
+
+The serial :class:`~repro.core.engine.LifeRaftEngine` services one bucket
+batch at a time; this package shards bucket ownership across N simulated
+workers so the same data-driven scheduling policy runs on every shard
+concurrently (in virtual time):
+
+* :mod:`repro.parallel.sharding` — deterministic bucket → worker
+  assignment (round-robin or zone-contiguous along the HTM curve);
+* :mod:`repro.parallel.worker` — one :class:`ShardWorker` per shard, each
+  owning a private bucket cache, hybrid join evaluator, scheduler instance
+  and virtual clock;
+* :mod:`repro.parallel.engine` — the :class:`ParallelEngine` that fans
+  queries out through the shared pre-processor, repeatedly services the
+  earliest-clock worker, steals the oldest starving bucket queue for idle
+  workers, and merges per-worker accounting into one
+  :class:`~repro.core.engine.EngineReport`.
+
+This is the sharding seam later real multiprocessing, federation
+parallelism and async intake plug into: everything above the
+:class:`~repro.core.engine.ServiceLoop` is topology, everything below is
+unchanged engine code.
+"""
+
+from repro.parallel.engine import ParallelEngine, ParallelReport
+from repro.parallel.sharding import (
+    SHARD_STRATEGIES,
+    ShardPlan,
+    make_shard_plan,
+    partition_round_robin,
+    partition_zones,
+)
+from repro.parallel.worker import ShardWorker, WorkerPool
+
+__all__ = [
+    "SHARD_STRATEGIES",
+    "ParallelEngine",
+    "ParallelReport",
+    "ShardPlan",
+    "ShardWorker",
+    "WorkerPool",
+    "make_shard_plan",
+    "partition_round_robin",
+    "partition_zones",
+]

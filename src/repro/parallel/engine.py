@@ -1,0 +1,385 @@
+"""The parallel engine: N shard workers behind one intake path.
+
+Queries enter through the same :class:`~repro.core.preprocessor.QueryPreProcessor`
+as the serial engine; their per-bucket workloads are fanned out to the
+workers that own each bucket under the shard plan.  Execution interleaves
+the workers in virtual time: every step services one batch on the worker
+whose clock is furthest behind, so N workers progress exactly as N
+independent servers would.  When a worker runs dry while others still have
+backlog, it steals the most starving bucket queue (oldest pending entry)
+from a busier worker — queues migrate whole, so a bucket's batched service
+is never split.
+
+Query completion is tracked globally (a query finishes when its *last*
+bucket anywhere is drained), which is what makes per-shard workload
+managers composable: each manager only knows its shard's share of a query.
+
+With ``workers=1`` the engine degenerates to the serial
+:class:`~repro.core.engine.LifeRaftEngine` — same scheduling decisions,
+same costs, same report — which the parity tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.engine import BatchResult, EngineConfig, EngineReport
+from repro.core.preprocessor import QueryPreProcessor
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig, SchedulingPolicy
+from repro.parallel.sharding import ShardPlan
+from repro.parallel.worker import ShardWorker, WorkerPool
+from repro.sim.events import Event, EventKind, WorkerEventLog
+from repro.storage.bucket_store import BucketStore
+from repro.storage.index import SpatialIndex
+from repro.storage.partitioner import PartitionLayout
+from repro.workload.query import CrossMatchQuery
+
+
+@dataclass(frozen=True)
+class StealRecord:
+    """One work-stealing migration, for reports and tests."""
+
+    time_ms: float
+    bucket_index: int
+    victim_id: int
+    thief_id: int
+    entry_count: int
+
+
+@dataclass
+class ParallelReport:
+    """The merged engine report plus per-worker parallelism metrics."""
+
+    engine: EngineReport
+    workers: int
+    shard_strategy: str
+    worker_busy_ms: List[float]
+    worker_clocks_ms: List[float]
+    worker_services: List[int]
+    steals: int
+    #: Virtual wall-clock of the run: the furthest-ahead worker clock.
+    wall_clock_ms: float
+
+    @property
+    def aggregate_busy_ms(self) -> float:
+        """Total service time summed over workers (the serial-equivalent work)."""
+        return sum(self.worker_busy_ms)
+
+    @property
+    def utilisation(self) -> float:
+        """Mean fraction of the wall clock each worker spent servicing."""
+        if self.wall_clock_ms <= 0 or not self.worker_busy_ms:
+            return 0.0
+        per_worker = [busy / self.wall_clock_ms for busy in self.worker_busy_ms]
+        return sum(per_worker) / len(per_worker)
+
+
+class ParallelEngine:
+    """Data-driven batch processing sharded across N virtual workers."""
+
+    def __init__(
+        self,
+        layout: PartitionLayout,
+        store: BucketStore,
+        workers: int = 1,
+        scheduler: Optional[SchedulingPolicy] = None,
+        index: Optional[SpatialIndex] = None,
+        config: Optional[EngineConfig] = None,
+        shard_strategy: str = "round_robin",
+        enable_stealing: bool = True,
+        plan: Optional[ShardPlan] = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.layout = layout
+        self.store = store
+        prototype = scheduler or LifeRaftScheduler(SchedulerConfig(cost=self.config.cost))
+        self.pool = WorkerPool(
+            layout,
+            store,
+            prototype,
+            self.config,
+            workers=workers,
+            shard_strategy=shard_strategy,
+            index=index,
+            plan=plan,
+        )
+        self.preprocessor = QueryPreProcessor(layout)
+        self.enable_stealing = enable_stealing
+        self.events = WorkerEventLog()
+        self.steal_log: List[StealRecord] = []
+        self._prototype_name = prototype.name
+        #: Ownership overlay: buckets whose queue migrated via stealing.
+        #: Future arrivals follow the queue, so one bucket's workload is
+        #: never split between two shards.
+        self._adopted_owner: Dict[int, int] = {}
+        self._remaining: Dict[int, Set[int]] = {}
+        self._arrival_ms: Dict[int, float] = {}
+        self._completion_ms: Dict[int, float] = {}
+        self._completed_order: List[int] = []
+        self._first_arrival_ms: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # intake
+    # ------------------------------------------------------------------ #
+
+    @property
+    def workers(self) -> Sequence[ShardWorker]:
+        """The shard workers, by worker id."""
+        return self.pool.workers
+
+    @property
+    def worker_count(self) -> int:
+        """Number of shards."""
+        return len(self.pool)
+
+    @property
+    def now_ms(self) -> float:
+        """The engine clock: the max of the worker completion clocks."""
+        return self.pool.max_clock_ms()
+
+    def submit(self, query: CrossMatchQuery, now_ms: Optional[float] = None) -> None:
+        """Fan one query's per-bucket workloads out to the owning shards."""
+        arrival_ms = now_ms if now_ms is not None else query.arrival_time_s * 1000.0
+        assignments = self.preprocessor.assign(query)
+        if not assignments:
+            # No overlap at this site: completes immediately (as serially).
+            return
+        if query.query_id in self._remaining:
+            raise ValueError(f"query {query.query_id} was already submitted")
+        shares: Dict[int, Dict[int, object]] = {}
+        for bucket_index, payload in assignments.items():
+            worker_id = self._adopted_owner.get(
+                bucket_index, self.pool.plan.owner_of(bucket_index)
+            )
+            shares.setdefault(worker_id, {})[bucket_index] = payload
+        for worker_id, share in shares.items():
+            worker = self.pool[worker_id]
+            worker.manager.add_query(query.query_id, share, arrival_ms)
+            worker.observe_arrival(arrival_ms)
+            self.events.record(
+                worker_id,
+                Event(arrival_ms, EventKind.QUERY_ARRIVAL, payload=query.query_id),
+            )
+        self._remaining[query.query_id] = set(assignments.keys())
+        self._arrival_ms[query.query_id] = arrival_ms
+        if self._first_arrival_ms is None or arrival_ms < self._first_arrival_ms:
+            self._first_arrival_ms = arrival_ms
+
+    def has_pending_work(self) -> bool:
+        """``True`` while any shard has a non-empty workload queue."""
+        return any(worker.has_pending_work() for worker in self.pool)
+
+    def next_decision_ms(self) -> Optional[float]:
+        """Clock of the worker that will service next, or ``None`` if idle."""
+        clocks = [w.now_ms for w in self.pool if w.has_pending_work()]
+        return min(clocks) if clocks else None
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> Optional[Tuple[int, BatchResult]]:
+        """Advance the system by one bucket service.
+
+        Idle workers first steal (at most one bucket queue each), then the
+        worker with the earliest clock among those with pending work runs
+        one service.  Returns ``(worker_id, batch)`` or ``None`` when the
+        whole pool is drained.
+        """
+        if self.enable_stealing and len(self.pool) > 1:
+            self._balance()
+        candidates = [w for w in self.pool if w.has_pending_work()]
+        if not candidates:
+            return None
+        worker = min(candidates, key=lambda w: (w.now_ms, w.worker_id))
+        result = worker.service_next()
+        if result is None:  # defensive: a scheduler refused pending work
+            return None
+        self._on_batch(worker, result)
+        return worker.worker_id, result
+
+    def run_until_idle(self, max_batches: Optional[int] = None) -> int:
+        """Drain every shard, interleaving workers in virtual time."""
+        processed = 0
+        while self.has_pending_work():
+            outcome = self.step()
+            if outcome is None:
+                break
+            processed += 1
+            if max_batches is not None and processed >= max_batches:
+                break
+        return processed
+
+    # -- work stealing --------------------------------------------------- #
+
+    def _balance(self) -> None:
+        """Let every idle worker steal the most starving foreign queue.
+
+        A steal must strictly improve the queue's service start time: the
+        thief can begin at ``max(its clock, newest stolen entry)``, which
+        has to beat the victim's clock (its earliest possible start).
+        Queues migrate whole so batching (shared I/O within a service) is
+        preserved; entries keep their enqueue times so ages are unchanged.
+        """
+        idle = [w for w in self.pool if not w.has_pending_work()]
+        if not idle:
+            return
+        for thief in sorted(idle, key=lambda w: (w.now_ms, w.worker_id)):
+            best: Optional[Tuple[float, int, ShardWorker]] = None
+            for victim in self.pool:
+                if victim.worker_id == thief.worker_id:
+                    continue
+                for bucket_index in victim.pending_buckets():
+                    oldest = victim.manager.oldest_bucket_enqueue_ms(bucket_index)
+                    if best is None or (oldest, bucket_index) < (best[0], best[1]):
+                        best = (oldest, bucket_index, victim)
+            if best is None:
+                return  # nothing pending anywhere
+            _oldest, bucket_index, victim = best
+            entries = victim.manager.queue(bucket_index).entries
+            start_ms = max(thief.now_ms, max(e.enqueue_time_ms for e in entries))
+            if start_ms >= victim.now_ms:
+                continue  # migration would not start the service any earlier
+            moved = victim.manager.release_bucket(bucket_index)
+            thief.manager.adopt_bucket(bucket_index, moved)
+            self._adopted_owner[bucket_index] = thief.worker_id
+            thief.now_ms = start_ms
+            thief.steals += 1
+            record = StealRecord(
+                time_ms=start_ms,
+                bucket_index=bucket_index,
+                victim_id=victim.worker_id,
+                thief_id=thief.worker_id,
+                entry_count=len(moved),
+            )
+            self.steal_log.append(record)
+            self.events.record(
+                thief.worker_id, Event(start_ms, EventKind.WORK_STOLEN, payload=record)
+            )
+
+    # -- accounting ------------------------------------------------------ #
+
+    def _on_batch(self, worker: ShardWorker, result: BatchResult) -> None:
+        bucket = result.work_item.bucket_index
+        self.events.record(
+            worker.worker_id,
+            Event(
+                result.finished_at_ms,
+                EventKind.SERVICE_COMPLETE,
+                payload=(bucket, result.queries_served),
+            ),
+        )
+        for query_id in result.queries_served:
+            remaining = self._remaining.get(query_id)
+            if remaining is None:
+                continue
+            remaining.discard(bucket)
+            if not remaining and query_id not in self._completion_ms:
+                self._completion_ms[query_id] = result.finished_at_ms
+                self._completed_order.append(query_id)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def completed_queries(self) -> List[int]:
+        """Query ids in (global) completion order."""
+        return list(self._completed_order)
+
+    def response_time_ms(self, query_id: int) -> Optional[float]:
+        """Response time of one query, or ``None`` while pending."""
+        done = self._completion_ms.get(query_id)
+        if done is None:
+            return None
+        return done - self._arrival_ms[query_id]
+
+    @property
+    def scheduler_name(self) -> str:
+        """Merged policy name used in reports."""
+        return (
+            f"parallel(workers={len(self.pool)}, policy={self._prototype_name}, "
+            f"shard={self.pool.plan.strategy})"
+        )
+
+    def report(self) -> EngineReport:
+        """Merge per-worker accounting into one :class:`EngineReport`.
+
+        Busy time, service counts, strategy counts and I/O totals are sums
+        over workers; the cache hit rate is recomputed from the pooled
+        hit/miss counters; the makespan spans first arrival to the last
+        query completion anywhere, exactly as in the serial report.
+        """
+        response_times = {
+            qid: self._completion_ms[qid] - self._arrival_ms[qid]
+            for qid in self._completed_order
+        }
+        first_arrival = self._first_arrival_ms or 0.0
+        last_completion = max(self._completion_ms.values(), default=0.0)
+        makespan = max(0.0, last_completion - first_arrival)
+        hits = misses = 0.0
+        cache_stats: Dict[str, float] = {}
+        strategy_counts: Dict[str, int] = {}
+        scan_services = index_services = 0.0
+        busy = io = match = 0.0
+        matches = 0
+        services = 0
+        for worker in self.pool:
+            snapshot = worker.cache.statistics()
+            hits += snapshot.get("hits", 0.0)
+            misses += snapshot.get("misses", 0.0)
+            join_stats = worker.loop.evaluator.statistics()
+            scan_services += join_stats.get("scan_services", 0.0)
+            index_services += join_stats.get("index_services", 0.0)
+            for key, value in worker.loop.strategy_counts.items():
+                strategy_counts[key] = strategy_counts.get(key, 0) + value
+            busy += worker.loop.busy_ms
+            io += worker.loop.total_io_ms
+            match += worker.loop.total_match_ms
+            matches += worker.loop.total_matches
+            services += len(worker.loop.batches)
+        accesses = hits + misses
+        cache_stats = {
+            "hits": hits,
+            "misses": misses,
+            "accesses": accesses,
+            "hit_rate": (hits / accesses) if accesses else 0.0,
+        }
+        total_join_services = scan_services + index_services
+        join_stats = {
+            "scan_services": scan_services,
+            "index_services": index_services,
+            "index_service_fraction": (
+                index_services / total_join_services if total_join_services else 0.0
+            ),
+            "threshold_fraction": self.pool[0].loop.evaluator.threshold_fraction,
+        }
+        return EngineReport(
+            scheduler_name=self.scheduler_name,
+            submitted_queries=len(self._arrival_ms),
+            completed_queries=len(self._completed_order),
+            busy_time_ms=busy,
+            makespan_ms=makespan,
+            response_times_ms=response_times,
+            bucket_services=services,
+            cache_hit_rate=cache_stats["hit_rate"],
+            cache_statistics=cache_stats,
+            join_statistics=join_stats,
+            strategy_counts=strategy_counts,
+            total_io_ms=io,
+            total_match_ms=match,
+            total_matches=matches,
+        )
+
+    def parallel_report(self) -> ParallelReport:
+        """The merged report plus per-worker parallelism metrics."""
+        return ParallelReport(
+            engine=self.report(),
+            workers=len(self.pool),
+            shard_strategy=self.pool.plan.strategy,
+            worker_busy_ms=[w.busy_ms for w in self.pool],
+            worker_clocks_ms=[w.now_ms for w in self.pool],
+            worker_services=[len(w.loop.batches) for w in self.pool],
+            steals=len(self.steal_log),
+            wall_clock_ms=self.pool.max_clock_ms(),
+        )

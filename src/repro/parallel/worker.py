@@ -1,0 +1,160 @@
+"""Shard workers: one service lane per shard of the bucket range.
+
+A :class:`ShardWorker` wraps a :class:`~repro.core.engine.ServiceLoop`
+(its own workload manager, scheduler instance, LRU bucket cache and hybrid
+join evaluator) with a private virtual clock.  Workers advance
+independently — the parallel engine always services the worker whose clock
+is furthest behind, which is exactly how N independent servers interleave
+in virtual time.
+
+:class:`WorkerPool` builds the workers from a shard plan: every worker
+gets a *clone* of the scheduling-policy prototype (decision counters and
+adaptive state are per-lane) and its own cache over the shared bucket
+store, mirroring N servers with private buffer pools over one storage
+backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.engine import BatchResult, EngineConfig, ServiceLoop, build_service_loop
+from repro.core.scheduler import SchedulingPolicy
+from repro.storage.bucket_store import BucketStore
+from repro.storage.index import SpatialIndex
+from repro.storage.partitioner import PartitionLayout
+from repro.parallel.sharding import ShardPlan, make_shard_plan
+
+
+class ShardWorker:
+    """One simulated worker: a service loop plus a private virtual clock."""
+
+    def __init__(self, worker_id: int, loop: ServiceLoop) -> None:
+        self.worker_id = worker_id
+        self.loop = loop
+        self.now_ms = 0.0
+        #: Buckets stolen *by* this worker (count, for reports and tests).
+        self.steals = 0
+
+    # -- convenience pass-throughs -------------------------------------- #
+
+    @property
+    def scheduler(self) -> SchedulingPolicy:
+        """The worker's private scheduler instance."""
+        return self.loop.scheduler
+
+    @property
+    def manager(self):
+        """The worker's private workload manager."""
+        return self.loop.manager
+
+    @property
+    def cache(self):
+        """The worker's private bucket cache."""
+        return self.loop.cache
+
+    @property
+    def busy_ms(self) -> float:
+        """Total service time this worker has accumulated."""
+        return self.loop.busy_ms
+
+    def has_pending_work(self) -> bool:
+        """``True`` while this shard's queues are non-empty."""
+        return self.loop.has_pending_work()
+
+    def pending_buckets(self) -> List[int]:
+        """Buckets with pending work on this shard."""
+        return self.loop.manager.pending_buckets()
+
+    # -- execution ------------------------------------------------------- #
+
+    def observe_arrival(self, arrival_ms: float) -> None:
+        """Advance the clock to an arrival (an idle worker cannot start
+        work before the work exists; a busy worker's clock already models
+        when it is next free, so ``max`` covers both cases)."""
+        self.now_ms = max(self.now_ms, arrival_ms)
+
+    def service_next(self) -> Optional[BatchResult]:
+        """Run one bucket service at this worker's clock, advancing it."""
+        result = self.loop.service_next(self.now_ms)
+        if result is not None:
+            self.now_ms = result.finished_at_ms
+        return result
+
+
+class WorkerPool:
+    """Builds and owns the shard workers of one parallel engine."""
+
+    def __init__(
+        self,
+        layout: PartitionLayout,
+        store: BucketStore,
+        policy_prototype: SchedulingPolicy,
+        config: EngineConfig,
+        workers: int = 1,
+        shard_strategy: str = "round_robin",
+        index: Optional[SpatialIndex] = None,
+        plan: Optional[ShardPlan] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.layout = layout
+        self.store = store
+        self.config = config
+        self.plan = plan or make_shard_plan(layout, workers, shard_strategy)
+        if self.plan.worker_count != workers:
+            raise ValueError(
+                f"shard plan is for {self.plan.worker_count} workers, expected {workers}"
+            )
+        self.workers: List[ShardWorker] = []
+        for worker_id in range(workers):
+            policy = self._clone_policy(policy_prototype, worker_id)
+            loop = build_service_loop(layout, store, policy, config, index=index)
+            self.workers.append(ShardWorker(worker_id, loop))
+
+    @staticmethod
+    def _clone_policy(prototype: SchedulingPolicy, worker_id: int) -> SchedulingPolicy:
+        """Per-shard scheduler: clone the prototype (worker 0 may reuse it).
+
+        Worker 0 keeps the prototype itself so a single-worker pool behaves
+        bit-for-bit like the serial engine built around the same instance.
+        """
+        if worker_id == 0:
+            return prototype
+        clone = getattr(prototype, "clone", None)
+        if clone is None:
+            raise TypeError(
+                f"policy {prototype!r} does not support clone(); "
+                "per-shard schedulers must be constructible per worker"
+            )
+        return clone()
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def __iter__(self):
+        return iter(self.workers)
+
+    def __getitem__(self, worker_id: int) -> ShardWorker:
+        return self.workers[worker_id]
+
+    def owner_of(self, bucket_index: int) -> ShardWorker:
+        """The worker owning *bucket_index* under the shard plan."""
+        return self.workers[self.plan.owner_of(bucket_index)]
+
+    def max_clock_ms(self) -> float:
+        """The pool-wide virtual time: the furthest-ahead worker clock."""
+        return max(worker.now_ms for worker in self.workers)
+
+    def total_busy_ms(self) -> float:
+        """Aggregate service time over all workers."""
+        return sum(worker.busy_ms for worker in self.workers)
+
+    def describe(self) -> Dict[str, float]:
+        """Per-pool summary used by reports."""
+        return {
+            "workers": float(len(self.workers)),
+            "total_busy_ms": self.total_busy_ms(),
+            "max_clock_ms": self.max_clock_ms(),
+            "steals": float(sum(worker.steals for worker in self.workers)),
+        }

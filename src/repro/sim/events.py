@@ -1,8 +1,14 @@
-"""A minimal event queue for discrete-event simulation.
+"""Event queues and multi-worker event streams for discrete-event simulation.
 
 The main simulator's service loop is sequential (one bucket batch at a
 time), so it mostly needs ordered query arrivals; the federation examples
-additionally schedule network-transfer completions.  Both use this queue.
+additionally schedule network-transfer completions.  Both use
+:class:`EventQueue`.
+
+The parallel engine additionally emits one event *stream* per worker —
+arrivals fanned out to a shard, service completions, steals — which
+:class:`WorkerEventLog` records and can merge back into one time-ordered
+timeline for tests and trace inspection.
 """
 
 from __future__ import annotations
@@ -10,8 +16,8 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 class EventKind(enum.Enum):
@@ -20,6 +26,7 @@ class EventKind(enum.Enum):
     QUERY_ARRIVAL = "query_arrival"
     SERVICE_COMPLETE = "service_complete"
     TRANSFER_COMPLETE = "transfer_complete"
+    WORK_STOLEN = "work_stolen"
     CONTROL = "control"
 
 
@@ -75,3 +82,50 @@ class EventQueue:
         if not self._heap:
             return None
         return self._heap[0][0]
+
+
+class WorkerEventLog:
+    """Per-worker event streams with a merged, time-ordered view.
+
+    The parallel engine appends events as they happen on each worker's
+    virtual timeline (arrivals fanned to the shard, service completions,
+    steals).  Within one worker the stream is append-ordered; across
+    workers :meth:`merged` re-interleaves by timestamp (stable by record
+    order within a timestamp), giving tests one global timeline to assert
+    over.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Dict[int, List[Event]] = {}
+        self._order = itertools.count()
+        self._sequenced: List[Tuple[float, int, int, Event]] = []
+
+    def record(self, worker_id: int, event: Event) -> None:
+        """Append *event* to the stream of *worker_id*."""
+        self._streams.setdefault(worker_id, []).append(event)
+        self._sequenced.append((event.time_ms, next(self._order), worker_id, event))
+
+    def worker_ids(self) -> List[int]:
+        """Workers that have recorded at least one event."""
+        return sorted(self._streams)
+
+    def stream(self, worker_id: int) -> List[Event]:
+        """The events of one worker, in record order."""
+        return list(self._streams.get(worker_id, []))
+
+    def merged(self) -> List[Tuple[int, Event]]:
+        """All events as ``(worker_id, event)``, ordered by time."""
+        return [
+            (worker_id, event)
+            for _time, _seq, worker_id, event in sorted(self._sequenced)
+        ]
+
+    def counts_by_kind(self) -> Dict[EventKind, int]:
+        """How many events of each kind were recorded (all workers)."""
+        counts: Dict[EventKind, int] = {}
+        for _time, _seq, _worker, event in self._sequenced:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._sequenced)

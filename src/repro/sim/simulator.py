@@ -15,56 +15,28 @@ variance, cache hit rate, and per-strategy service counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.core.baselines import (
-    IndexOnlyScheduler,
-    LeastSharableFirstScheduler,
-    NoShareScheduler,
-    RoundRobinScheduler,
-)
+from repro.core.baselines import POLICY_NAMES, make_policy
 from repro.core.bucket_cache import PAPER_CACHE_BUCKETS
 from repro.core.engine import EngineConfig, LifeRaftEngine
 from repro.core.metrics import CostModel
-from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig, SchedulingPolicy
+from repro.core.scheduler import SchedulingPolicy
 from repro.sim.stats import ResponseTimeStats, summarize_response_times
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import DiskModel, calibrated_disk_for_bucket_read
+from repro.storage.disk import calibrated_disk_for_bucket_read
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner, PartitionLayout
 from repro.workload.query import CrossMatchQuery
 
-#: Policy names accepted by :func:`make_policy` and the CLI.
-POLICY_NAMES = (
-    "liferaft",
-    "noshare",
-    "round_robin",
-    "index_only",
-    "least_sharable_first",
-)
-
-
-def make_policy(
-    name: str, alpha: float = 0.25, cost: Optional[CostModel] = None, normalize_metric: bool = True
-) -> SchedulingPolicy:
-    """Construct a scheduling policy by name.
-
-    ``liferaft`` takes the age bias *alpha*; the baselines ignore it.
-    """
-    cost = cost or CostModel.paper_defaults()
-    if name == "liferaft":
-        return LifeRaftScheduler(
-            SchedulerConfig(alpha=alpha, cost=cost, normalize_metric=normalize_metric)
-        )
-    if name == "noshare":
-        return NoShareScheduler()
-    if name == "round_robin":
-        return RoundRobinScheduler()
-    if name == "index_only":
-        return IndexOnlyScheduler()
-    if name == "least_sharable_first":
-        return LeastSharableFirstScheduler()
-    raise ValueError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")
+__all__ = [
+    "POLICY_NAMES",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "make_policy",
+    "run_policy_comparison",
+]
 
 
 @dataclass(frozen=True)
@@ -111,6 +83,10 @@ class SimulationResult:
     total_match_s: float
     saturation_qps: Optional[float] = None
     label: str = ""
+    #: Parallel runs only: shard count, steal count and virtual wall clock.
+    workers: int = 1
+    steals: int = 0
+    wall_clock_s: float = 0.0
 
     @property
     def avg_response_time_s(self) -> float:
@@ -156,24 +132,33 @@ class Simulator:
         )
         return partitioner.partition_density(self.config.bucket_count)
 
-    def _build_engine(self, policy: SchedulingPolicy) -> LifeRaftEngine:
-        cost = self.config.cost
+    def _build_store(self) -> BucketStore:
         disk = calibrated_disk_for_bucket_read(
-            self.config.bucket_megabytes, cost.tb_ms / 1000.0
+            self.config.bucket_megabytes, self.config.cost.tb_ms / 1000.0
         )
-        store = BucketStore(self._layout, disk)
-        # An (empty) index object signals that an index on the join key
-        # exists, enabling the hybrid strategy; cost accounting for index
-        # services flows through the cost model, not through this object.
-        index = SpatialIndex([], rows=None, disk=None)
-        engine_config = EngineConfig(
+        return BucketStore(self._layout, disk)
+
+    def _engine_config(self) -> EngineConfig:
+        return EngineConfig(
             cache_buckets=self.config.cache_buckets,
-            cost=cost,
+            cost=self.config.cost,
             hybrid_threshold_fraction=self.config.hybrid_threshold_fraction,
             enable_hybrid=self.config.enable_hybrid,
             match_probability=self.config.match_probability,
         )
-        return LifeRaftEngine(self._layout, store, scheduler=policy, index=index, config=engine_config)
+
+    def _build_engine(self, policy: SchedulingPolicy) -> LifeRaftEngine:
+        # An (empty) index object signals that an index on the join key
+        # exists, enabling the hybrid strategy; cost accounting for index
+        # services flows through the cost model, not through this object.
+        index = SpatialIndex([], rows=None, disk=None)
+        return LifeRaftEngine(
+            self._layout,
+            self._build_store(),
+            scheduler=policy,
+            index=index,
+            config=self._engine_config(),
+        )
 
     # ------------------------------------------------------------------ #
     # running
@@ -239,6 +224,88 @@ class Simulator:
             total_match_s=report.total_match_ms / 1000.0,
             saturation_qps=saturation_qps,
             label=label or policy.name,
+        )
+
+    def run_parallel(
+        self,
+        queries: Sequence[CrossMatchQuery],
+        policy: Union[str, SchedulingPolicy] = "liferaft",
+        workers: int = 1,
+        alpha: float = 0.25,
+        shard_strategy: str = "round_robin",
+        enable_stealing: bool = True,
+        label: str = "",
+        saturation_qps: Optional[float] = None,
+    ) -> SimulationResult:
+        """Replay a trace against a :class:`~repro.parallel.ParallelEngine`.
+
+        Arrivals are delivered in timestamp order, each before any worker
+        whose next scheduling decision lies at or after it — the multi-worker
+        analogue of the serial loop in :meth:`run`, so request ages behave
+        identically.  ``workers=1`` reproduces :meth:`run` exactly.
+        """
+        from repro.parallel.engine import ParallelEngine
+
+        if isinstance(policy, str):
+            policy = make_policy(policy, alpha=alpha, cost=self.config.cost)
+        engine = ParallelEngine(
+            self._layout,
+            self._build_store(),
+            workers=workers,
+            scheduler=policy,
+            index=SpatialIndex([], rows=None, disk=None),
+            config=self._engine_config(),
+            shard_strategy=shard_strategy,
+            enable_stealing=enable_stealing,
+        )
+        ordered = sorted(queries, key=lambda q: (q.arrival_time_s, q.query_id))
+        arrivals_ms = [q.arrival_time_s * 1000.0 for q in ordered]
+        index = 0
+        total = len(ordered)
+        while index < total or engine.has_pending_work():
+            decision_ms = engine.next_decision_ms()
+            if decision_ms is None:
+                if index >= total:
+                    break
+                # Every worker is idle: jump to the next arrival.
+                engine.submit(ordered[index], now_ms=arrivals_ms[index])
+                index += 1
+                continue
+            delivered = False
+            while index < total and arrivals_ms[index] <= decision_ms + 1e-9:
+                engine.submit(ordered[index], now_ms=arrivals_ms[index])
+                index += 1
+                delivered = True
+            if delivered:
+                # New work may belong to an idler worker with an earlier
+                # clock; re-evaluate before servicing.
+                continue
+            if engine.step() is None:
+                break
+        report = engine.report()
+        preport = engine.parallel_report()
+        response_s = [ms / 1000.0 for ms in report.response_times_ms.values()]
+        effective_alpha = getattr(policy, "alpha", None)
+        return SimulationResult(
+            policy_name=report.scheduler_name,
+            alpha=effective_alpha,
+            submitted_queries=report.submitted_queries,
+            completed_queries=report.completed_queries,
+            makespan_s=report.makespan_ms / 1000.0,
+            busy_time_s=report.busy_time_ms / 1000.0,
+            throughput_qps=report.throughput_qps,
+            response_stats=summarize_response_times(response_s),
+            cache_hit_rate=report.cache_hit_rate,
+            bucket_services=report.bucket_services,
+            bucket_reads=engine.store.reads,
+            strategy_counts=report.strategy_counts,
+            total_io_s=report.total_io_ms / 1000.0,
+            total_match_s=report.total_match_ms / 1000.0,
+            saturation_qps=saturation_qps,
+            label=label or f"{policy.name} x{workers}",
+            workers=workers,
+            steals=preport.steals,
+            wall_clock_s=preport.wall_clock_ms / 1000.0,
         )
 
     def run_alpha_sweep(

@@ -19,7 +19,7 @@ model, which is how ``Tb`` enters the simulation.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.storage.disk import DiskModel

@@ -11,7 +11,7 @@ reused by the federation substrate for result caching.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generic, Iterator, Optional, Tuple, TypeVar
 
 K = TypeVar("K")

@@ -21,7 +21,7 @@ Two representations are supported and can be mixed freely:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.htm.curve import HTMRange

@@ -12,8 +12,7 @@ plus the headline scalar statistics quoted in the text.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.workload.query import CrossMatchQuery
 

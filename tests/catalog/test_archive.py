@@ -4,7 +4,6 @@ import pytest
 
 from repro.catalog.archive import ArchiveConfig, build_archive, build_synthetic_archive
 from repro.catalog.generator import SkyGenerator, SkyGeneratorConfig
-from repro.htm.curve import HTMRange
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for the baseline scheduling policies."""
 
-import pytest
 
 from repro.core.baselines import (
     IndexOnlyScheduler,

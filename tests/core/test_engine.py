@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.baselines import NoShareScheduler
 from repro.core.engine import EngineConfig, LifeRaftEngine
-from repro.core.metrics import CostModel
 from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
 from repro.storage.bucket_store import BucketStore
 from repro.storage.disk import calibrated_disk_for_bucket_read

@@ -5,7 +5,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.bucket_cache import BucketCacheManager
-from repro.core.metrics import CostModel
 from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig, WorkItem
 from repro.core.workload_manager import WorkloadManager
 from repro.storage.bucket_store import BucketStore

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, worker_sweep
 
 
 class TestParser:
@@ -10,6 +10,7 @@ class TestParser:
         assert main(["list"]) == 0
         output = capsys.readouterr().out
         assert "figure7" in output and "cache_hits" in output
+        assert "scaling" in output
 
     def test_trace_command_prints_statistics(self, capsys):
         assert main(["trace", "--scale", "small", "--seed", "3"]) == 0
@@ -30,3 +31,26 @@ class TestParser:
     def test_command_is_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestWorkerSweep:
+    def test_powers_of_two_up_to_max(self):
+        assert worker_sweep(8) == [1, 2, 4, 8]
+        assert worker_sweep(6) == [1, 2, 4, 6]
+        assert worker_sweep(1) == [1]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            worker_sweep(0)
+
+
+class TestScalingCommand:
+    def test_scaling_experiment_with_workers_flag(self, capsys):
+        assert main(["experiments", "scaling", "--scale", "small", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Throughput scaling with parallel workers" in output
+        assert "speedup_2x" in output
+
+    def test_workers_flag_ignored_by_non_parallel_experiments(self, capsys):
+        assert main(["experiments", "figure2", "--scale", "small", "--workers", "2"]) == 0
+        assert "figure2" in capsys.readouterr().out

@@ -69,7 +69,15 @@ class TestCommon:
             "index_only",
             "cache_hits",
             "ablations",
+            "scaling",
         }
+
+    def test_scaling_sweep_always_includes_serial_baseline(self):
+        from repro.experiments import scaling
+
+        result = scaling.run(scale="small", workers=(2,))
+        assert result.rows[0][0] == 1, "speedups must be relative to 1 worker"
+        assert result.rows[0][2] == pytest.approx(1.0)
         with pytest.raises(KeyError):
             run_all(names=["figure99"])
 

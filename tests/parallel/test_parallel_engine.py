@@ -1,0 +1,321 @@
+"""ParallelEngine behaviour: parity, correctness, stealing and scaling."""
+
+import pytest
+
+from repro.core.engine import EngineConfig, LifeRaftEngine
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
+from repro.experiments.common import build_trace
+from repro.parallel import ParallelEngine
+from repro.sim.events import EventKind
+from repro.sim.simulator import SimulationConfig, Simulator
+from repro.storage.bucket_store import BucketStore
+from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.index import SpatialIndex
+from repro.storage.partitioner import BucketPartitioner
+from repro.workload.generator import TraceConfig, TraceGenerator
+
+BUCKETS = 128
+
+
+@pytest.fixture(scope="module")
+def layout():
+    partitioner = BucketPartitioner()
+    return partitioner.partition_density(BUCKETS)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    config = TraceConfig(query_count=80, bucket_count=BUCKETS, seed=99)
+    return TraceGenerator(config).generate().with_saturation(2.0).queries
+
+
+def build_engine(layout, kind="parallel", workers=1, **kwargs):
+    config = SimulationConfig(bucket_count=BUCKETS)
+    disk = calibrated_disk_for_bucket_read(
+        config.bucket_megabytes, config.cost.tb_ms / 1000.0
+    )
+    store = BucketStore(layout, disk)
+    index = SpatialIndex([], rows=None, disk=None)
+    engine_config = EngineConfig(cache_buckets=config.cache_buckets, cost=config.cost)
+    scheduler = LifeRaftScheduler(SchedulerConfig(cost=config.cost))
+    if kind == "serial":
+        return LifeRaftEngine(
+            layout, store, scheduler=scheduler, index=index, config=engine_config
+        )
+    return ParallelEngine(
+        layout,
+        store,
+        workers=workers,
+        scheduler=scheduler,
+        index=index,
+        config=engine_config,
+        **kwargs,
+    )
+
+
+class TestSingleWorkerParity:
+    """A 1-worker ParallelEngine must reproduce the serial engine exactly."""
+
+    def test_report_matches_serial(self, layout, queries):
+        serial = build_engine(layout, "serial")
+        parallel = build_engine(layout, "parallel", workers=1)
+        for query in queries:
+            serial.submit(query)
+            parallel.submit(query)
+        serial.run_until_idle()
+        parallel.run_until_idle()
+        serial_report = serial.report()
+        parallel_report = parallel.report()
+        assert set(parallel_report.response_times_ms) == set(
+            serial_report.response_times_ms
+        )
+        assert parallel_report.completed_queries == serial_report.completed_queries
+        assert parallel_report.busy_time_ms == pytest.approx(
+            serial_report.busy_time_ms, rel=1e-12
+        )
+        for query_id, serial_rt in serial_report.response_times_ms.items():
+            assert parallel_report.response_times_ms[query_id] == pytest.approx(
+                serial_rt, rel=1e-12
+            )
+        assert parallel_report.bucket_services == serial_report.bucket_services
+        assert parallel_report.strategy_counts == serial_report.strategy_counts
+        assert parallel_report.cache_hit_rate == pytest.approx(
+            serial_report.cache_hit_rate
+        )
+        assert parallel_report.makespan_ms == pytest.approx(serial_report.makespan_ms)
+
+    def test_open_system_parity_through_simulator(self, queries):
+        simulator = Simulator(SimulationConfig(bucket_count=BUCKETS))
+        serial = simulator.run(queries, "liferaft", alpha=0.25)
+        parallel = simulator.run_parallel(queries, "liferaft", workers=1, alpha=0.25)
+        assert parallel.completed_queries == serial.completed_queries
+        assert parallel.busy_time_s == pytest.approx(serial.busy_time_s, rel=1e-12)
+        assert parallel.avg_response_time_s == pytest.approx(
+            serial.avg_response_time_s, rel=1e-12
+        )
+        assert parallel.bucket_reads == serial.bucket_reads
+
+
+class TestCorrectness:
+    def test_all_queries_complete_once(self, layout, queries):
+        engine = build_engine(layout, workers=4)
+        for query in queries:
+            engine.submit(query)
+        engine.run_until_idle()
+        report = engine.report()
+        assert report.completed_queries == report.submitted_queries
+        completed = engine.completed_queries()
+        assert len(completed) == len(set(completed)), "a query completed twice"
+
+    def test_no_bucket_entry_served_twice(self, layout, queries):
+        """Each (query, bucket) workload entry is drained exactly once."""
+        engine = build_engine(layout, workers=4)
+        expected = {}
+        for query in queries:
+            engine.submit(query)
+            for bucket in engine.preprocessor.footprint(query):
+                expected[(query.query_id, bucket)] = 0
+        engine.run_until_idle()
+        for worker in engine.workers:
+            for batch in worker.loop.batches:
+                bucket = batch.work_item.bucket_index
+                for query_id in batch.queries_served:
+                    expected[(query_id, bucket)] += 1
+        assert all(count == 1 for count in expected.values()), (
+            "some (query, bucket) pairs were serviced "
+            f"{sorted(v for v in set(expected.values()) if v != 1)} times"
+        )
+
+    def test_worker_clocks_never_run_backwards(self, layout, queries):
+        engine = build_engine(layout, workers=4)
+        for query in queries:
+            engine.submit(query)
+        clocks = {w.worker_id: w.now_ms for w in engine.workers}
+        while True:
+            outcome = engine.step()
+            if outcome is None:
+                break
+            for worker in engine.workers:
+                assert worker.now_ms >= clocks[worker.worker_id] - 1e-9
+                clocks[worker.worker_id] = worker.now_ms
+
+    def test_duplicate_submission_rejected(self, layout, queries):
+        engine = build_engine(layout, workers=2)
+        engine.submit(queries[0])
+        with pytest.raises(ValueError, match="already submitted"):
+            engine.submit(queries[0])
+
+    def test_zone_sharding_completes_everything(self, layout, queries):
+        engine = build_engine(layout, workers=4, shard_strategy="zone")
+        for query in queries:
+            engine.submit(query)
+        engine.run_until_idle()
+        report = engine.report()
+        assert report.completed_queries == report.submitted_queries
+
+
+class TestWorkStealing:
+    def test_steals_happen_on_skewed_shards(self, layout, queries):
+        """Zone sharding over a skewed trace leaves some workers idle, so
+        stealing must kick in — and everything still completes."""
+        engine = build_engine(layout, workers=4, shard_strategy="zone")
+        for query in queries:
+            engine.submit(query)
+        engine.run_until_idle()
+        assert engine.steal_log, "expected at least one steal on a skewed workload"
+        assert engine.report().completed_queries == len(
+            {q.query_id for q in queries}
+        )
+
+    def test_stealing_disabled_means_no_steals(self, layout, queries):
+        engine = build_engine(
+            layout, workers=4, shard_strategy="zone", enable_stealing=False
+        )
+        for query in queries:
+            engine.submit(query)
+        engine.run_until_idle()
+        assert not engine.steal_log
+        assert engine.report().completed_queries == engine.report().submitted_queries
+
+    def test_steal_improves_service_start(self, layout, queries):
+        """Every recorded steal must start the queue before the victim could."""
+        engine = build_engine(layout, workers=4, shard_strategy="zone")
+        for query in queries:
+            engine.submit(query)
+        victim_clocks = {}
+        while True:
+            for worker in engine.workers:
+                victim_clocks[worker.worker_id] = worker.now_ms
+            before = len(engine.steal_log)
+            outcome = engine.step()
+            for record in engine.steal_log[before:]:
+                assert record.time_ms < victim_clocks[record.victim_id]
+            if outcome is None:
+                break
+
+    def test_stealing_does_not_lose_or_duplicate_completions(self, layout, queries):
+        with_steal = build_engine(layout, workers=4, shard_strategy="zone")
+        without = build_engine(
+            layout, workers=4, shard_strategy="zone", enable_stealing=False
+        )
+        for query in queries:
+            with_steal.submit(query)
+            without.submit(query)
+        with_steal.run_until_idle()
+        without.run_until_idle()
+        assert sorted(with_steal.completed_queries()) == sorted(
+            without.completed_queries()
+        )
+
+
+class TestStealOwnershipTransfer:
+    def test_future_arrivals_follow_stolen_bucket(self, layout, queries):
+        """After a steal, new work for that bucket goes to the thief, so one
+        bucket's queue is never split across two shards."""
+        engine = build_engine(layout, workers=4, shard_strategy="zone")
+        for query in queries:
+            engine.submit(query)
+        engine.run_until_idle()
+        assert engine.steal_log
+        # Replay: for every serviced batch, the bucket must have been
+        # serviced by exactly one worker at any one time — count how many
+        # distinct workers ever serviced each bucket and confirm each
+        # service drained a queue that lived wholly on that worker.
+        for record in engine.steal_log:
+            assert engine._adopted_owner[record.bucket_index] in {
+                r.thief_id
+                for r in engine.steal_log
+                if r.bucket_index == record.bucket_index
+            }
+
+    def test_arrival_order_policy_with_stealing_completes(self, layout, queries):
+        """NoShare (per-query, arrival-order) + stealing must not strand
+        adopted work behind the arrival cursor (regression test)."""
+        from repro.core.baselines import NoShareScheduler
+
+        config = SimulationConfig(bucket_count=BUCKETS)
+        disk = calibrated_disk_for_bucket_read(
+            config.bucket_megabytes, config.cost.tb_ms / 1000.0
+        )
+        store = BucketStore(layout, disk)
+        engine = ParallelEngine(
+            layout,
+            store,
+            workers=4,
+            scheduler=NoShareScheduler(),
+            index=SpatialIndex([], rows=None, disk=None),
+            config=EngineConfig(cache_buckets=config.cache_buckets, cost=config.cost),
+            shard_strategy="zone",
+        )
+        for query in queries:
+            engine.submit(query)
+        engine.run_until_idle()
+        report = engine.report()
+        assert not engine.has_pending_work(), "work stranded behind the cursor"
+        assert report.completed_queries == report.submitted_queries
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self, layout):
+        def run_once():
+            config = TraceConfig(query_count=60, bucket_count=BUCKETS, seed=5)
+            trace_queries = (
+                TraceGenerator(config).generate().with_saturation(2.0).queries
+            )
+            engine = build_engine(layout, workers=4)
+            for query in trace_queries:
+                engine.submit(query)
+            engine.run_until_idle()
+            report = engine.report()
+            return (
+                engine.completed_queries(),
+                report.busy_time_ms,
+                report.makespan_ms,
+                [w.steals for w in engine.workers],
+                [len(w.loop.batches) for w in engine.workers],
+            )
+
+        assert run_once() == run_once()
+
+
+class TestEventStreams:
+    def test_events_cover_arrivals_services_and_steals(self, layout, queries):
+        engine = build_engine(layout, workers=4, shard_strategy="zone")
+        for query in queries:
+            engine.submit(query)
+        engine.run_until_idle()
+        counts = engine.events.counts_by_kind()
+        assert counts[EventKind.QUERY_ARRIVAL] >= len(queries)
+        assert counts[EventKind.SERVICE_COMPLETE] == engine.report().bucket_services
+        assert counts.get(EventKind.WORK_STOLEN, 0) == len(engine.steal_log)
+        merged = engine.events.merged()
+        times = [event.time_ms for _worker, event in merged]
+        assert times == sorted(times)
+
+
+class TestScaling:
+    def test_throughput_improves_monotonically_to_four_workers(self):
+        trace = build_trace("small", seed=13)
+        saturated = trace.with_saturation(8.0).queries
+        simulator = Simulator(SimulationConfig(bucket_count=512))
+        throughputs = []
+        for workers in (1, 2, 4):
+            result = simulator.run_parallel(
+                saturated, "liferaft", workers=workers, alpha=0.25
+            )
+            throughputs.append(result.throughput_qps)
+        assert throughputs[0] < throughputs[1] < throughputs[2]
+
+    def test_parallel_report_metrics(self, layout, queries):
+        engine = build_engine(layout, workers=4)
+        for query in queries:
+            engine.submit(query)
+        engine.run_until_idle()
+        preport = engine.parallel_report()
+        assert preport.workers == 4
+        assert preport.aggregate_busy_ms == pytest.approx(
+            engine.report().busy_time_ms
+        )
+        assert preport.wall_clock_ms == max(preport.worker_clocks_ms)
+        assert 0.0 < preport.utilisation <= 1.0
+        assert sum(preport.worker_services) == engine.report().bucket_services

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.htm.curve import HTMRange
 from repro.storage.bucket_store import BucketStore
 from repro.storage.disk import calibrated_disk_for_bucket_read
 from repro.storage.partitioner import BucketPartitioner

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.htm import ids as htm_ids
 from repro.htm.curve import HTMRange
 from repro.storage.partitioner import (
     BucketPartitioner,
