@@ -14,6 +14,10 @@ Run the worker-scaling experiment, sweeping 1..8 parallel workers::
 
     liferaft experiments scaling --scale small --workers 8
 
+Measure real wall-clock speedup with one OS process per shard worker::
+
+    liferaft experiments scaling --scale small --workers 4 --backend process
+
 Print the workload characterisation of a freshly generated trace::
 
     liferaft trace --scale small
@@ -77,6 +81,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("round_robin", "zone"),
         help="bucket-to-worker assignment used by the scaling experiment",
     )
+    experiments.add_argument(
+        "--backend",
+        default=None,
+        choices=("virtual", "process"),
+        help=(
+            "execution backend for the scaling experiment: 'virtual' "
+            "interleaves shard workers in-process (deterministic), "
+            "'process' runs one OS process per shard for real wall-clock "
+            "speedup"
+        ),
+    )
 
     trace = subparsers.add_parser("trace", help="generate a trace and print its statistics")
     trace.add_argument("--scale", default="small", choices=sorted(SCALES))
@@ -104,12 +119,14 @@ def _run_experiments(
     scale: str,
     workers: Optional[int] = None,
     shard_strategy: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> int:
     results = run_all(
         scale=scale,
         names=names or None,
         workers=worker_sweep(workers) if workers is not None else None,
         shard_strategy=shard_strategy,
+        backend=backend,
     )
     for result in results:
         print(result.render())
@@ -136,7 +153,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "experiments":
         return _run_experiments(
-            list(args.names), args.scale, workers=args.workers, shard_strategy=args.shard_strategy
+            list(args.names),
+            args.scale,
+            workers=args.workers,
+            shard_strategy=args.shard_strategy,
+            backend=args.backend,
         )
     if args.command == "trace":
         return _run_trace(args.scale, args.seed)

@@ -152,6 +152,7 @@ class WorkloadManager:
         query_id: int,
         assignments: Mapping[int, Sequence[CrossMatchObject]] | Mapping[int, int],
         arrival_time_ms: float,
+        merge: bool = False,
     ) -> None:
         """Register a pre-processed query.
 
@@ -159,8 +160,13 @@ class WorkloadManager:
         integer object count (abstract mode).  The entries are appended to
         the corresponding workload queues with *arrival_time_ms* as their
         enqueue time, which is what the age term of the scheduler measures.
+
+        With ``merge=True`` a query this manager already knows about gains
+        additional per-bucket work instead of raising.  Bucket migration
+        needs this: a shard may adopt a stolen queue carrying entries of a
+        query whose own share reaches the shard only later on its timeline.
         """
-        if query_id in self._queries:
+        if query_id in self._queries and not merge:
             raise ValueError(f"query {query_id} was already submitted")
         if not assignments:
             raise ValueError(f"query {query_id} has no per-bucket work")
@@ -188,6 +194,18 @@ class WorkloadManager:
                 )
             )
             total_objects += count
+        state = self._queries.get(query_id)
+        if state is not None:
+            # A complete query being re-opened may already have been skipped
+            # by the arrival cursor; rewind so it is never missed.  (An
+            # incomplete query can never sit behind the cursor, so the
+            # common staged-ingestion merge keeps the cursor amortised.)
+            if state.is_complete:
+                self._arrival_cursor = 0
+            state.remaining_buckets.update(assignments.keys())
+            state.total_buckets += len(assignments)
+            state.total_objects += total_objects
+            return
         self._queries[query_id] = _QueryState(
             query_id=query_id,
             arrival_time_ms=arrival_time_ms,
@@ -195,6 +213,31 @@ class WorkloadManager:
             total_objects=total_objects,
             remaining_buckets=set(assignments.keys()),
         )
+        self._insert_in_arrival_order(query_id, arrival_time_ms)
+
+    def _insert_in_arrival_order(self, query_id: int, arrival_time_ms: float) -> None:
+        """Keep ``_arrival_order`` sorted by (arrival time, query id).
+
+        Queries normally arrive in non-decreasing order, so the common case
+        is a plain append.  After a bucket migration, though, a shard may
+        learn about an *earlier* query than one it adopted (its own staged
+        share ingests after the adoption), and arrival-order policies
+        (NoShare, IndexOnly) rely on this list being sorted.
+        """
+        key = (arrival_time_ms, query_id)
+        if self._arrival_order:
+            last_id = self._arrival_order[-1]
+            if key < (self._queries[last_id].arrival_time_ms, last_id):
+                position = bisect.bisect_right(
+                    self._arrival_order,
+                    key,
+                    key=lambda qid: (self._queries[qid].arrival_time_ms, qid),
+                )
+                self._arrival_order.insert(position, query_id)
+                # The insertion may land behind the cursor; rewind so the
+                # query is never missed.
+                self._arrival_cursor = 0
+                return
         self._arrival_order.append(query_id)
 
     # ------------------------------------------------------------------ #
@@ -378,15 +421,7 @@ class WorkloadManager:
                 # Keep _arrival_order sorted by arrival time so arrival-order
                 # policies (NoShare, IndexOnly) serve adopted queries in their
                 # true order, not in adoption order.
-                position = bisect.bisect_right(
-                    self._arrival_order,
-                    (entry.enqueue_time_ms, entry.query_id),
-                    key=lambda qid: (
-                        self._queries[qid].arrival_time_ms,
-                        qid,
-                    ),
-                )
-                self._arrival_order.insert(position, entry.query_id)
+                self._insert_in_arrival_order(entry.query_id, entry.enqueue_time_ms)
             else:
                 state.remaining_buckets.add(bucket_index)
                 state.total_buckets += 1

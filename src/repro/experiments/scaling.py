@@ -1,12 +1,19 @@
 """Worker-scaling experiment: throughput speedup from parallel shards.
 
 Beyond the paper's single-server setup: the trace is replayed against the
-:class:`~repro.parallel.ParallelEngine` at 1, 2, 4 (and optionally more)
-workers, with the bucket range sharded across them and work stealing
-enabled.  Total service work is invariant (the same batches run, just
-distributed), so the makespan — and therefore the query throughput —
-should improve monotonically with the worker count until the arrival
-stream or shard imbalance becomes the bottleneck.
+sharded engine at 1, 2, 4 (and optionally more) workers, with the bucket
+range sharded across them and work stealing enabled.  Total service work
+is invariant (the same batches run, just distributed), so the makespan —
+and therefore the query throughput — should improve monotonically with
+the worker count until the arrival stream or shard imbalance becomes the
+bottleneck.
+
+The *backend* knob selects where the shard workers run: ``"virtual"``
+interleaves them deterministically in one OS process (virtual-time
+speedup only), ``"process"`` runs one OS process per shard so the table
+additionally shows **real** wall-clock speedup on the host's cores.
+Virtual-clock columns are identical across backends by construction (the
+cross-backend parity tests pin this down).
 
 The trace is replayed well above the serial capacity so the run is
 service-bound at every worker count; an under-saturated run would hide the
@@ -40,6 +47,7 @@ def run(
     workers: Optional[Sequence[int]] = None,
     shard_strategy: str = "round_robin",
     alpha: float = 0.25,
+    backend: str = "virtual",
 ) -> ExperimentResult:
     """Measure throughput speedup versus worker count."""
     trace = trace or build_trace(scale)
@@ -65,13 +73,18 @@ def run(
                 shard_strategy=shard_strategy,
                 label=f"workers={count}",
                 saturation_qps=saturation,
+                backend=backend,
             )
         )
 
     base_tp = results[0].throughput_qps
+    base_elapsed = results[0].real_elapsed_s
     rows = []
     for result in results:
         speedup = result.throughput_qps / base_tp if base_tp else float("inf")
+        wall_speedup = (
+            base_elapsed / result.real_elapsed_s if result.real_elapsed_s else float("inf")
+        )
         rows.append(
             (
                 result.workers,
@@ -81,6 +94,8 @@ def run(
                 result.cache_hit_rate,
                 result.steals,
                 result.wall_clock_s,
+                result.real_elapsed_s,
+                wall_speedup,
             )
         )
 
@@ -88,13 +103,22 @@ def run(
     headline = {
         "saturation_qps": saturation,
         "serial_throughput_qps": base_tp,
+        "serial_elapsed_s": base_elapsed,
     }
     for count in (2, 4, 8):
-        if count in by_workers and base_tp:
-            headline[f"speedup_{count}x"] = by_workers[count].throughput_qps / base_tp
+        result = by_workers.get(count)
+        if result is None:
+            continue
+        if base_tp:
+            headline[f"speedup_{count}x"] = result.throughput_qps / base_tp
+        if result.real_elapsed_s:
+            headline[f"wall_speedup_{count}x"] = base_elapsed / result.real_elapsed_s
     return ExperimentResult(
         name="scaling",
-        title=f"Throughput scaling with parallel workers ({shard_strategy} sharding)",
+        title=(
+            f"Throughput scaling with parallel workers "
+            f"({shard_strategy} sharding, {backend} backend)"
+        ),
         paper_expectation=(
             "beyond the paper: with bucket ownership sharded across N workers "
             "and work stealing, throughput should rise monotonically from 1 to "
@@ -108,11 +132,15 @@ def run(
             "cache hit rate",
             "steals",
             "virtual wall clock (s)",
+            "real elapsed (s)",
+            "wall speedup",
         ),
         rows=rows,
         headline=headline,
         notes=(
             f"trace replayed at {SATURATION_FACTOR:g}x the serial capacity so "
-            "every worker count is service-bound"
+            f"every worker count is service-bound; backend={backend} "
+            "(wall speedup is only meaningful on the process backend with "
+            "multiple cores)"
         ),
     )

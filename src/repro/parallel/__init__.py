@@ -14,14 +14,30 @@ concurrently (in virtual time):
   queries out through the shared pre-processor, repeatedly services the
   earliest-clock worker, steals the oldest starving bucket queue for idle
   workers, and merges per-worker accounting into one
-  :class:`~repro.core.engine.EngineReport`.
+  :class:`~repro.core.engine.EngineReport`;
+* :mod:`repro.parallel.backend` — the :class:`ExecutionBackend` seam over
+  the shard plan: :class:`VirtualBackend` (the deterministic in-process
+  interleaver, default for tests) and :class:`ProcessBackend` (one OS
+  process per shard via ``multiprocessing``, spawn-safe, with work
+  stealing as message passing);
+* :mod:`repro.parallel.ipc` — the pickled message protocol and the
+  per-shard replayer the worker processes run.
 
-This is the sharding seam later real multiprocessing, federation
-parallelism and async intake plug into: everything above the
-:class:`~repro.core.engine.ServiceLoop` is topology, everything below is
-unchanged engine code.
+Everything above the :class:`~repro.core.engine.ServiceLoop` is topology,
+everything below is unchanged engine code — which is what makes the two
+backends produce identical virtual-clock results (the cross-backend
+parity tests pin this down).
 """
 
+from repro.parallel.backend import (
+    EXECUTION_BACKENDS,
+    BackendOutcome,
+    ExecutionBackend,
+    ParallelRunSpec,
+    ProcessBackend,
+    VirtualBackend,
+    make_backend,
+)
 from repro.parallel.engine import ParallelEngine, ParallelReport
 from repro.parallel.sharding import (
     SHARD_STRATEGIES,
@@ -33,12 +49,19 @@ from repro.parallel.sharding import (
 from repro.parallel.worker import ShardWorker, WorkerPool
 
 __all__ = [
+    "EXECUTION_BACKENDS",
     "SHARD_STRATEGIES",
+    "BackendOutcome",
+    "ExecutionBackend",
     "ParallelEngine",
     "ParallelReport",
+    "ParallelRunSpec",
+    "ProcessBackend",
     "ShardPlan",
     "ShardWorker",
+    "VirtualBackend",
     "WorkerPool",
+    "make_backend",
     "make_shard_plan",
     "partition_round_robin",
     "partition_zones",

@@ -1,0 +1,583 @@
+"""Execution backends behind the :class:`~repro.parallel.sharding.ShardPlan` seam.
+
+The parallel engine's topology — N shard workers, staged per-worker
+arrival schedules, whole-queue work stealing — is independent of *where*
+the workers run.  An :class:`ExecutionBackend` makes that seam explicit:
+
+* :class:`VirtualBackend` interleaves the shard workers inside one OS
+  process in virtual time (the deterministic default every test drives);
+* :class:`ProcessBackend` runs each shard worker in its own OS process
+  (``multiprocessing``, spawn-safe): per-shard workloads ship as pickled
+  :class:`~repro.parallel.ipc.ShardTask` messages, every child rebuilds a
+  read-only :class:`~repro.storage.bucket_store.StoreSnapshot` of the
+  archive, and the coordinator advances all shards concurrently in virtual
+  time windows.  Work stealing becomes message passing: at each window
+  barrier the coordinator re-assigns the most starving bucket queue from a
+  busy shard to an idle one (:class:`~repro.parallel.ipc.ReleaseBucket` /
+  :class:`~repro.parallel.ipc.AdoptBucket`), exactly the whole-queue
+  migration rule of the in-process engine.
+
+Both backends return the same :class:`BackendOutcome` — one merged
+:class:`~repro.core.engine.EngineReport`, a
+:class:`~repro.parallel.engine.ParallelReport`, the merged per-worker
+:class:`~repro.sim.events.WorkerEventLog` and a global service log — so
+callers (the simulator, the scaling experiment, the parity tests) treat
+them interchangeably.  Virtual-clock accounting is backend-invariant; only
+the *real* wall clock (:attr:`BackendOutcome.real_elapsed_s`) differs,
+which is what the process backend exists to improve.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.engine import EngineConfig, EngineReport
+from repro.core.preprocessor import QueryPreProcessor
+from repro.core.scheduler import SchedulingPolicy
+from repro.parallel.engine import (
+    CompletionTracker,
+    ParallelEngine,
+    ParallelReport,
+    StealRecord,
+    merge_worker_results,
+)
+from repro.parallel.ipc import (
+    AdoptBucket,
+    BatchRecord,
+    BucketQueueMeta,
+    Finalize,
+    ReleaseBucket,
+    ReleasedBucket,
+    RunWindow,
+    ShardTask,
+    Shutdown,
+    WindowReport,
+    WorkerFailure,
+    WorkerResult,
+    shard_worker_main,
+)
+from repro.parallel.sharding import ShardPlan, make_shard_plan
+from repro.parallel.worker import StagedShare
+from repro.sim.events import Event, EventKind, WorkerEventLog
+from repro.storage.bucket_store import BucketStore
+from repro.storage.index import SpatialIndex
+from repro.storage.partitioner import PartitionLayout
+from repro.workload.query import CrossMatchQuery
+
+#: How long the coordinator waits on a single worker-process reply before
+#: declaring the run wedged (generous: windows are seconds of real work).
+REPLY_TIMEOUT_S = 600.0
+
+#: Default steal window, as a multiple of the bucket-read cost ``Tb``: long
+#: enough that a window amortises tens of services (every barrier costs one
+#: message round trip per shard), short enough that an idle shard still
+#: adopts foreign backlog well before the run drains.  Measured on the
+#: full-scale saturated trace, 64 bucket reads keeps the virtual-clock
+#: speedup of per-step stealing while cutting coordination traffic ~8x.
+DEFAULT_QUANTUM_BUCKET_READS = 64.0
+
+
+@dataclass
+class ParallelRunSpec:
+    """Everything one parallel run needs, independent of the backend."""
+
+    layout: PartitionLayout
+    store: BucketStore
+    queries: Sequence[CrossMatchQuery]
+    policy: SchedulingPolicy
+    config: EngineConfig
+    workers: int = 1
+    shard_strategy: str = "round_robin"
+    plan: Optional[ShardPlan] = None
+    index: Optional[SpatialIndex] = None
+    enable_stealing: bool = True
+    #: Virtual-time window between steal barriers of the process backend;
+    #: ``None`` derives it from the cost model's bucket-read time.
+    steal_quantum_ms: Optional[float] = None
+
+    def resolved_plan(self) -> ShardPlan:
+        """The shard plan of the run (built from the strategy when absent)."""
+        return self.plan or make_shard_plan(self.layout, self.workers, self.shard_strategy)
+
+    def quantum_ms(self) -> float:
+        """The steal window of the process backend."""
+        if self.steal_quantum_ms is not None:
+            if self.steal_quantum_ms <= 0:
+                raise ValueError("steal_quantum_ms must be positive")
+            return self.steal_quantum_ms
+        return self.config.cost.tb_ms * DEFAULT_QUANTUM_BUCKET_READS
+
+
+@dataclass
+class BackendOutcome:
+    """What every execution backend returns: merged reports plus logs."""
+
+    backend: str
+    report: EngineReport
+    parallel: ParallelReport
+    events: WorkerEventLog
+    steal_records: List[StealRecord]
+    #: Query ids in global completion order.
+    completed: List[int]
+    #: Every bucket service of the run, in global virtual-time order.
+    services: List[BatchRecord]
+    bucket_reads: int
+    megabytes_read: float
+    #: Real (measured) wall-clock of the run, including backend setup.
+    real_elapsed_s: float
+
+    def coverage(self) -> Dict[int, frozenset]:
+        """Per-query bucket coverage: which buckets serviced each query."""
+        covered: Dict[int, Set[int]] = {}
+        for record in self.services:
+            for query_id in record.queries_served:
+                covered.setdefault(query_id, set()).add(record.bucket_index)
+        return {query_id: frozenset(buckets) for query_id, buckets in covered.items()}
+
+
+class ExecutionBackend(ABC):
+    """Strategy interface: run one sharded workload to completion."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(self, spec: ParallelRunSpec) -> BackendOutcome:
+        """Run *spec* to completion and return the merged outcome."""
+
+
+class VirtualBackend(ExecutionBackend):
+    """The deterministic in-process interleaver (the default for tests).
+
+    Wraps :class:`~repro.parallel.engine.ParallelEngine` in its staged
+    (open-system) intake: queries are *offered* in arrival order and each
+    per-bucket share is delivered when the owning worker's own clock
+    reaches it, so every shard's timeline is a pure function of its
+    arrival schedule — the property the process backend reproduces.
+    """
+
+    name = "virtual"
+
+    def execute(self, spec: ParallelRunSpec) -> BackendOutcome:
+        started = time.perf_counter()
+        engine = ParallelEngine(
+            spec.layout,
+            spec.store,
+            workers=spec.workers,
+            scheduler=spec.policy,
+            index=spec.index,
+            config=spec.config,
+            shard_strategy=spec.shard_strategy,
+            enable_stealing=spec.enable_stealing,
+            plan=spec.plan,
+        )
+        ordered = sorted(spec.queries, key=lambda q: (q.arrival_time_s, q.query_id))
+        for query in ordered:
+            engine.offer(query)
+        engine.run_until_idle()
+        elapsed = time.perf_counter() - started
+        services: List[BatchRecord] = []
+        for worker in engine.workers:
+            for seq, batch in enumerate(worker.loop.batches):
+                services.append(
+                    BatchRecord(
+                        worker_id=worker.worker_id,
+                        seq=seq,
+                        bucket_index=batch.work_item.bucket_index,
+                        queries_served=batch.queries_served,
+                        started_at_ms=batch.started_at_ms,
+                        finished_at_ms=batch.finished_at_ms,
+                    )
+                )
+        services.sort(key=lambda r: (r.started_at_ms, r.worker_id, r.seq))
+        preport = engine.parallel_report()
+        return BackendOutcome(
+            backend=self.name,
+            report=preport.engine,
+            parallel=preport,
+            events=engine.events,
+            steal_records=list(engine.steal_log),
+            completed=engine.completed_queries(),
+            services=services,
+            bucket_reads=spec.store.reads,
+            megabytes_read=spec.store.bytes_read_mb,
+            real_elapsed_s=elapsed,
+        )
+
+
+class _ShardHandle:
+    """The coordinator's view of one worker process."""
+
+    def __init__(self, worker_id: int, process, conn, arrivals: Sequence[StagedShare]):
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.clock_ms = 0.0
+        self.pending: Dict[int, BucketQueueMeta] = {}
+        self.next_staged_ms: Optional[float] = arrivals[0].arrival_ms if arrivals else None
+        self.drained = not arrivals
+        self.result: Optional[WorkerResult] = None
+
+    def send(self, message) -> None:
+        self.conn.send(message)
+
+    def recv(self):
+        if not self.conn.poll(REPLY_TIMEOUT_S):
+            raise RuntimeError(
+                f"shard worker {self.worker_id} sent no reply within "
+                f"{REPLY_TIMEOUT_S:g}s; aborting the run"
+            )
+        try:
+            reply = self.conn.recv()
+        except (EOFError, ConnectionResetError) as error:
+            raise RuntimeError(
+                f"shard worker {self.worker_id} died without replying "
+                f"(exit code {self.process.exitcode})"
+            ) from error
+        if isinstance(reply, WorkerFailure):
+            raise RuntimeError(
+                f"shard worker {reply.worker_id} failed:\n{reply.traceback_text}"
+            )
+        return reply
+
+    def request(self, message):
+        self.send(message)
+        return self.recv()
+
+    def apply_window(self, report: WindowReport) -> None:
+        """Fold a window report into the coordinator's view of the shard."""
+        self.clock_ms = report.clock_ms
+        self.pending = {meta.bucket_index: meta for meta in report.pending}
+        self.next_staged_ms = report.next_staged_ms
+        self.drained = report.drained
+
+    def boundary_candidate_ms(self) -> Optional[float]:
+        """Earliest virtual time at which this shard can make progress."""
+        if self.drained:
+            return None
+        if self.pending:
+            return self.clock_ms
+        if self.next_staged_ms is None:
+            return None
+        return max(self.clock_ms, self.next_staged_ms)
+
+
+class ProcessBackend(ExecutionBackend):
+    """One OS process per shard worker, coordinated over pipes.
+
+    The coordinator pre-computes every shard's full arrival schedule (the
+    same fan-out the virtual engine performs), ships it with a read-only
+    store snapshot to each child, then advances all shards concurrently:
+
+    * stealing disabled — a single drain message per shard, maximal
+      parallelism, each shard a pure function of its schedule;
+    * stealing enabled — bounded virtual-time windows; at every barrier
+      idle shards adopt the most starving foreign bucket queue (entries
+      *and* staged future), the same whole-queue migration rule as the
+      in-process engine, now expressed as messages.
+
+    Virtual-clock accounting (busy time, I/O, services, per-query bucket
+    coverage) is identical to the virtual backend by construction; the
+    parity tests pin that down.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: str = "spawn"):
+        self.start_method = start_method
+
+    # -- setup ----------------------------------------------------------- #
+
+    def execute(self, spec: ParallelRunSpec) -> BackendOutcome:
+        started = time.perf_counter()
+        plan = spec.resolved_plan()
+        tracker = CompletionTracker()
+        events = WorkerEventLog()
+        arrivals = self._fan_out(spec, plan, tracker, events)
+        snapshot = spec.store.snapshot()
+        context = multiprocessing.get_context(self.start_method)
+        handles: List[_ShardHandle] = []
+        batches: List[BatchRecord] = []
+        steal_records: List[StealRecord] = []
+        try:
+            for worker_id in range(spec.workers):
+                policy = spec.policy if worker_id == 0 else self._clone(spec.policy)
+                task = ShardTask(
+                    worker_id=worker_id,
+                    config=spec.config,
+                    policy=policy,
+                    snapshot=snapshot,
+                    index=spec.index,
+                    arrivals=tuple(arrivals[worker_id]),
+                )
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=shard_worker_main,
+                    args=(child_conn, task),
+                    daemon=True,
+                    name=f"liferaft-shard-{worker_id}",
+                )
+                process.start()
+                child_conn.close()
+                handles.append(_ShardHandle(worker_id, process, parent_conn, arrivals[worker_id]))
+            if spec.enable_stealing and spec.workers > 1:
+                self._windowed_run(spec, handles, batches, steal_records, events)
+            else:
+                self._run_window(handles, None, batches)
+            results = [handle.request(Finalize()) for handle in handles]
+        finally:
+            self._shutdown(handles)
+        elapsed = time.perf_counter() - started
+        return self._merge(
+            spec, plan, tracker, events, batches, steal_records, results, elapsed
+        )
+
+    @staticmethod
+    def _clone(policy: SchedulingPolicy) -> SchedulingPolicy:
+        clone = getattr(policy, "clone", None)
+        if clone is None:
+            raise TypeError(
+                f"policy {policy!r} does not support clone(); "
+                "per-shard schedulers must be constructible per worker"
+            )
+        return clone()
+
+    @staticmethod
+    def _fan_out(
+        spec: ParallelRunSpec,
+        plan: ShardPlan,
+        tracker: CompletionTracker,
+        events: WorkerEventLog,
+    ) -> List[List[StagedShare]]:
+        """Build every shard's arrival schedule (the virtual engine's fan-out)."""
+        preprocessor = QueryPreProcessor(spec.layout)
+        arrivals: List[List[StagedShare]] = [[] for _ in range(spec.workers)]
+        ordered = sorted(spec.queries, key=lambda q: (q.arrival_time_s, q.query_id))
+        for query in ordered:
+            arrival_ms = query.arrival_time_s * 1000.0
+            assignments = preprocessor.assign(query)
+            if not assignments:
+                # No overlap at this site: completes immediately (as serially).
+                continue
+            if tracker.known(query.query_id):
+                raise ValueError(f"query {query.query_id} appears twice in the trace")
+            recipients: Set[int] = set()
+            for bucket_index, payload in assignments.items():
+                worker_id = plan.owner_of(bucket_index)
+                arrivals[worker_id].append(
+                    StagedShare(arrival_ms, query.query_id, bucket_index, payload)
+                )
+                recipients.add(worker_id)
+            for worker_id in sorted(recipients):
+                events.record(
+                    worker_id,
+                    Event(arrival_ms, EventKind.QUERY_ARRIVAL, payload=query.query_id),
+                )
+            tracker.register(query.query_id, assignments.keys(), arrival_ms)
+        return arrivals
+
+    # -- the coordinator loop -------------------------------------------- #
+
+    @staticmethod
+    def _run_window(
+        handles: Sequence[_ShardHandle],
+        until_ms: Optional[float],
+        batches: List[BatchRecord],
+    ) -> None:
+        """One concurrent window: broadcast first, then collect every reply."""
+        active = [handle for handle in handles if not handle.drained]
+        for handle in active:
+            handle.send(RunWindow(until_ms))
+        for handle in active:
+            report = handle.recv()
+            handle.apply_window(report)
+            batches.extend(report.batches)
+
+    def _windowed_run(
+        self,
+        spec: ParallelRunSpec,
+        handles: List[_ShardHandle],
+        batches: List[BatchRecord],
+        steal_records: List[StealRecord],
+        events: WorkerEventLog,
+    ) -> None:
+        quantum = spec.quantum_ms()
+        while True:
+            candidates = [
+                candidate
+                for handle in handles
+                if (candidate := handle.boundary_candidate_ms()) is not None
+            ]
+            if not candidates:
+                return
+            self._run_window(handles, min(candidates) + quantum, batches)
+            if all(handle.drained for handle in handles):
+                return
+            self._steal_round(handles, steal_records, events)
+
+    @staticmethod
+    def _steal_round(
+        handles: Sequence[_ShardHandle],
+        steal_records: List[StealRecord],
+        events: WorkerEventLog,
+    ) -> None:
+        """Window-barrier work stealing: idle shards adopt starving queues.
+
+        The rule matches the in-process engine: each idle shard (no queued
+        work) may adopt the globally most starving foreign queue — oldest
+        pending entry first — provided it can start the service strictly
+        earlier than the victim could (``max(thief clock, newest entry)``
+        versus the victim's clock).  Queues migrate whole, together with
+        their not-yet-ingested staged shares, so batching is preserved and
+        future arrivals follow the queue.
+        """
+        thieves = sorted(
+            (handle for handle in handles if not handle.pending),
+            key=lambda handle: (handle.clock_ms, handle.worker_id),
+        )
+        for thief in thieves:
+            best: Optional[Tuple[float, int, _ShardHandle]] = None
+            for victim in handles:
+                if victim.worker_id == thief.worker_id:
+                    continue
+                for meta in victim.pending.values():
+                    key = (meta.oldest_enqueue_ms, meta.bucket_index)
+                    if best is None or key < (best[0], best[1]):
+                        best = (meta.oldest_enqueue_ms, meta.bucket_index, victim)
+            if best is None:
+                return  # nothing pending anywhere
+            _oldest, bucket_index, victim = best
+            meta = victim.pending[bucket_index]
+            start_ms = max(thief.clock_ms, meta.newest_enqueue_ms)
+            if start_ms >= victim.clock_ms:
+                continue  # migration would not start the service any earlier
+            released: ReleasedBucket = victim.request(ReleaseBucket(bucket_index))
+            if not released.entries:
+                continue  # defensive: the queue vanished between windows
+            thief.request(
+                AdoptBucket(
+                    bucket_index=bucket_index,
+                    entries=released.entries,
+                    staged=released.staged,
+                    clock_ms=start_ms,
+                )
+            )
+            del victim.pending[bucket_index]
+            victim.next_staged_ms = released.next_staged_ms
+            victim.drained = not victim.pending and victim.next_staged_ms is None
+            enqueues = [entry.enqueue_time_ms for entry in released.entries]
+            thief.pending[bucket_index] = BucketQueueMeta(
+                bucket_index=bucket_index,
+                entry_count=len(released.entries),
+                oldest_enqueue_ms=min(enqueues),
+                newest_enqueue_ms=max(enqueues),
+            )
+            if released.staged:
+                staged_first = min(share.arrival_ms for share in released.staged)
+                if thief.next_staged_ms is None or staged_first < thief.next_staged_ms:
+                    thief.next_staged_ms = staged_first
+            thief.clock_ms = max(thief.clock_ms, start_ms)
+            thief.drained = False
+            record = StealRecord(
+                time_ms=start_ms,
+                bucket_index=bucket_index,
+                victim_id=victim.worker_id,
+                thief_id=thief.worker_id,
+                entry_count=len(released.entries),
+            )
+            steal_records.append(record)
+            events.record(
+                thief.worker_id, Event(start_ms, EventKind.WORK_STOLEN, payload=record)
+            )
+
+    @staticmethod
+    def _shutdown(handles: Sequence[_ShardHandle]) -> None:
+        for handle in handles:
+            try:
+                handle.send(Shutdown())
+            except (OSError, ValueError):
+                pass
+        for handle in handles:
+            handle.process.join(timeout=10.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=10.0)
+            handle.conn.close()
+
+    # -- merging ---------------------------------------------------------- #
+
+    def _merge(
+        self,
+        spec: ParallelRunSpec,
+        plan: ShardPlan,
+        tracker: CompletionTracker,
+        events: WorkerEventLog,
+        batches: List[BatchRecord],
+        steal_records: List[StealRecord],
+        results: Sequence[WorkerResult],
+        elapsed_s: float,
+    ) -> BackendOutcome:
+        # Replay services in global virtual-time order (the step order of
+        # the in-process engine) so cross-shard completion bookkeeping is
+        # identical to the virtual backend's.
+        batches.sort(key=lambda r: (r.started_at_ms, r.worker_id, r.seq))
+        for record in batches:
+            events.record(
+                record.worker_id,
+                Event(
+                    record.finished_at_ms,
+                    EventKind.SERVICE_COMPLETE,
+                    payload=(record.bucket_index, record.queries_served),
+                ),
+            )
+            for query_id in record.queries_served:
+                tracker.on_serviced(query_id, record.bucket_index, record.finished_at_ms)
+        ordered_results = sorted(results, key=lambda r: r.worker_id)
+        scheduler_name = (
+            f"parallel(workers={spec.workers}, policy={spec.policy.name}, "
+            f"shard={plan.strategy})"
+        )
+        report = merge_worker_results(scheduler_name, tracker, ordered_results)
+        parallel = ParallelReport(
+            engine=report,
+            workers=spec.workers,
+            shard_strategy=plan.strategy,
+            worker_busy_ms=[r.busy_ms for r in ordered_results],
+            worker_clocks_ms=[r.clock_ms for r in ordered_results],
+            worker_services=[r.services for r in ordered_results],
+            steals=len(steal_records),
+            wall_clock_ms=max((r.clock_ms for r in ordered_results), default=0.0),
+        )
+        return BackendOutcome(
+            backend=self.name,
+            report=report,
+            parallel=parallel,
+            events=events,
+            steal_records=steal_records,
+            completed=tracker.completed_order,
+            services=batches,
+            bucket_reads=sum(r.store_reads for r in ordered_results),
+            megabytes_read=sum(r.store_megabytes for r in ordered_results),
+            real_elapsed_s=elapsed_s,
+        )
+
+#: Registry of execution backends by name.
+EXECUTION_BACKENDS = {
+    VirtualBackend.name: VirtualBackend,
+    ProcessBackend.name: ProcessBackend,
+}
+
+
+def make_backend(backend: Union[str, ExecutionBackend]) -> ExecutionBackend:
+    """Resolve a backend instance from a name or pass an instance through."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend not in EXECUTION_BACKENDS:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; available: "
+            f"{sorted(EXECUTION_BACKENDS)}"
+        )
+    return EXECUTION_BACKENDS[backend]()

@@ -10,6 +10,16 @@ backlog, it steals the most starving bucket queue (oldest pending entry)
 from a busier worker — queues migrate whole, so a bucket's batched service
 is never split.
 
+Two intake modes exist.  :meth:`ParallelEngine.submit` enqueues a query's
+shares immediately and advances recipient clocks (the closed-system mode
+the batch tests drive).  :meth:`ParallelEngine.offer` instead *stages* each
+per-bucket share until the owning worker's own clock reaches the arrival
+time, which replays an open-system trace with strictly local arrival
+semantics: a worker's behaviour is a pure function of its own arrival
+schedule.  The execution backends build on ``offer`` — it is the property
+that lets OS-process workers (:mod:`repro.parallel.backend`) reproduce the
+in-process interleaver exactly.
+
 Query completion is tracked globally (a query finishes when its *last*
 bucket anywhere is drained), which is what makes per-shard workload
 managers composable: each manager only knows its shard's share of a query.
@@ -22,18 +32,21 @@ same costs, same report — which the parity tests pin down.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.engine import BatchResult, EngineConfig, EngineReport
 from repro.core.preprocessor import QueryPreProcessor
 from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig, SchedulingPolicy
 from repro.parallel.sharding import ShardPlan
-from repro.parallel.worker import ShardWorker, WorkerPool
+from repro.parallel.worker import TIME_EPS, ShardWorker, StagedShare, WorkerPool
 from repro.sim.events import Event, EventKind, WorkerEventLog
 from repro.storage.bucket_store import BucketStore
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import PartitionLayout
 from repro.workload.query import CrossMatchQuery
+
+if TYPE_CHECKING:
+    from repro.parallel.ipc import WorkerResult
 
 
 @dataclass(frozen=True)
@@ -45,6 +58,85 @@ class StealRecord:
     victim_id: int
     thief_id: int
     entry_count: int
+
+
+class CompletionTracker:
+    """Cross-shard query bookkeeping: arrivals, remaining buckets, completions.
+
+    A query completes when its *last* pending bucket anywhere is drained.
+    The tracker is deliberately standalone so the in-process engine and the
+    multiprocessing coordinator (which replays per-worker batch records in
+    global virtual-time order) share one notion of completion.
+    """
+
+    def __init__(self) -> None:
+        self._remaining: Dict[int, Set[int]] = {}
+        self._arrival_ms: Dict[int, float] = {}
+        self._completion_ms: Dict[int, float] = {}
+        self._order: List[int] = []
+        self._first_arrival_ms: Optional[float] = None
+
+    def register(self, query_id: int, buckets: Iterable[int], arrival_ms: float) -> None:
+        """Record a query's arrival and the buckets it must still visit."""
+        if query_id in self._remaining:
+            raise ValueError(f"query {query_id} was already submitted")
+        self._remaining[query_id] = set(buckets)
+        self._arrival_ms[query_id] = arrival_ms
+        if self._first_arrival_ms is None or arrival_ms < self._first_arrival_ms:
+            self._first_arrival_ms = arrival_ms
+
+    def known(self, query_id: int) -> bool:
+        """``True`` once the query has been registered."""
+        return query_id in self._remaining
+
+    def on_serviced(self, query_id: int, bucket_index: int, finished_ms: float) -> bool:
+        """Mark one bucket of a query as drained; ``True`` on completion."""
+        remaining = self._remaining.get(query_id)
+        if remaining is None:
+            return False
+        remaining.discard(bucket_index)
+        if not remaining and query_id not in self._completion_ms:
+            self._completion_ms[query_id] = finished_ms
+            self._order.append(query_id)
+            return True
+        return False
+
+    @property
+    def submitted_count(self) -> int:
+        """Queries registered so far."""
+        return len(self._arrival_ms)
+
+    @property
+    def completed_order(self) -> List[int]:
+        """Query ids in global completion order."""
+        return list(self._order)
+
+    @property
+    def first_arrival_ms(self) -> Optional[float]:
+        """Earliest registered arrival, or ``None`` before any intake."""
+        return self._first_arrival_ms
+
+    @property
+    def last_completion_ms(self) -> float:
+        """Latest completion timestamp (0 before any query finishes)."""
+        return max(self._completion_ms.values(), default=0.0)
+
+    def arrival_ms(self, query_id: int) -> float:
+        """Arrival time of a registered query."""
+        return self._arrival_ms[query_id]
+
+    def response_time_ms(self, query_id: int) -> Optional[float]:
+        """Response time of one query, or ``None`` while pending."""
+        done = self._completion_ms.get(query_id)
+        if done is None:
+            return None
+        return done - self._arrival_ms[query_id]
+
+    def response_times_ms(self) -> Dict[int, float]:
+        """Response times of every completed query, in completion order."""
+        return {
+            qid: self._completion_ms[qid] - self._arrival_ms[qid] for qid in self._order
+        }
 
 
 @dataclass
@@ -73,6 +165,66 @@ class ParallelReport:
             return 0.0
         per_worker = [busy / self.wall_clock_ms for busy in self.worker_busy_ms]
         return sum(per_worker) / len(per_worker)
+
+
+def merge_worker_results(
+    scheduler_name: str,
+    completion: CompletionTracker,
+    results: Sequence["WorkerResult"],
+) -> EngineReport:
+    """Merge per-worker accounting into one :class:`EngineReport`.
+
+    The single aggregation rule both execution backends share: the
+    in-process engine merges its live shard workers through it and the
+    multiprocessing coordinator merges the :class:`WorkerResult` messages
+    its worker processes return — so the merged report can never drift
+    between backends.
+    """
+    response_times = completion.response_times_ms()
+    first_arrival = completion.first_arrival_ms or 0.0
+    makespan = max(0.0, completion.last_completion_ms - first_arrival)
+    hits = sum(r.cache_statistics.get("hits", 0.0) for r in results)
+    misses = sum(r.cache_statistics.get("misses", 0.0) for r in results)
+    accesses = hits + misses
+    cache_stats = {
+        "hits": hits,
+        "misses": misses,
+        "accesses": accesses,
+        "hit_rate": (hits / accesses) if accesses else 0.0,
+    }
+    scan_services = sum(r.join_statistics.get("scan_services", 0.0) for r in results)
+    index_services = sum(r.join_statistics.get("index_services", 0.0) for r in results)
+    total_join_services = scan_services + index_services
+    join_stats = {
+        "scan_services": scan_services,
+        "index_services": index_services,
+        "index_service_fraction": (
+            index_services / total_join_services if total_join_services else 0.0
+        ),
+        "threshold_fraction": (
+            results[0].join_statistics.get("threshold_fraction", 0.0) if results else 0.0
+        ),
+    }
+    strategy_counts: Dict[str, int] = {}
+    for result in results:
+        for key, value in result.strategy_counts.items():
+            strategy_counts[key] = strategy_counts.get(key, 0) + value
+    return EngineReport(
+        scheduler_name=scheduler_name,
+        submitted_queries=completion.submitted_count,
+        completed_queries=len(response_times),
+        busy_time_ms=sum(r.busy_ms for r in results),
+        makespan_ms=makespan,
+        response_times_ms=response_times,
+        bucket_services=sum(r.services for r in results),
+        cache_hit_rate=cache_stats["hit_rate"],
+        cache_statistics=cache_stats,
+        join_statistics=join_stats,
+        strategy_counts=strategy_counts,
+        total_io_ms=sum(r.total_io_ms for r in results),
+        total_match_ms=sum(r.total_match_ms for r in results),
+        total_matches=sum(r.total_matches for r in results),
+    )
 
 
 class ParallelEngine:
@@ -113,11 +265,10 @@ class ParallelEngine:
         #: Future arrivals follow the queue, so one bucket's workload is
         #: never split between two shards.
         self._adopted_owner: Dict[int, int] = {}
-        self._remaining: Dict[int, Set[int]] = {}
-        self._arrival_ms: Dict[int, float] = {}
-        self._completion_ms: Dict[int, float] = {}
-        self._completed_order: List[int] = []
-        self._first_arrival_ms: Optional[float] = None
+        self.completion = CompletionTracker()
+        #: (worker_id, query_id) pairs whose arrival event was recorded,
+        #: so staged per-bucket ingestion logs one event per fan-out.
+        self._arrival_logged: Set[Tuple[int, int]] = set()
 
     # ------------------------------------------------------------------ #
     # intake
@@ -139,13 +290,18 @@ class ParallelEngine:
         return self.pool.max_clock_ms()
 
     def submit(self, query: CrossMatchQuery, now_ms: Optional[float] = None) -> None:
-        """Fan one query's per-bucket workloads out to the owning shards."""
+        """Fan one query's per-bucket workloads out to the owning shards.
+
+        The eager (closed-system) intake: shares are enqueued immediately
+        and every recipient clock advances to the arrival time, exactly as
+        the serial engine's ``submit`` advances its single clock.
+        """
         arrival_ms = now_ms if now_ms is not None else query.arrival_time_s * 1000.0
         assignments = self.preprocessor.assign(query)
         if not assignments:
             # No overlap at this site: completes immediately (as serially).
             return
-        if query.query_id in self._remaining:
+        if self.completion.known(query.query_id):
             raise ValueError(f"query {query.query_id} was already submitted")
         shares: Dict[int, Dict[int, object]] = {}
         for bucket_index, payload in assignments.items():
@@ -155,25 +311,68 @@ class ParallelEngine:
             shares.setdefault(worker_id, {})[bucket_index] = payload
         for worker_id, share in shares.items():
             worker = self.pool[worker_id]
-            worker.manager.add_query(query.query_id, share, arrival_ms)
+            worker.manager.add_query(query.query_id, share, arrival_ms, merge=True)
             worker.observe_arrival(arrival_ms)
-            self.events.record(
-                worker_id,
-                Event(arrival_ms, EventKind.QUERY_ARRIVAL, payload=query.query_id),
+            self._record_arrival(worker_id, query.query_id, arrival_ms)
+        self.completion.register(query.query_id, assignments.keys(), arrival_ms)
+
+    def offer(self, query: CrossMatchQuery, now_ms: Optional[float] = None) -> None:
+        """Stage one query for timed, per-worker arrival delivery.
+
+        The open-system intake used by the execution backends: each
+        per-bucket share is held until the owning worker's *own* clock
+        reaches the arrival time (or the worker idles forward to it), so
+        no worker ever sees work from its future.  Queries must be offered
+        in non-decreasing arrival order.
+        """
+        arrival_ms = now_ms if now_ms is not None else query.arrival_time_s * 1000.0
+        assignments = self.preprocessor.assign(query)
+        if not assignments:
+            return
+        if self.completion.known(query.query_id):
+            raise ValueError(f"query {query.query_id} was already submitted")
+        for bucket_index, payload in assignments.items():
+            worker_id = self._adopted_owner.get(
+                bucket_index, self.pool.plan.owner_of(bucket_index)
             )
-        self._remaining[query.query_id] = set(assignments.keys())
-        self._arrival_ms[query.query_id] = arrival_ms
-        if self._first_arrival_ms is None or arrival_ms < self._first_arrival_ms:
-            self._first_arrival_ms = arrival_ms
+            self.pool[worker_id].stage(
+                StagedShare(arrival_ms, query.query_id, bucket_index, payload)
+            )
+        self.completion.register(query.query_id, assignments.keys(), arrival_ms)
+
+    def _record_arrival(self, worker_id: int, query_id: int, arrival_ms: float) -> None:
+        """Log one QUERY_ARRIVAL event per (worker, query) fan-out."""
+        key = (worker_id, query_id)
+        if key in self._arrival_logged:
+            return
+        self._arrival_logged.add(key)
+        self.events.record(
+            worker_id, Event(arrival_ms, EventKind.QUERY_ARRIVAL, payload=query_id)
+        )
+
+    def _ingest_due(self) -> None:
+        """Deliver staged shares whose arrival time each worker has reached."""
+        for worker in self.pool:
+            for share in worker.ingest_due():
+                self._record_arrival(worker.worker_id, share.query_id, share.arrival_ms)
 
     def has_pending_work(self) -> bool:
-        """``True`` while any shard has a non-empty workload queue."""
-        return any(worker.has_pending_work() for worker in self.pool)
+        """``True`` while any shard has queued or staged work."""
+        return any(
+            worker.has_pending_work() or worker.has_staged() for worker in self.pool
+        )
 
     def next_decision_ms(self) -> Optional[float]:
-        """Clock of the worker that will service next, or ``None`` if idle."""
-        clocks = [w.now_ms for w in self.pool if w.has_pending_work()]
-        return min(clocks) if clocks else None
+        """Virtual time of the next service or arrival, or ``None`` if drained."""
+        times: List[float] = []
+        for worker in self.pool:
+            if worker.has_pending_work():
+                times.append(worker.now_ms)
+            else:
+                staged = worker.next_staged_ms()
+                if staged is not None:
+                    times.append(max(staged, worker.now_ms))
+        return min(times) if times else None
 
     # ------------------------------------------------------------------ #
     # execution
@@ -182,22 +381,51 @@ class ParallelEngine:
     def step(self) -> Optional[Tuple[int, BatchResult]]:
         """Advance the system by one bucket service.
 
-        Idle workers first steal (at most one bucket queue each), then the
-        worker with the earliest clock among those with pending work runs
-        one service.  Returns ``(worker_id, batch)`` or ``None`` when the
-        whole pool is drained.
+        Due staged arrivals are ingested first, then idle workers steal
+        (at most one bucket queue each), then the earliest pending event
+        happens: either an idle worker jumps forward to its next staged
+        arrival, or the worker with the earliest clock among those with
+        pending work runs one service.  Jumps loop internally; the method
+        returns after one service as ``(worker_id, batch)``, or ``None``
+        when the whole pool is drained.
         """
-        if self.enable_stealing and len(self.pool) > 1:
-            self._balance()
-        candidates = [w for w in self.pool if w.has_pending_work()]
-        if not candidates:
-            return None
-        worker = min(candidates, key=lambda w: (w.now_ms, w.worker_id))
-        result = worker.service_next()
-        if result is None:  # defensive: a scheduler refused pending work
-            return None
-        self._on_batch(worker, result)
-        return worker.worker_id, result
+        while True:
+            self._ingest_due()
+            if self.enable_stealing and len(self.pool) > 1:
+                self._balance()
+            candidates = [w for w in self.pool if w.has_pending_work()]
+            service_key: Optional[Tuple[float, int]] = None
+            worker: Optional[ShardWorker] = None
+            if candidates:
+                worker = min(candidates, key=lambda w: (w.now_ms, w.worker_id))
+                service_key = (worker.now_ms, worker.worker_id)
+            jump_key: Optional[Tuple[float, int]] = None
+            jumper: Optional[ShardWorker] = None
+            for idle in self.pool:
+                if idle.has_pending_work():
+                    continue
+                staged = idle.next_staged_ms()
+                if staged is None:
+                    continue
+                key = (staged, idle.worker_id)
+                if jump_key is None or key < jump_key:
+                    jump_key = key
+                    jumper = idle
+            if jumper is not None and (
+                service_key is None or jump_key[0] <= service_key[0] + TIME_EPS
+            ):
+                # The next event is an arrival on an idle worker: advance
+                # its clock to the arrival and re-evaluate (the newly busy
+                # worker may now hold the earliest clock).
+                jumper.jump_to(jump_key[0])
+                continue
+            if worker is None:
+                return None
+            result = worker.service_next()
+            if result is None:  # defensive: a scheduler refused pending work
+                return None
+            self._on_batch(worker, result)
+            return worker.worker_id, result
 
     def run_until_idle(self, max_batches: Optional[int] = None) -> int:
         """Drain every shard, interleaving workers in virtual time."""
@@ -243,6 +471,9 @@ class ParallelEngine:
                 continue  # migration would not start the service any earlier
             moved = victim.manager.release_bucket(bucket_index)
             thief.manager.adopt_bucket(bucket_index, moved)
+            # Future arrivals follow the queue: re-route the bucket's not
+            # yet ingested staged shares along with the queue itself.
+            thief.stage_merged(victim.extract_staged(bucket_index))
             self._adopted_owner[bucket_index] = thief.worker_id
             thief.now_ms = start_ms
             thief.steals += 1
@@ -271,13 +502,7 @@ class ParallelEngine:
             ),
         )
         for query_id in result.queries_served:
-            remaining = self._remaining.get(query_id)
-            if remaining is None:
-                continue
-            remaining.discard(bucket)
-            if not remaining and query_id not in self._completion_ms:
-                self._completion_ms[query_id] = result.finished_at_ms
-                self._completed_order.append(query_id)
+            self.completion.on_serviced(query_id, bucket, result.finished_at_ms)
 
     # ------------------------------------------------------------------ #
     # reporting
@@ -285,14 +510,11 @@ class ParallelEngine:
 
     def completed_queries(self) -> List[int]:
         """Query ids in (global) completion order."""
-        return list(self._completed_order)
+        return self.completion.completed_order
 
     def response_time_ms(self, query_id: int) -> Optional[float]:
         """Response time of one query, or ``None`` while pending."""
-        done = self._completion_ms.get(query_id)
-        if done is None:
-            return None
-        return done - self._arrival_ms[query_id]
+        return self.completion.response_time_ms(query_id)
 
     @property
     def scheduler_name(self) -> str:
@@ -308,67 +530,17 @@ class ParallelEngine:
         Busy time, service counts, strategy counts and I/O totals are sums
         over workers; the cache hit rate is recomputed from the pooled
         hit/miss counters; the makespan spans first arrival to the last
-        query completion anywhere, exactly as in the serial report.
+        query completion anywhere, exactly as in the serial report.  The
+        aggregation itself is shared with the multiprocessing coordinator
+        (:func:`merge_worker_results`), so both execution backends merge
+        by exactly the same rules.
         """
-        response_times = {
-            qid: self._completion_ms[qid] - self._arrival_ms[qid]
-            for qid in self._completed_order
-        }
-        first_arrival = self._first_arrival_ms or 0.0
-        last_completion = max(self._completion_ms.values(), default=0.0)
-        makespan = max(0.0, last_completion - first_arrival)
-        hits = misses = 0.0
-        cache_stats: Dict[str, float] = {}
-        strategy_counts: Dict[str, int] = {}
-        scan_services = index_services = 0.0
-        busy = io = match = 0.0
-        matches = 0
-        services = 0
-        for worker in self.pool:
-            snapshot = worker.cache.statistics()
-            hits += snapshot.get("hits", 0.0)
-            misses += snapshot.get("misses", 0.0)
-            join_stats = worker.loop.evaluator.statistics()
-            scan_services += join_stats.get("scan_services", 0.0)
-            index_services += join_stats.get("index_services", 0.0)
-            for key, value in worker.loop.strategy_counts.items():
-                strategy_counts[key] = strategy_counts.get(key, 0) + value
-            busy += worker.loop.busy_ms
-            io += worker.loop.total_io_ms
-            match += worker.loop.total_match_ms
-            matches += worker.loop.total_matches
-            services += len(worker.loop.batches)
-        accesses = hits + misses
-        cache_stats = {
-            "hits": hits,
-            "misses": misses,
-            "accesses": accesses,
-            "hit_rate": (hits / accesses) if accesses else 0.0,
-        }
-        total_join_services = scan_services + index_services
-        join_stats = {
-            "scan_services": scan_services,
-            "index_services": index_services,
-            "index_service_fraction": (
-                index_services / total_join_services if total_join_services else 0.0
-            ),
-            "threshold_fraction": self.pool[0].loop.evaluator.threshold_fraction,
-        }
-        return EngineReport(
-            scheduler_name=self.scheduler_name,
-            submitted_queries=len(self._arrival_ms),
-            completed_queries=len(self._completed_order),
-            busy_time_ms=busy,
-            makespan_ms=makespan,
-            response_times_ms=response_times,
-            bucket_services=services,
-            cache_hit_rate=cache_stats["hit_rate"],
-            cache_statistics=cache_stats,
-            join_statistics=join_stats,
-            strategy_counts=strategy_counts,
-            total_io_ms=io,
-            total_match_ms=match,
-            total_matches=matches,
+        from repro.parallel.ipc import worker_result
+
+        return merge_worker_results(
+            self.scheduler_name,
+            self.completion,
+            [worker_result(worker) for worker in self.pool],
         )
 
     def parallel_report(self) -> ParallelReport:

@@ -1,0 +1,355 @@
+"""Inter-process machinery of the multiprocessing execution backend.
+
+One OS process per shard worker, one duplex pipe per process, and a small
+synchronous message protocol driven by the coordinator in
+:class:`repro.parallel.backend.ProcessBackend`:
+
+* the child is constructed from a pickled :class:`ShardTask` — engine
+  config, a cloned scheduling policy, a read-only
+  :class:`~repro.storage.bucket_store.StoreSnapshot` and the shard's full
+  arrival schedule as :class:`~repro.parallel.worker.StagedShare`s;
+* :class:`RunWindow` advances the shard's virtual clock up to a boundary
+  (or drains it completely), returning a :class:`WindowReport` with the
+  clock, pending-queue metadata and the window's
+  :class:`BatchRecord`s;
+* :class:`ReleaseBucket` / :class:`AdoptBucket` migrate one whole workload
+  queue (entries *and* its not-yet-ingested staged shares) between
+  processes — work stealing as message passing;
+* :class:`Finalize` collects the shard's aggregate accounting as a
+  :class:`WorkerResult`.
+
+Everything the protocol ships must pickle under the ``spawn`` start
+method; the replay logic itself lives in :class:`ShardReplayer`, which is
+plain in-process code so tests can drive it without forking.
+
+The replayer applies the same local rule as the in-process engine's
+staged intake — deliver arrivals at or before the clock, jump an idle
+worker to its next arrival, service at the clock — so a shard's timeline
+is bit-for-bit identical in both backends (the cross-backend parity tests
+pin this down).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import EngineConfig
+from repro.core.scheduler import SchedulingPolicy
+from repro.core.workload_manager import WorkloadEntry
+from repro.parallel.worker import ShardWorker, StagedShare, build_shard_worker
+from repro.storage.bucket_store import BucketStore, StoreSnapshot
+from repro.storage.index import SpatialIndex
+
+
+# --------------------------------------------------------------------- #
+# coordinator -> worker messages
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker process needs to rebuild its shard."""
+
+    worker_id: int
+    config: EngineConfig
+    policy: SchedulingPolicy
+    snapshot: StoreSnapshot
+    index: Optional[SpatialIndex]
+    arrivals: Tuple[StagedShare, ...]
+
+
+@dataclass(frozen=True)
+class RunWindow:
+    """Advance the shard until *until_ms* (``None`` = drain everything)."""
+
+    until_ms: Optional[float]
+
+
+@dataclass(frozen=True)
+class ReleaseBucket:
+    """Hand bucket *bucket_index*'s queue to the coordinator (steal source)."""
+
+    bucket_index: int
+
+
+@dataclass(frozen=True)
+class AdoptBucket:
+    """Adopt a migrated queue and start it at *clock_ms* (steal target)."""
+
+    bucket_index: int
+    entries: Tuple[WorkloadEntry, ...]
+    staged: Tuple[StagedShare, ...]
+    clock_ms: float
+
+
+@dataclass(frozen=True)
+class Finalize:
+    """Request the shard's final accounting."""
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Terminate the worker process loop."""
+
+
+# --------------------------------------------------------------------- #
+# worker -> coordinator messages
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One bucket service, reduced to what the coordinator must know."""
+
+    worker_id: int
+    seq: int
+    bucket_index: int
+    queries_served: Tuple[int, ...]
+    started_at_ms: float
+    finished_at_ms: float
+
+
+@dataclass(frozen=True)
+class BucketQueueMeta:
+    """Steal-relevant metadata of one pending workload queue."""
+
+    bucket_index: int
+    entry_count: int
+    oldest_enqueue_ms: float
+    newest_enqueue_ms: float
+
+
+@dataclass(frozen=True)
+class WindowReport:
+    """State of one shard at a window boundary."""
+
+    worker_id: int
+    clock_ms: float
+    #: ``True`` once the shard has neither queued nor staged work left.
+    drained: bool
+    #: Pending queues at the boundary (steal victims advertise these).
+    pending: Tuple[BucketQueueMeta, ...]
+    batches: Tuple[BatchRecord, ...]
+    #: Arrival time of the shard's next staged share (``None`` when empty);
+    #: the coordinator derives the next window boundary from it.
+    next_staged_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ReleasedBucket:
+    """A migrated queue: its entries plus its un-ingested staged shares."""
+
+    worker_id: int
+    bucket_index: int
+    entries: Tuple[WorkloadEntry, ...]
+    staged: Tuple[StagedShare, ...]
+    clock_ms: float
+    #: The victim's next staged arrival *after* the extraction (``None``
+    #: when its stage is empty); keeps the coordinator's view current.
+    next_staged_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Plain acknowledgement keeping the protocol synchronous."""
+
+    worker_id: int
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """Final per-shard accounting, merged by the coordinator."""
+
+    worker_id: int
+    clock_ms: float
+    busy_ms: float
+    services: int
+    steals: int
+    total_io_ms: float
+    total_match_ms: float
+    total_matches: int
+    strategy_counts: Dict[str, int]
+    cache_statistics: Dict[str, float]
+    join_statistics: Dict[str, float]
+    store_reads: int
+    store_megabytes: float
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """A worker process died; carries the formatted traceback."""
+
+    worker_id: int
+    traceback_text: str
+
+
+# --------------------------------------------------------------------- #
+# the shard replayer (shared by the worker process and in-process tests)
+# --------------------------------------------------------------------- #
+
+
+class ShardReplayer:
+    """Replays one shard's staged arrival schedule on its own timeline.
+
+    The loop is the single-worker specialisation of the parallel engine's
+    step rule: ingest every share whose arrival time the clock has
+    reached, service at the clock while work is pending, and jump an idle
+    worker forward to its next arrival.  ``advance(until_ms)`` stops
+    before any service or jump that would start at or past the boundary,
+    so window boundaries pause the timeline without altering it.
+    """
+
+    def __init__(self, worker: ShardWorker) -> None:
+        self.worker = worker
+        self._seq = 0
+
+    def advance(self, until_ms: Optional[float]) -> List[BatchRecord]:
+        """Run services starting before *until_ms* (``None`` = drain all)."""
+        worker = self.worker
+        records: List[BatchRecord] = []
+        while True:
+            worker.ingest_due()
+            if worker.has_pending_work():
+                if until_ms is not None and worker.now_ms >= until_ms:
+                    break
+                result = worker.service_next()
+                if result is None:  # defensive: scheduler refused pending work
+                    break
+                records.append(
+                    BatchRecord(
+                        worker_id=worker.worker_id,
+                        seq=self._seq,
+                        bucket_index=result.work_item.bucket_index,
+                        queries_served=result.queries_served,
+                        started_at_ms=result.started_at_ms,
+                        finished_at_ms=result.finished_at_ms,
+                    )
+                )
+                self._seq += 1
+            else:
+                staged = worker.next_staged_ms()
+                if staged is None:
+                    break
+                if until_ms is not None and staged >= until_ms:
+                    break
+                worker.jump_to(staged)
+        return records
+
+    def window_report(self, batches: List[BatchRecord]) -> WindowReport:
+        """Summarise the shard's state at the current boundary."""
+        worker = self.worker
+        pending: List[BucketQueueMeta] = []
+        for bucket_index in worker.pending_buckets():
+            queue = worker.manager.queue(bucket_index)
+            enqueue_times = [entry.enqueue_time_ms for entry in queue.entries]
+            pending.append(
+                BucketQueueMeta(
+                    bucket_index=bucket_index,
+                    entry_count=len(queue.entries),
+                    oldest_enqueue_ms=min(enqueue_times),
+                    newest_enqueue_ms=max(enqueue_times),
+                )
+            )
+        pending.sort(key=lambda meta: meta.bucket_index)
+        return WindowReport(
+            worker_id=worker.worker_id,
+            clock_ms=worker.now_ms,
+            drained=not worker.has_pending_work() and not worker.has_staged(),
+            pending=tuple(pending),
+            batches=tuple(batches),
+            next_staged_ms=worker.next_staged_ms(),
+        )
+
+    def release(self, bucket_index: int) -> ReleasedBucket:
+        """Give up one whole workload queue plus its staged future."""
+        worker = self.worker
+        entries = worker.manager.release_bucket(bucket_index)
+        staged = worker.extract_staged(bucket_index)
+        return ReleasedBucket(
+            worker_id=worker.worker_id,
+            bucket_index=bucket_index,
+            entries=tuple(entries),
+            staged=tuple(staged),
+            clock_ms=worker.now_ms,
+            next_staged_ms=worker.next_staged_ms(),
+        )
+
+    def adopt(self, message: AdoptBucket) -> None:
+        """Take ownership of a migrated queue, starting it at the steal time."""
+        worker = self.worker
+        worker.manager.adopt_bucket(message.bucket_index, list(message.entries))
+        worker.stage_merged(message.staged)
+        worker.now_ms = max(worker.now_ms, message.clock_ms)
+        worker.steals += 1
+
+
+def build_task_worker(task: ShardTask) -> ShardWorker:
+    """Restore a shard worker from its pickled task (child-side setup)."""
+    store = BucketStore.from_snapshot(task.snapshot)
+    worker = build_shard_worker(
+        task.worker_id,
+        task.snapshot.layout,
+        store,
+        task.policy,
+        task.config,
+        index=task.index,
+    )
+    for share in task.arrivals:
+        worker.stage(share)
+    return worker
+
+
+def worker_result(worker: ShardWorker) -> WorkerResult:
+    """Collect one shard's final accounting for the coordinator."""
+    loop = worker.loop
+    store = loop.cache.store
+    return WorkerResult(
+        worker_id=worker.worker_id,
+        clock_ms=worker.now_ms,
+        busy_ms=loop.busy_ms,
+        services=len(loop.batches),
+        steals=worker.steals,
+        total_io_ms=loop.total_io_ms,
+        total_match_ms=loop.total_match_ms,
+        total_matches=loop.total_matches,
+        strategy_counts=dict(loop.strategy_counts),
+        cache_statistics=loop.cache.statistics(),
+        join_statistics=loop.evaluator.statistics(),
+        store_reads=store.reads,
+        store_megabytes=store.bytes_read_mb,
+    )
+
+
+def shard_worker_main(conn, task: ShardTask) -> None:
+    """Entry point of one worker process (must be importable for spawn)."""
+    try:
+        worker = build_task_worker(task)
+        replayer = ShardReplayer(worker)
+        while True:
+            message = conn.recv()
+            if isinstance(message, RunWindow):
+                batches = replayer.advance(message.until_ms)
+                conn.send(replayer.window_report(batches))
+            elif isinstance(message, ReleaseBucket):
+                conn.send(replayer.release(message.bucket_index))
+            elif isinstance(message, AdoptBucket):
+                replayer.adopt(message)
+                conn.send(Ack(task.worker_id))
+            elif isinstance(message, Finalize):
+                conn.send(worker_result(worker))
+            elif isinstance(message, Shutdown):
+                return
+            else:
+                raise TypeError(f"unexpected coordinator message: {message!r}")
+    except EOFError:
+        # Coordinator went away (e.g. it raised); exit quietly.
+        return
+    except BaseException:
+        try:
+            conn.send(WorkerFailure(task.worker_id, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()

@@ -7,6 +7,17 @@ independently — the parallel engine always services the worker whose clock
 is furthest behind, which is exactly how N independent servers interleave
 in virtual time.
 
+Arrivals reach a worker in one of two ways.  The eager path
+(:meth:`~repro.core.workload_manager.WorkloadManager.add_query` via the
+engine's ``submit``) enqueues immediately — the closed-system mode the
+batch tests use.  The *staged* path (:meth:`ShardWorker.stage`,
+:meth:`ShardWorker.ingest_due`) holds each per-bucket share until the
+worker's own clock reaches its arrival time.  Staging makes a worker's
+whole execution a pure function of its arrival schedule — no global state
+leaks into local decisions — which is the property that lets an OS-process
+replica (:mod:`repro.parallel.ipc`) reproduce the in-process interleaver
+exactly.
+
 :class:`WorkerPool` builds the workers from a shard plan: every worker
 gets a *clone* of the scheduling-policy prototype (decision counters and
 adaptive state are per-lane) and its own cache over the shared bucket
@@ -16,7 +27,9 @@ backend.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional
 
 from repro.core.engine import BatchResult, EngineConfig, ServiceLoop, build_service_loop
 from repro.core.scheduler import SchedulingPolicy
@@ -24,6 +37,25 @@ from repro.storage.bucket_store import BucketStore
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import PartitionLayout
 from repro.parallel.sharding import ShardPlan, make_shard_plan
+
+#: Slack used when comparing virtual timestamps, matching the arrival
+#: delivery slack of the serial simulator loop.
+TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class StagedShare:
+    """One query's pending work for one bucket, awaiting its arrival time.
+
+    Shares are staged per bucket (not per query) so that work stealing can
+    re-route the not-yet-ingested remainder of a migrated bucket without
+    touching the query's shares for other buckets.
+    """
+
+    arrival_ms: float
+    query_id: int
+    bucket_index: int
+    payload: object  # an int object count or a tuple of CrossMatchObject
 
 
 class ShardWorker:
@@ -35,6 +67,8 @@ class ShardWorker:
         self.now_ms = 0.0
         #: Buckets stolen *by* this worker (count, for reports and tests).
         self.steals = 0
+        #: Arrivals not yet on the worker's timeline, in arrival order.
+        self._staged: Deque[StagedShare] = deque()
 
     # -- convenience pass-throughs -------------------------------------- #
 
@@ -66,6 +100,72 @@ class ShardWorker:
         """Buckets with pending work on this shard."""
         return self.loop.manager.pending_buckets()
 
+    # -- staged arrivals ------------------------------------------------- #
+
+    def stage(self, share: StagedShare) -> None:
+        """Queue a per-bucket share for timed ingestion.
+
+        Callers must stage shares in non-decreasing arrival order (the
+        backends offer whole traces sorted by timestamp).
+        """
+        self._staged.append(share)
+
+    def stage_merged(self, shares: Iterable[StagedShare]) -> None:
+        """Merge re-routed shares (from a stolen bucket) into the stage.
+
+        Both the existing stage and *shares* are sorted by arrival time, so
+        a single linear merge keeps the deque ordered.
+        """
+        merged: List[StagedShare] = []
+        incoming = deque(sorted(shares, key=lambda s: (s.arrival_ms, s.query_id)))
+        while self._staged and incoming:
+            if self._staged[0].arrival_ms <= incoming[0].arrival_ms:
+                merged.append(self._staged.popleft())
+            else:
+                merged.append(incoming.popleft())
+        merged.extend(self._staged)
+        merged.extend(incoming)
+        self._staged = deque(merged)
+
+    def extract_staged(self, bucket_index: int) -> List[StagedShare]:
+        """Remove and return the staged shares targeting *bucket_index*.
+
+        Work stealing calls this on the victim so future arrivals follow
+        the migrated queue instead of splitting the bucket across shards.
+        """
+        taken = [s for s in self._staged if s.bucket_index == bucket_index]
+        if taken:
+            self._staged = deque(
+                s for s in self._staged if s.bucket_index != bucket_index
+            )
+        return taken
+
+    def next_staged_ms(self) -> Optional[float]:
+        """Arrival time of the earliest staged share, or ``None``."""
+        if not self._staged:
+            return None
+        return self._staged[0].arrival_ms
+
+    def has_staged(self) -> bool:
+        """``True`` while any share awaits ingestion."""
+        return bool(self._staged)
+
+    def ingest_due(self) -> List[StagedShare]:
+        """Move every share whose arrival time has been reached into the
+        workload manager, exactly as the serial replay loop delivers
+        arrivals at or before the current clock."""
+        ingested: List[StagedShare] = []
+        while self._staged and self._staged[0].arrival_ms <= self.now_ms + TIME_EPS:
+            share = self._staged.popleft()
+            self.manager.add_query(
+                share.query_id,
+                {share.bucket_index: share.payload},
+                share.arrival_ms,
+                merge=True,
+            )
+            ingested.append(share)
+        return ingested
+
     # -- execution ------------------------------------------------------- #
 
     def observe_arrival(self, arrival_ms: float) -> None:
@@ -74,12 +174,34 @@ class ShardWorker:
         when it is next free, so ``max`` covers both cases)."""
         self.now_ms = max(self.now_ms, arrival_ms)
 
+    def jump_to(self, time_ms: float) -> None:
+        """Advance an idle worker's clock to the next arrival time."""
+        self.now_ms = max(self.now_ms, time_ms)
+
     def service_next(self) -> Optional[BatchResult]:
         """Run one bucket service at this worker's clock, advancing it."""
         result = self.loop.service_next(self.now_ms)
         if result is not None:
             self.now_ms = result.finished_at_ms
         return result
+
+
+def build_shard_worker(
+    worker_id: int,
+    layout: PartitionLayout,
+    store: BucketStore,
+    policy: SchedulingPolicy,
+    config: EngineConfig,
+    index: Optional[SpatialIndex] = None,
+) -> ShardWorker:
+    """Assemble one standalone shard worker (the process backend's unit).
+
+    This is the same construction recipe :class:`WorkerPool` applies per
+    shard; worker processes call it directly after restoring their store
+    snapshot, so both backends execute identical per-worker machinery.
+    """
+    loop = build_service_loop(layout, store, policy, config, index=index)
+    return ShardWorker(worker_id, loop)
 
 
 class WorkerPool:

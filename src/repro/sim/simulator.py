@@ -15,7 +15,7 @@ variance, cache hit rate, and per-strategy service counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.baselines import POLICY_NAMES, make_policy
 from repro.core.bucket_cache import PAPER_CACHE_BUCKETS
@@ -28,6 +28,9 @@ from repro.storage.disk import calibrated_disk_for_bucket_read
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner, PartitionLayout
 from repro.workload.query import CrossMatchQuery
+
+if TYPE_CHECKING:
+    from repro.parallel.backend import ExecutionBackend
 
 __all__ = [
     "POLICY_NAMES",
@@ -87,6 +90,10 @@ class SimulationResult:
     workers: int = 1
     steals: int = 0
     wall_clock_s: float = 0.0
+    #: Execution backend that produced the run ("serial" for :meth:`Simulator.run`).
+    backend: str = "serial"
+    #: Real (measured) wall-clock seconds of the run, including backend setup.
+    real_elapsed_s: float = 0.0
 
     @property
     def avg_response_time_s(self) -> float:
@@ -236,54 +243,38 @@ class Simulator:
         enable_stealing: bool = True,
         label: str = "",
         saturation_qps: Optional[float] = None,
+        backend: Union[str, "ExecutionBackend"] = "virtual",
+        steal_quantum_ms: Optional[float] = None,
     ) -> SimulationResult:
-        """Replay a trace against a :class:`~repro.parallel.ParallelEngine`.
+        """Replay a trace against a sharded engine on an execution backend.
 
-        Arrivals are delivered in timestamp order, each before any worker
-        whose next scheduling decision lies at or after it — the multi-worker
-        analogue of the serial loop in :meth:`run`, so request ages behave
-        identically.  ``workers=1`` reproduces :meth:`run` exactly.
+        *backend* selects where the shard workers run: ``"virtual"`` (the
+        default) interleaves them deterministically inside this process in
+        virtual time; ``"process"`` runs each shard in its own OS process
+        for real hardware parallelism.  Virtual-clock results are
+        backend-invariant (the parity tests pin this down); only
+        :attr:`SimulationResult.real_elapsed_s` differs.  ``workers=1``
+        reproduces :meth:`run` exactly on either backend.
         """
-        from repro.parallel.engine import ParallelEngine
+        from repro.parallel.backend import ParallelRunSpec, make_backend
 
         if isinstance(policy, str):
             policy = make_policy(policy, alpha=alpha, cost=self.config.cost)
-        engine = ParallelEngine(
-            self._layout,
-            self._build_store(),
-            workers=workers,
-            scheduler=policy,
-            index=SpatialIndex([], rows=None, disk=None),
+        execution = make_backend(backend)
+        spec = ParallelRunSpec(
+            layout=self._layout,
+            store=self._build_store(),
+            queries=tuple(queries),
+            policy=policy,
             config=self._engine_config(),
+            workers=workers,
             shard_strategy=shard_strategy,
+            index=SpatialIndex([], rows=None, disk=None),
             enable_stealing=enable_stealing,
+            steal_quantum_ms=steal_quantum_ms,
         )
-        ordered = sorted(queries, key=lambda q: (q.arrival_time_s, q.query_id))
-        arrivals_ms = [q.arrival_time_s * 1000.0 for q in ordered]
-        index = 0
-        total = len(ordered)
-        while index < total or engine.has_pending_work():
-            decision_ms = engine.next_decision_ms()
-            if decision_ms is None:
-                if index >= total:
-                    break
-                # Every worker is idle: jump to the next arrival.
-                engine.submit(ordered[index], now_ms=arrivals_ms[index])
-                index += 1
-                continue
-            delivered = False
-            while index < total and arrivals_ms[index] <= decision_ms + 1e-9:
-                engine.submit(ordered[index], now_ms=arrivals_ms[index])
-                index += 1
-                delivered = True
-            if delivered:
-                # New work may belong to an idler worker with an earlier
-                # clock; re-evaluate before servicing.
-                continue
-            if engine.step() is None:
-                break
-        report = engine.report()
-        preport = engine.parallel_report()
+        outcome = execution.execute(spec)
+        report = outcome.report
         response_s = [ms / 1000.0 for ms in report.response_times_ms.values()]
         effective_alpha = getattr(policy, "alpha", None)
         return SimulationResult(
@@ -297,15 +288,17 @@ class Simulator:
             response_stats=summarize_response_times(response_s),
             cache_hit_rate=report.cache_hit_rate,
             bucket_services=report.bucket_services,
-            bucket_reads=engine.store.reads,
+            bucket_reads=outcome.bucket_reads,
             strategy_counts=report.strategy_counts,
             total_io_s=report.total_io_ms / 1000.0,
             total_match_s=report.total_match_ms / 1000.0,
             saturation_qps=saturation_qps,
             label=label or f"{policy.name} x{workers}",
             workers=workers,
-            steals=preport.steals,
-            wall_clock_s=preport.wall_clock_ms / 1000.0,
+            steals=outcome.parallel.steals,
+            wall_clock_s=outcome.parallel.wall_clock_ms / 1000.0,
+            backend=outcome.backend,
+            real_elapsed_s=outcome.real_elapsed_s,
         )
 
     def run_alpha_sweep(

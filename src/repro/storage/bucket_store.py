@@ -22,7 +22,7 @@ import bisect
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.storage.disk import DiskModel
+from repro.storage.disk import DiskModel, DiskParameters
 from repro.storage.partitioner import BucketSpec, PartitionLayout
 
 
@@ -59,6 +59,23 @@ class BucketReadResult:
     bucket: Bucket
     cost_ms: float
     from_disk: bool
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """A read-only, picklable image of a :class:`BucketStore`.
+
+    The snapshot carries everything a worker process needs to rebuild an
+    equivalent store — the partition layout, the disk parameters and the
+    (optional) materialised catalog — without sharing any mutable state
+    with the parent.  Each process that restores the snapshot gets its own
+    read counters and its own (trace-disabled) disk model, mirroring N
+    database servers over one immutable archive.
+    """
+
+    layout: PartitionLayout
+    disk_parameters: "DiskParameters"
+    catalog: Optional[Tuple[Tuple[int, ...], Tuple[object, ...]]] = None
 
 
 class BucketStore:
@@ -101,6 +118,35 @@ class BucketStore:
     def is_virtual(self) -> bool:
         """``True`` when no materialised catalog is attached."""
         return self._sorted_ids is None
+
+    def snapshot(self) -> StoreSnapshot:
+        """Capture a read-only image of this store for another process."""
+        catalog = None
+        if self._sorted_ids is not None and self._sorted_objects is not None:
+            catalog = (tuple(self._sorted_ids), tuple(self._sorted_objects))
+        return StoreSnapshot(
+            layout=self.layout,
+            disk_parameters=self.disk.parameters,
+            catalog=catalog,
+        )
+
+    @classmethod
+    def from_snapshot(cls, snapshot: StoreSnapshot) -> "BucketStore":
+        """Rebuild an equivalent store from a :class:`StoreSnapshot`.
+
+        The restored store charges the same costs as the original (same
+        disk parameters, no I/O trace) but owns fresh read counters, so
+        per-process accounting can be summed by the coordinator.
+        """
+        catalog = None
+        if snapshot.catalog is not None:
+            ids, rows = snapshot.catalog
+            catalog = (list(ids), list(rows))
+        return cls(
+            snapshot.layout,
+            DiskModel(snapshot.disk_parameters),
+            objects=catalog,
+        )
 
     def read_bucket(self, bucket_index: int, charge_io: bool = True) -> BucketReadResult:
         """Execute the range query for bucket *bucket_index*.

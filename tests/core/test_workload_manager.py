@@ -147,6 +147,34 @@ class TestService:
         assert manager.total_pending_objects() == 3
 
 
+class TestBucketMigration:
+    def test_add_query_after_adoption_keeps_arrival_order_sorted(self):
+        """Regression: a shard can adopt a *later* query via a stolen queue
+        before its own staged share for an *earlier* query ingests; the
+        earlier query must still come first in arrival order."""
+        manager = WorkloadManager()
+        manager.adopt_bucket(3, [WorkloadEntry(query_id=9, object_count=5, enqueue_time_ms=9.0)])
+        manager.add_query(7, {1: 4}, 7.0)
+        assert manager.oldest_pending_query() == 7
+        assert manager.pending_queries() == [7, 9]
+
+    def test_adopted_queries_interleave_with_local_arrivals(self):
+        manager = WorkloadManager()
+        manager.add_query(1, {0: 2}, 1.0)
+        manager.adopt_bucket(5, [WorkloadEntry(query_id=4, object_count=3, enqueue_time_ms=4.0)])
+        manager.add_query(2, {0: 2}, 2.0)
+        manager.adopt_bucket(6, [WorkloadEntry(query_id=3, object_count=3, enqueue_time_ms=3.0)])
+        assert manager.pending_queries() == [1, 2, 3, 4]
+        # Drain in arrival order via the cursor.
+        order = []
+        while manager.has_pending_work():
+            oldest = manager.oldest_pending_query()
+            order.append(oldest)
+            for bucket in list(manager.remaining_buckets_for(oldest)):
+                manager.drain_bucket(bucket, 100.0, query_ids=[oldest])
+        assert order == [1, 2, 3, 4]
+
+
 class TestProperties:
     @given(
         st.lists(

@@ -13,6 +13,7 @@ from repro.storage.disk import calibrated_disk_for_bucket_read
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner
 from repro.workload.generator import TraceConfig, TraceGenerator
+from repro.workload.query import CrossMatchQuery
 
 BUCKETS = 128
 
@@ -206,6 +207,97 @@ class TestWorkStealing:
         assert sorted(with_steal.completed_queries()) == sorted(
             without.completed_queries()
         )
+
+
+class TestConstructedSkewStealing:
+    """A hand-built skewed workload: one worker runs dry immediately while
+    the other holds several deep bucket queues, forcing a steal whose
+    mechanics we can assert exactly."""
+
+    HEAVY_BUCKETS = (0, 2, 4)  # all owned by worker 0 under 2-way round robin
+    HEAVY_QUERIES = 6
+
+    def build_skewed_engine(self):
+        partitioner = BucketPartitioner()
+        layout = partitioner.partition_density(8)
+        config = SimulationConfig(bucket_count=8)
+        disk = calibrated_disk_for_bucket_read(
+            config.bucket_megabytes, config.cost.tb_ms / 1000.0
+        )
+        engine = ParallelEngine(
+            layout,
+            BucketStore(layout, disk),
+            workers=2,
+            scheduler=LifeRaftScheduler(SchedulerConfig(cost=config.cost)),
+            index=SpatialIndex([], rows=None, disk=None),
+            config=EngineConfig(cache_buckets=config.cache_buckets, cost=config.cost),
+            shard_strategy="round_robin",
+        )
+        queries = [
+            CrossMatchQuery(
+                query_id=i,
+                bucket_footprint={bucket: 50 for bucket in self.HEAVY_BUCKETS},
+                arrival_time_s=0.0,
+            )
+            for i in range(self.HEAVY_QUERIES)
+        ]
+        # One tiny query for worker 1 (bucket 1), so it runs dry at once.
+        queries.append(
+            CrossMatchQuery(
+                query_id=self.HEAVY_QUERIES, bucket_footprint={1: 1}, arrival_time_s=0.0
+            )
+        )
+        return engine, queries
+
+    def test_starved_worker_emits_steal_record(self):
+        engine, queries = self.build_skewed_engine()
+        for query in queries:
+            engine.submit(query)
+        engine.run_until_idle()
+        assert engine.steal_log, "the dry worker must steal from the loaded one"
+        record = engine.steal_log[0]
+        assert record.victim_id == 0
+        assert record.thief_id == 1
+        assert record.bucket_index in self.HEAVY_BUCKETS
+        assert record.entry_count == self.HEAVY_QUERIES
+
+    def test_stolen_queue_migrates_whole(self):
+        """The thief services the stolen bucket in ONE batch carrying every
+        entry of the migrated queue — batching is never split."""
+        engine, queries = self.build_skewed_engine()
+        for query in queries:
+            engine.submit(query)
+        engine.run_until_idle()
+        for record in engine.steal_log:
+            thief_batches = [
+                batch
+                for batch in engine.workers[record.thief_id].loop.batches
+                if batch.work_item.bucket_index == record.bucket_index
+            ]
+            assert len(thief_batches) == 1
+            assert len(thief_batches[0].queries_served) == record.entry_count
+            victim_batches = [
+                batch
+                for batch in engine.workers[record.victim_id].loop.batches
+                if batch.work_item.bucket_index == record.bucket_index
+            ]
+            assert not victim_batches, "the victim serviced a stolen bucket"
+
+    def test_no_query_serviced_twice_despite_steals(self):
+        engine, queries = self.build_skewed_engine()
+        expected = {}
+        for query in queries:
+            engine.submit(query)
+            for bucket in engine.preprocessor.footprint(query):
+                expected[(query.query_id, bucket)] = 0
+        engine.run_until_idle()
+        for worker in engine.workers:
+            for batch in worker.loop.batches:
+                for query_id in batch.queries_served:
+                    expected[(query_id, batch.work_item.bucket_index)] += 1
+        assert all(count == 1 for count in expected.values())
+        report = engine.report()
+        assert report.completed_queries == len(queries)
 
 
 class TestStealOwnershipTransfer:

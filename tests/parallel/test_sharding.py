@@ -1,19 +1,38 @@
 """Shard-plan construction: coverage, balance and determinism."""
 
+import random
+
 import pytest
 
+from repro.htm.curve import HTMRange
 from repro.parallel.sharding import (
     SHARD_STRATEGIES,
     make_shard_plan,
     partition_round_robin,
     partition_zones,
 )
-from repro.storage.partitioner import BucketPartitioner
+from repro.storage.partitioner import BucketPartitioner, BucketSpec, PartitionLayout
 
 
 def build_layout(bucket_count=64, densities=None):
     partitioner = BucketPartitioner(objects_per_bucket=100, bucket_megabytes=1.0)
     return partitioner.partition_density(bucket_count, densities=densities)
+
+
+def random_layout(seed, max_buckets=96):
+    """A layout with randomly skewed per-bucket object populations."""
+    rng = random.Random(seed)
+    bucket_count = rng.randint(8, max_buckets)
+    specs = []
+    cursor = 0
+    for index in range(bucket_count):
+        width = rng.randint(1, 50)
+        count = rng.randint(1, 5_000)
+        specs.append(
+            BucketSpec(index, HTMRange(cursor, cursor + width - 1), count, count / 100.0)
+        )
+        cursor += width
+    return PartitionLayout(specs, leaf_level=10)
 
 
 class TestRoundRobin:
@@ -81,6 +100,60 @@ class TestDeterminism:
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ValueError, match="unknown shard strategy"):
             make_shard_plan(build_layout(8), 2, "hash")
+
+
+class TestPartitionProperties:
+    """Property-style checks: every plan must be a consistent partition.
+
+    For randomly skewed layouts and every worker count 1–8, both
+    strategies must assign every bucket to exactly one worker, with
+    ``owner_of`` and ``buckets_of`` two views of the same assignment.
+    """
+
+    @pytest.mark.parametrize("strategy", sorted(SHARD_STRATEGIES))
+    @pytest.mark.parametrize("seed", range(12))
+    def test_plan_is_a_partition(self, strategy, seed):
+        layout = random_layout(seed)
+        for workers in range(1, 9):
+            if workers > len(layout):
+                continue
+            plan = make_shard_plan(layout, workers, strategy)
+            # owner_of covers every bucket with an in-range worker id.
+            owners = [plan.owner_of(index) for index in range(len(layout))]
+            assert all(0 <= owner < workers for owner in owners)
+            # buckets_of partitions the bucket range: disjoint and complete.
+            claimed = []
+            for worker_id in range(workers):
+                claimed.extend(plan.buckets_of(worker_id))
+            assert sorted(claimed) == list(range(len(layout))), (
+                f"{strategy} with {workers} workers on seed {seed} is not a partition"
+            )
+            assert len(claimed) == len(set(claimed)), "a bucket has two owners"
+            # The two views agree bucket by bucket.
+            for worker_id in range(workers):
+                for bucket_index in plan.buckets_of(worker_id):
+                    assert plan.owner_of(bucket_index) == worker_id
+            # Every worker owns at least one bucket and the counts add up.
+            counts = plan.bucket_counts()
+            assert sum(counts) == len(layout)
+            assert all(count >= 1 for count in counts)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_zone_plans_stay_contiguous_under_skew(self, seed):
+        layout = random_layout(seed)
+        for workers in range(1, min(9, len(layout) + 1)):
+            plan = partition_zones(layout, workers)
+            assert list(plan.owners) == sorted(plan.owners), (
+                "zone ownership must be non-decreasing along the curve"
+            )
+
+    @pytest.mark.parametrize("strategy", sorted(SHARD_STRATEGIES))
+    @pytest.mark.parametrize("seed", range(6))
+    def test_plans_are_deterministic_functions_of_inputs(self, strategy, seed):
+        for workers in (1, 3, 8):
+            first = make_shard_plan(random_layout(seed), workers, strategy)
+            second = make_shard_plan(random_layout(seed), workers, strategy)
+            assert first.owners == second.owners
 
 
 class TestShardPlan:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.clock import VirtualClock
-from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.events import Event, EventKind, EventQueue, WorkerEventLog
 from repro.sim.stats import normalize_to, summarize_response_times, throughput_qps
 
 
@@ -70,6 +70,70 @@ class TestEventQueue:
             EventQueue().pop()
         with pytest.raises(ValueError):
             Event(-1.0, EventKind.CONTROL)
+
+    def test_fifo_preserved_through_interleaved_pushes(self):
+        """Ties stay FIFO even when pushed around other timestamps."""
+        queue = EventQueue()
+        queue.push(Event(5.0, EventKind.CONTROL, payload="a"))
+        queue.push(Event(1.0, EventKind.CONTROL, payload="early"))
+        queue.push(Event(5.0, EventKind.CONTROL, payload="b"))
+        queue.push(Event(9.0, EventKind.CONTROL, payload="late"))
+        queue.push(Event(5.0, EventKind.CONTROL, payload="c"))
+        drained = [queue.pop().payload for _ in range(len(queue))]
+        assert drained == ["early", "a", "b", "c", "late"]
+
+
+class TestWorkerEventLog:
+    def test_streams_are_per_worker_and_append_ordered(self):
+        log = WorkerEventLog()
+        log.record(1, Event(10.0, EventKind.QUERY_ARRIVAL, payload="q1"))
+        log.record(0, Event(5.0, EventKind.QUERY_ARRIVAL, payload="q0"))
+        log.record(1, Event(20.0, EventKind.SERVICE_COMPLETE, payload="s1"))
+        assert log.worker_ids() == [0, 1]
+        assert [e.payload for e in log.stream(1)] == ["q1", "s1"]
+        assert [e.payload for e in log.stream(0)] == ["q0"]
+        assert log.stream(7) == []
+        assert len(log) == 3
+
+    def test_merged_timeline_is_globally_time_ordered(self):
+        log = WorkerEventLog()
+        log.record(2, Event(30.0, EventKind.SERVICE_COMPLETE))
+        log.record(0, Event(10.0, EventKind.QUERY_ARRIVAL))
+        log.record(1, Event(20.0, EventKind.QUERY_ARRIVAL))
+        log.record(0, Event(25.0, EventKind.SERVICE_COMPLETE))
+        merged = log.merged()
+        times = [event.time_ms for _worker, event in merged]
+        assert times == sorted(times)
+        assert [worker for worker, _event in merged] == [0, 1, 0, 2]
+
+    def test_merged_ties_break_by_record_order(self):
+        """Events at the same timestamp keep their global record order,
+        regardless of which worker stream they belong to."""
+        log = WorkerEventLog()
+        log.record(3, Event(5.0, EventKind.CONTROL, payload="first"))
+        log.record(0, Event(5.0, EventKind.CONTROL, payload="second"))
+        log.record(3, Event(5.0, EventKind.CONTROL, payload="third"))
+        assert [event.payload for _worker, event in log.merged()] == [
+            "first",
+            "second",
+            "third",
+        ]
+
+    def test_negative_time_events_rejected(self):
+        log = WorkerEventLog()
+        with pytest.raises(ValueError, match="before time zero"):
+            log.record(0, Event(-0.5, EventKind.QUERY_ARRIVAL))
+        assert len(log) == 0
+
+    def test_counts_by_kind(self):
+        log = WorkerEventLog()
+        log.record(0, Event(1.0, EventKind.QUERY_ARRIVAL))
+        log.record(1, Event(2.0, EventKind.QUERY_ARRIVAL))
+        log.record(0, Event(3.0, EventKind.SERVICE_COMPLETE))
+        counts = log.counts_by_kind()
+        assert counts[EventKind.QUERY_ARRIVAL] == 2
+        assert counts[EventKind.SERVICE_COMPLETE] == 1
+        assert EventKind.WORK_STOLEN not in counts
 
 
 class TestResponseTimeStats:
