@@ -1,0 +1,35 @@
+"""Benchmark of the serving experiment (front-end + result streaming).
+
+Regenerates the serving table — time-to-first-result, time-to-completion
+and rejection rate across the alpha sweep — and records every per-alpha
+number in the benchmark JSON artifact through ``extra_info``, so the
+serving trade-off curve ships with each CI run.
+"""
+
+from benchmarks.conftest import record_headline
+from repro.experiments import serving
+
+
+def test_bench_serving_alpha_sweep(benchmark, trace, simulator):
+    result = benchmark.pedantic(
+        serving.run,
+        kwargs={"trace": trace, "simulator": simulator},
+        rounds=1,
+        iterations=1,
+    )
+    record_headline(benchmark, result)
+    headline = result.headline
+    for alpha in serving.ALPHA_SWEEP:
+        suffix = f"alpha{alpha:g}"
+        ttfr = headline[f"ttfr_s_{suffix}"]
+        ttc = headline[f"ttc_s_{suffix}"]
+        rejection = headline[f"rejection_rate_{suffix}"]
+        # Incremental evaluation must deliver first results before full
+        # answers at every alpha, and the saturated replay must shed a
+        # real (but not total) fraction of the offered load.
+        assert 0.0 < ttfr < ttc
+        assert 0.0 < rejection < 1.0
+    # The starvation knob is the serving trade-off: contention-driven
+    # scheduling (alpha=0) must reach first results sooner than strict
+    # arrival order (alpha=1), which drains whole queries at a time.
+    assert headline["ttfr_s_alpha0"] < headline["ttfr_s_alpha1"]

@@ -38,7 +38,9 @@ def main() -> None:
     rows = []
     for label, curve in curves.items():
         for alpha, throughput_norm, response_norm in curve.normalized():
-            rows.append((label, f"{curve.saturation_qps:.3f}", alpha, throughput_norm, response_norm))
+            rows.append(
+                (label, f"{curve.saturation_qps:.3f}", alpha, throughput_norm, response_norm)
+            )
     print(
         render_table(
             ("saturation", "q/s", "alpha", "throughput/max", "response/max"), rows

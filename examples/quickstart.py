@@ -13,14 +13,42 @@ This example builds the smallest end-to-end pipeline:
 Run with::
 
     python examples/quickstart.py
+
+Select where the engine executes with ``--backend``: ``serial`` (the
+default single service loop), ``virtual`` (N shard workers interleaved
+deterministically in-process) or ``process`` (one OS process per shard
+worker for real hardware parallelism)::
+
+    python examples/quickstart.py --backend process --workers 4
 """
+
+import argparse
 
 from repro.experiments.common import render_table
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workload.generator import TraceConfig, TraceGenerator
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=("serial", "virtual", "process"),
+        help="execution backend: one serial loop, or N shard workers "
+        "(virtual = in-process deterministic, process = one OS process each)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="shard workers for the parallel backends (ignored for serial)",
+    )
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
     # A scaled-down trace: 300 queries over 512 buckets (the paper uses
     # 2,000 queries over ~20,000 buckets; the skew statistics are the same).
     trace_config = TraceConfig(query_count=300, bucket_count=512, seed=42)
@@ -30,6 +58,20 @@ def main() -> None:
     # Replay at a high saturation so scheduling differences matter.
     queries = trace.with_saturation(1.0).queries
     simulator = Simulator(SimulationConfig(bucket_count=trace_config.bucket_count))
+    if args.backend != "serial":
+        print(f"executing on the {args.backend} backend with {args.workers} shard workers")
+
+    def replay(policy, alpha, label):
+        if args.backend == "serial":
+            return simulator.run(queries, policy, alpha=alpha, label=label)
+        return simulator.run_parallel(
+            queries,
+            policy,
+            workers=args.workers,
+            alpha=alpha,
+            backend=args.backend,
+            label=label,
+        )
 
     rows = []
     for label, policy, alpha in [
@@ -39,7 +81,7 @@ def main() -> None:
         ("LifeRaft alpha=0.0 (most contentious data first)", "liferaft", 0.0),
         ("Round Robin (HTM order)", "round_robin", 0.0),
     ]:
-        result = simulator.run(queries, policy, alpha=alpha, label=label)
+        result = replay(policy, alpha, label)
         rows.append(
             (
                 label,

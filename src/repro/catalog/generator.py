@@ -85,7 +85,9 @@ class SkyGeneratorConfig:
 class SkyGenerator:
     """Draws synthetic survey catalogs."""
 
-    def __init__(self, config: Optional[SkyGeneratorConfig] = None, mesh: Optional[HTMMesh] = None) -> None:
+    def __init__(
+        self, config: Optional[SkyGeneratorConfig] = None, mesh: Optional[HTMMesh] = None
+    ) -> None:
         self.config = config or SkyGeneratorConfig()
         self.mesh = mesh or HTMMesh()
         self._rng = random.Random(self.config.seed)

@@ -18,6 +18,12 @@ Measure real wall-clock speedup with one OS process per shard worker::
 
     liferaft experiments scaling --scale small --workers 4 --backend process
 
+Serve a trace through the front-end with admission control and print the
+intake, latency and SLA summary::
+
+    liferaft serve --scale small --admission reject --intake-bound 48 \
+        --deadline-mix interactive=0.3,standard=0.5,batch=0.2
+
 Print the workload characterisation of a freshly generated trace::
 
     liferaft trace --scale small
@@ -30,7 +36,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments import EXPERIMENTS, run_all
-from repro.experiments.common import SCALES, build_trace
+from repro.experiments.common import SCALES, build_simulator, build_trace, render_table
 from repro.workload.stats import TraceStatistics
 
 
@@ -97,6 +103,85 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--scale", default="small", choices=sorted(SCALES))
     trace.add_argument("--seed", type=int, default=8675309)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "replay a trace through the serving front-end (admission control, "
+            "result streaming, SLA scoring) and print the serving report"
+        ),
+    )
+    serve.add_argument("--scale", default="small", choices=sorted(SCALES))
+    serve.add_argument("--seed", type=int, default=8675309)
+    serve.add_argument(
+        "--alpha", type=float, default=0.25, help="LifeRaft age bias (starvation knob)"
+    )
+    serve.add_argument(
+        "--saturation",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="replay arrival rate (default: the trace's attached arrivals)",
+    )
+    serve.add_argument(
+        "--admission",
+        default="admit",
+        choices=("admit", "reject", "defer"),
+        help="admission policy at the intake gate",
+    )
+    serve.add_argument(
+        "--intake-bound",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="max admitted-but-undrained queries before the gate trips",
+    )
+    serve.add_argument(
+        "--max-pending-buckets",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="max distinct pending buckets across in-flight admissions",
+    )
+    serve.add_argument(
+        "--max-client-qps",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="per-client offered-rate limit over the trailing minute",
+    )
+    serve.add_argument(
+        "--clients",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="synthetic client pool size (queries hash onto it)",
+    )
+    serve.add_argument(
+        "--deadline-mix",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "deadline class mix as name=weight,... "
+            "(classes: interactive, standard, batch)"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="shard workers (>1 serves through the parallel engine)",
+    )
+    serve.add_argument(
+        "--backend",
+        default=None,
+        choices=("virtual", "process"),
+        help=(
+            "execution backend when serving with multiple workers "
+            "(requires --workers > 1; default: virtual)"
+        ),
+    )
+
     subparsers.add_parser("list", help="list available experiments")
     return parser
 
@@ -143,6 +228,73 @@ def _run_trace(scale: str, seed: int) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.deadline import parse_deadline_mix
+    from repro.service.frontend import ServiceConfig
+
+    trace = build_trace(args.scale, seed=args.seed)
+    if args.saturation is not None:
+        trace = trace.with_saturation(args.saturation)
+    simulator = build_simulator(args.scale)
+    config_kwargs = dict(
+        admission=args.admission,
+        intake_bound=args.intake_bound,
+        max_pending_buckets=args.max_pending_buckets,
+        max_client_qps=args.max_client_qps,
+        clients=args.clients,
+        seed=args.seed,
+    )
+    if args.deadline_mix:
+        config_kwargs["deadline_mix"] = parse_deadline_mix(args.deadline_mix)
+    service = ServiceConfig(**config_kwargs)
+    if args.workers > 1:
+        result = simulator.run_parallel(
+            trace.queries,
+            "liferaft",
+            workers=args.workers,
+            alpha=args.alpha,
+            backend=args.backend or "virtual",
+            service=service,
+        )
+        engine_label = f"{result.backend} backend x{args.workers}"
+    else:
+        if args.backend is not None:
+            raise SystemExit("--backend requires --workers > 1 (the serial engine has no backend)")
+        result = simulator.run(trace.queries, "liferaft", alpha=args.alpha, service=service)
+        engine_label = "serial engine"
+    serving = result.serving
+    assert serving is not None
+    print(
+        f"serving report ({serving.admission_policy} admission, "
+        f"{serving.clients} clients, alpha={args.alpha:g}, {engine_label})"
+    )
+    print(
+        f"  offered {serving.offered} | admitted {serving.admitted} | "
+        f"rejected {serving.rejected} ({serving.rejection_rate:.1%}) | "
+        f"deferrals {serving.deferrals}"
+    )
+    print(
+        f"  completed {serving.completed} | chunks {serving.chunks} | "
+        f"avg TTFR {serving.avg_time_to_first_result_s:.2f}s | "
+        f"avg completion {serving.avg_time_to_completion_s:.2f}s"
+    )
+    print()
+    print(
+        render_table(
+            (
+                "class",
+                "admitted",
+                "rejected",
+                "completed",
+                "first-result SLA",
+                "completion SLA",
+            ),
+            serving.deadline_rows,
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -161,6 +313,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "trace":
         return _run_trace(args.scale, args.seed)
+    if args.command == "serve":
+        return _run_serve(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -66,6 +66,9 @@ class BatchResult:
     queries_completed: Tuple[int, ...]
     started_at_ms: float
     finished_at_ms: float
+    #: Objects drained per served query, aligned with :attr:`queries_served`
+    #: (the per-query share of the batch — what a result chunk reports).
+    objects_served: Tuple[int, ...] = ()
 
     @property
     def cost_ms(self) -> float:
@@ -171,7 +174,10 @@ class ServiceLoop:
         drained, completed = self.manager.drain_bucket(
             work.bucket_index, finish_ms, query_ids=work.query_ids
         )
-        served = tuple(sorted({entry.query_id for entry in drained}))
+        per_query: Dict[int, int] = {}
+        for entry in drained:
+            per_query[entry.query_id] = per_query.get(entry.query_id, 0) + entry.object_count
+        served = tuple(sorted(per_query))
         result = BatchResult(
             work_item=work,
             join=join,
@@ -179,6 +185,7 @@ class ServiceLoop:
             queries_completed=tuple(completed),
             started_at_ms=now_ms,
             finished_at_ms=finish_ms,
+            objects_served=tuple(per_query[query_id] for query_id in served),
         )
         self._record(result)
         return result

@@ -188,7 +188,9 @@ class LifeRaftScheduler:
                 score = one_minus_alpha * ut * tm + alpha * age_term
             else:
                 score = one_minus_alpha * ut + alpha * age
-            if score > best_score or (score == best_score and (best_bucket is None or bucket < best_bucket)):
+            if score > best_score or (
+                score == best_score and (best_bucket is None or bucket < best_bucket)
+            ):
                 best_score = score
                 best_bucket = bucket
         if best_bucket is None:

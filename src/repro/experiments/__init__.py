@@ -22,6 +22,7 @@ from repro.experiments import (
     cache_hits,
     ablations,
     scaling,
+    serving,
 )
 
 #: Registry mapping experiment name to its ``run`` callable.
@@ -36,6 +37,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "cache_hits": cache_hits.run,
     "ablations": ablations.run,
     "scaling": scaling.run,
+    "serving": serving.run,
 }
 
 

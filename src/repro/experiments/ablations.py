@@ -112,7 +112,9 @@ def run(
                 result.bucket_reads,
             )
         )
-        headline[f"throughput_{'normalised' if normalize else 'raw'}_metric"] = result.throughput_qps
+        headline[f"throughput_{'normalised' if normalize else 'raw'}_metric"] = (
+            result.throughput_qps
+        )
 
     return ExperimentResult(
         name="ablations",

@@ -116,8 +116,10 @@ def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> st
     for row in formatted_rows:
         for column, cell in enumerate(row):
             widths[column] = max(widths[column], len(cell))
+
     def line(cells: Sequence[str]) -> str:
         return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
     output = [line([str(h) for h in headers]), line(["-" * w for w in widths])]
     output.extend(line(row) for row in formatted_rows)
     return "\n".join(output)

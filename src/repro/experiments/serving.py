@@ -1,0 +1,145 @@
+"""Serving experiment: time-to-first-result under the starvation knob.
+
+Beyond the paper's batch evaluation: the trace is replayed through the
+serving front-end — admission control at the door, incremental result
+streams at the back — while the LifeRaft scheduler's age bias alpha
+sweeps from pure contention (0) to pure arrival order (1).  Three served
+quantities are reported per alpha:
+
+* **time-to-first-result** — how long until the first partial-answer
+  chunk of a query arrives (the serving promise of data-driven
+  evaluation: answers accrue long before completion);
+* **time-to-completion** — the classical response time, client-perceived;
+* **rejection rate** — the fraction of offered queries the admission
+  gate shed to keep the backlog bounded.
+
+The replay runs above the serial capacity so the gate has real work to
+do; admission decisions are a pure function of the arrival stream, so the
+same schedule is served at every alpha and across execution backends —
+the alpha knob changes *when* chunks arrive, never *which* queries run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    ExperimentResult,
+    build_simulator,
+    build_trace,
+    estimate_capacity_qps,
+)
+from repro.service.frontend import ServiceConfig
+from repro.sim.simulator import SimulationResult, Simulator
+from repro.workload.generator import QueryTrace
+
+#: Age-bias values on the experiment's x axis.
+ALPHA_SWEEP = (0.0, 0.25, 0.5, 0.75, 1.0)
+#: Replay rate as a multiple of the serial capacity: saturated enough
+#: that the admission gate sheds a measurable fraction of the offers.
+SATURATION_FACTOR = 4.0
+#: Default bound on admitted-but-undrained queries (the intake queue).
+DEFAULT_INTAKE_BOUND = 64
+
+
+def run(
+    scale: str = "small",
+    trace: Optional[QueryTrace] = None,
+    simulator: Optional[Simulator] = None,
+    alphas: Sequence[float] = ALPHA_SWEEP,
+    admission: str = "reject",
+    intake_bound: Optional[int] = DEFAULT_INTAKE_BOUND,
+    max_pending_buckets: Optional[int] = None,
+    workers: Optional[Sequence[int]] = None,
+    backend: str = "virtual",
+    saturation_factor: float = SATURATION_FACTOR,
+) -> ExperimentResult:
+    """Measure served latencies and shed load across the alpha sweep."""
+    trace = trace or build_trace(scale)
+    simulator = simulator or build_simulator(scale)
+    capacity = estimate_capacity_qps(trace, simulator)
+    saturation = capacity * saturation_factor
+    replayed = trace.with_saturation(saturation)
+    service = ServiceConfig(
+        admission=admission,
+        intake_bound=intake_bound,
+        max_pending_buckets=max_pending_buckets,
+    )
+    worker_count = max(workers) if workers else 1
+
+    results: List[Tuple[float, SimulationResult]] = []
+    for alpha in alphas:
+        if worker_count > 1:
+            result = simulator.run_parallel(
+                replayed.queries,
+                "liferaft",
+                workers=worker_count,
+                alpha=alpha,
+                backend=backend,
+                label=f"serve(alpha={alpha:g})",
+                saturation_qps=saturation,
+                service=service,
+            )
+        else:
+            result = simulator.run(
+                replayed.queries,
+                "liferaft",
+                alpha=alpha,
+                label=f"serve(alpha={alpha:g})",
+                saturation_qps=saturation,
+                service=service,
+            )
+        results.append((alpha, result))
+
+    rows = []
+    headline = {"saturation_qps": saturation, "capacity_qps": capacity}
+    for alpha, result in results:
+        serving = result.serving
+        assert serving is not None
+        rows.append(
+            (
+                alpha,
+                serving.admitted,
+                serving.rejection_rate,
+                serving.avg_time_to_first_result_s,
+                serving.ttfr_stats.p95_s,
+                serving.avg_time_to_completion_s,
+                serving.chunks,
+                serving.deadline_summary["first_result_hit_rate"],
+            )
+        )
+        suffix = f"alpha{alpha:g}"
+        headline[f"ttfr_s_{suffix}"] = serving.avg_time_to_first_result_s
+        headline[f"ttc_s_{suffix}"] = serving.avg_time_to_completion_s
+        headline[f"rejection_rate_{suffix}"] = serving.rejection_rate
+    return ExperimentResult(
+        name="serving",
+        title=(
+            f"Served latencies vs the starvation knob "
+            f"({admission} admission, intake bound {intake_bound})"
+        ),
+        paper_expectation=(
+            "beyond the paper: incremental evaluation delivers first results "
+            "well before completion at every alpha, and the gap is widest for "
+            "contention-driven scheduling (low alpha), which drains popular "
+            "buckets — and therefore many queries' first chunks — soonest"
+        ),
+        headers=(
+            "alpha",
+            "admitted",
+            "rejection rate",
+            "avg TTFR (s)",
+            "p95 TTFR (s)",
+            "avg completion (s)",
+            "chunks",
+            "first-result SLA",
+        ),
+        rows=rows,
+        headline=headline,
+        notes=(
+            f"trace replayed at {saturation_factor:g}x the serial capacity; "
+            f"admission is a pure function of the arrival stream, so every "
+            f"alpha serves the same admitted schedule "
+            f"(workers={worker_count}, backend={backend if worker_count > 1 else 'serial'})"
+        ),
+    )

@@ -53,7 +53,9 @@ class FederationNode:
             bucket_objects=max(1, archive.layout[0].object_count),
         )
         self.engine_config = engine_config or EngineConfig(cost=cost)
-        self._scheduler = scheduler or LifeRaftScheduler(SchedulerConfig(cost=self.engine_config.cost))
+        self._scheduler = scheduler or LifeRaftScheduler(
+            SchedulerConfig(cost=self.engine_config.cost)
+        )
         self.engine = LifeRaftEngine(
             archive.layout,
             archive.store,
@@ -109,7 +111,9 @@ class FederationNode:
         """Service everything currently queued at this node."""
         self.engine.run_until_idle()
 
-    def collect(self, query_id: int, predicate: Optional[Callable[[object], bool]] = None) -> NodeExecutionResult:
+    def collect(
+        self, query_id: int, predicate: Optional[Callable[[object], bool]] = None
+    ) -> NodeExecutionResult:
         """Collect the matches of a previously submitted and drained query."""
         matches = self._collect_matches(query_id, predicate)
         report = self.engine.report()

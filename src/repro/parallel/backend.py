@@ -190,6 +190,7 @@ class VirtualBackend(ExecutionBackend):
                         queries_served=batch.queries_served,
                         started_at_ms=batch.started_at_ms,
                         finished_at_ms=batch.finished_at_ms,
+                        objects_served=batch.objects_served,
                     )
                 )
         services.sort(key=lambda r: (r.started_at_ms, r.worker_id, r.seq))
@@ -563,6 +564,7 @@ class ProcessBackend(ExecutionBackend):
             megabytes_read=sum(r.store_megabytes for r in ordered_results),
             real_elapsed_s=elapsed_s,
         )
+
 
 #: Registry of execution backends by name.
 EXECUTION_BACKENDS = {

@@ -101,7 +101,13 @@ class Shutdown:
 
 @dataclass(frozen=True)
 class BatchRecord:
-    """One bucket service, reduced to what the coordinator must know."""
+    """One bucket service, reduced to what the coordinator must know.
+
+    Besides driving completion bookkeeping, batch records are the payload
+    of the serving layer's incremental result streams: per served query
+    they carry the drained object count, so partial-answer chunks ride the
+    same message channel as the rest of the protocol.
+    """
 
     worker_id: int
     seq: int
@@ -109,6 +115,8 @@ class BatchRecord:
     queries_served: Tuple[int, ...]
     started_at_ms: float
     finished_at_ms: float
+    #: Objects drained per served query, aligned with ``queries_served``.
+    objects_served: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -225,6 +233,7 @@ class ShardReplayer:
                         queries_served=result.queries_served,
                         started_at_ms=result.started_at_ms,
                         finished_at_ms=result.finished_at_ms,
+                        objects_served=result.objects_served,
                     )
                 )
                 self._seq += 1

@@ -1,0 +1,81 @@
+"""The query-serving front-end above the execution engines.
+
+LifeRaft's engines answer "which bucket should be serviced next"; this
+package answers "what happens between a client and those engines".  It
+adds the serving concerns of a production archive as one layer:
+
+* :mod:`repro.service.admission` — admission control over a bounded
+  intake queue, a pending-bucket backlog estimate and per-client rates,
+  with reject (load shedding) and defer (backpressure) policies;
+* :mod:`repro.service.sessions` — per-client sessions with sliding-window
+  offered-rate measurement;
+* :mod:`repro.service.deadline` — deadline classes and SLA scoring
+  (first-result and completion targets per class);
+* :mod:`repro.service.streams` — incremental result streams: one
+  partial-answer chunk per drained bucket, making time-to-first-result a
+  first-class measured quantity;
+* :mod:`repro.service.frontend` — the :class:`ServingFrontEnd` tying it
+  together: arrivals drive an event queue, deferred arrivals re-enter as
+  ``CONTROL`` retries, and the admitted schedule is what the engines
+  replay — on the serial engine and on both execution backends, with
+  identical decisions by construction.
+"""
+
+from repro.service.admission import (
+    ADMISSION_POLICIES,
+    AdmissionDecision,
+    AdmissionLimits,
+    AdmissionPolicy,
+    AdmitAll,
+    DeferPolicy,
+    IntakeModel,
+    IntakeSnapshot,
+    RejectPolicy,
+    make_admission_policy,
+)
+from repro.service.deadline import (
+    DEADLINE_CLASSES,
+    DeadlineClass,
+    DeadlineTracker,
+    assign_deadline_class,
+    parse_deadline_mix,
+)
+from repro.service.frontend import (
+    AdmittedQuery,
+    IntakeOutcome,
+    RejectedQuery,
+    ServiceConfig,
+    ServingFrontEnd,
+    ServingReport,
+)
+from repro.service.sessions import ClientSession, SessionRegistry
+from repro.service.streams import ResultChunk, ResultStream, StreamHub
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionDecision",
+    "AdmissionLimits",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "AdmittedQuery",
+    "ClientSession",
+    "DEADLINE_CLASSES",
+    "DeadlineClass",
+    "DeadlineTracker",
+    "DeferPolicy",
+    "IntakeModel",
+    "IntakeOutcome",
+    "IntakeSnapshot",
+    "RejectPolicy",
+    "RejectedQuery",
+    "ResultChunk",
+    "ResultStream",
+    "ServiceConfig",
+    "ServingFrontEnd",
+    "ServingReport",
+    "SessionRegistry",
+    "StreamHub",
+    "assign_deadline_class",
+    "make_admission_policy",
+    "parse_deadline_mix",
+]

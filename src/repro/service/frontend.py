@@ -1,0 +1,389 @@
+"""The serving front-end: async intake above the execution engines.
+
+The front-end decouples *arrival* from *service*.  Clients submit queries
+into an :class:`~repro.sim.events.EventQueue`; the intake loop pops
+arrivals in virtual-time order, gates each one through admission control
+(:mod:`repro.service.admission`), applies backpressure by re-enqueueing
+deferred arrivals as ``CONTROL`` retry events, and emits the **admitted
+schedule** — each admitted query with the virtual time at which intake
+handed it to the engines.  The engines never see the raw trace any more;
+they replay the admitted schedule, which is what makes every admission
+decision identical across the serial engine and both execution backends.
+
+Dataflow::
+
+    clients ──► EventQueue ──► admission gate ──► admitted schedule
+                   ▲                │                    │
+                   └── CONTROL ─────┘ (defer)            ▼
+                        retries                 engine / backends
+                                                        │  bucket drains
+                                                        ▼
+                                                  StreamHub ──► ResultChunks
+                                                        │
+                                                        ▼
+                                         deadline scoring + ServingReport
+
+Completion of the pipeline is the :class:`ServingReport`: intake
+accounting (offered / admitted / rejected / deferrals), client-perceived
+time-to-first-result and time-to-completion distributions, and the
+per-class SLA table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.engine import BatchResult
+from repro.core.metrics import CostModel
+from repro.core.preprocessor import QueryPreProcessor
+from repro.service.admission import (
+    AdmissionDecision,
+    AdmissionLimits,
+    AdmissionPolicy,
+    IntakeModel,
+    make_admission_policy,
+)
+from repro.service.deadline import (
+    DEADLINE_CLASSES,
+    DeadlineTracker,
+    assign_deadline_class,
+)
+from repro.service.sessions import RATE_WINDOW_MS, SessionRegistry
+from repro.service.streams import ResultChunk, StreamHub
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.stats import ResponseTimeStats, summarize_response_times
+from repro.storage.partitioner import PartitionLayout
+from repro.workload.query import CrossMatchQuery
+
+__all__ = [
+    "AdmittedQuery",
+    "IntakeOutcome",
+    "RejectedQuery",
+    "ServiceConfig",
+    "ServingFrontEnd",
+    "ServingReport",
+]
+
+#: Default deadline-class mix of a serving run.
+DEFAULT_DEADLINE_MIX: Dict[str, float] = {
+    "interactive": 0.25,
+    "standard": 0.5,
+    "batch": 0.25,
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the serving front-end."""
+
+    #: Admission policy name ("admit", "reject", "defer") or an instance.
+    admission: Union[str, AdmissionPolicy] = "admit"
+    #: Max admitted-but-undrained queries (``None`` = unbounded).
+    intake_bound: Optional[int] = None
+    #: Max distinct pending buckets across in-flight admissions.
+    max_pending_buckets: Optional[int] = None
+    #: Max per-client offered rate over the trailing window.
+    max_client_qps: Optional[float] = None
+    #: Synthetic client pool size (queries hash onto it).
+    clients: int = 4
+    #: Backpressure delay before a deferred arrival is retried.
+    defer_delay_ms: float = 5_000.0
+    #: Retry budget of a deferred arrival before it is rejected.
+    max_defers: int = 4
+    #: Deadline-class mix (normalised at use).
+    deadline_mix: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_DEADLINE_MIX)
+    )
+    #: Seed of the deterministic class-assignment hash.
+    seed: int = 8675309
+    #: Sliding window of the per-client rate measurement.
+    rate_window_ms: float = RATE_WINDOW_MS
+    #: Optional subscriber invoked for every emitted result chunk.  On the
+    #: serial engine chunks fire live, mid-run; on the execution backends
+    #: they fire when the run's service records are ingested — in the same
+    #: global finish-time order either way.
+    on_chunk: Optional[Callable[[ResultChunk], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.clients <= 0:
+            raise ValueError("clients must be positive")
+        if self.defer_delay_ms <= 0:
+            raise ValueError("defer_delay_ms must be positive")
+        if self.max_defers < 0:
+            raise ValueError("max_defers cannot be negative")
+        total = sum(self.deadline_mix.values())
+        if not self.deadline_mix or total <= 0:
+            raise ValueError("deadline_mix must have positive total weight")
+        unknown = [name for name in self.deadline_mix if name not in DEADLINE_CLASSES]
+        if unknown:
+            raise ValueError(f"unknown deadline classes in mix: {sorted(unknown)}")
+
+    def limits(self) -> AdmissionLimits:
+        """The admission limits this config describes."""
+        return AdmissionLimits(
+            intake_bound=self.intake_bound,
+            max_pending_buckets=self.max_pending_buckets,
+            max_client_qps=self.max_client_qps,
+        )
+
+
+@dataclass(frozen=True)
+class AdmittedQuery:
+    """One admitted arrival: the query plus its intake timing."""
+
+    query: CrossMatchQuery
+    #: Per-bucket object counts at this site (the stream's denominator).
+    footprint: Mapping[int, int]
+    #: Original client arrival (client-perceived latencies start here).
+    arrival_ms: float
+    #: When intake handed the query to the engines (>= arrival when deferred).
+    submit_ms: float
+    #: How many backpressure rounds the arrival went through.
+    defers: int
+
+
+@dataclass(frozen=True)
+class RejectedQuery:
+    """One shed arrival and why the gate refused it."""
+
+    query: CrossMatchQuery
+    arrival_ms: float
+    reason: str
+    defers: int
+
+
+@dataclass
+class IntakeOutcome:
+    """Everything the intake pass produced."""
+
+    admitted: List[AdmittedQuery]
+    rejected: List[RejectedQuery]
+    #: Arrivals that overlapped no bucket at this site (complete trivially).
+    no_overlap: int
+    #: Total CONTROL retry events the backpressure path scheduled.
+    deferrals: int
+
+    @property
+    def offered(self) -> int:
+        """Queries clients offered (excluding no-overlap passthroughs)."""
+        return len(self.admitted) + len(self.rejected)
+
+    def admitted_queries(self) -> List[CrossMatchQuery]:
+        """The admitted schedule as engine-ready queries.
+
+        Arrival times are rewritten to the intake hand-off time, so the
+        engines replay exactly what the gate let through, when it let it
+        through.
+        """
+        ordered = sorted(self.admitted, key=lambda a: (a.submit_ms, a.query.query_id))
+        return [a.query.with_arrival_time(a.submit_ms / 1000.0) for a in ordered]
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one serving run, from the client's point of view."""
+
+    admission_policy: str
+    clients: int
+    offered: int
+    admitted: int
+    rejected: int
+    deferrals: int
+    completed: int
+    chunks: int
+    #: Client-perceived time-to-first-result distribution (seconds).
+    ttfr_stats: ResponseTimeStats
+    #: Client-perceived time-to-completion distribution (seconds).
+    completion_stats: ResponseTimeStats
+    #: Per-class SLA table (class, admitted, rejected, completed,
+    #: first-result hit rate, completion hit rate).
+    deadline_rows: List[Tuple[str, int, int, int, float, float]]
+    #: Aggregate SLA hit rates (zero-safe on empty runs).
+    deadline_summary: Dict[str, float]
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered queries the gate shed (0 for an empty run)."""
+        if self.offered <= 0:
+            return 0.0
+        return self.rejected / self.offered
+
+    @property
+    def avg_time_to_first_result_s(self) -> float:
+        """Mean TTFR over streamed queries (0 when nothing streamed)."""
+        return self.ttfr_stats.mean_s
+
+    @property
+    def avg_time_to_completion_s(self) -> float:
+        """Mean client-perceived completion latency (0 when none completed)."""
+        return self.completion_stats.mean_s
+
+
+class ServingFrontEnd:
+    """Async intake, admission control and result streaming over one run."""
+
+    def __init__(self, config: ServiceConfig, layout: PartitionLayout, cost: CostModel) -> None:
+        self.config = config
+        self.preprocessor = QueryPreProcessor(layout)
+        self.policy = make_admission_policy(config.admission)
+        self.limits = config.limits()
+        self.model = IntakeModel(cost)
+        self.sessions = SessionRegistry(
+            clients=config.clients, window_ms=config.rate_window_ms
+        )
+        self.deadlines = DeadlineTracker()
+        self.hub = StreamHub()
+        if config.on_chunk is not None:
+            self.hub.subscribe(config.on_chunk)
+        self.intake: Optional[IntakeOutcome] = None
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # intake
+    # ------------------------------------------------------------------ #
+
+    def admit(self, queries: Sequence[CrossMatchQuery]) -> IntakeOutcome:
+        """Run the intake loop over one arrival stream.
+
+        Arrivals are driven through the event queue in virtual-time order;
+        deferred arrivals re-enter as ``CONTROL`` retry events (FIFO within
+        a timestamp, so a retry racing a fresh arrival is resolved by
+        enqueue order — deterministically).
+        """
+        if self.intake is not None:
+            raise RuntimeError("the front-end has already run its intake pass")
+        events = EventQueue()
+        ordered = sorted(queries, key=lambda q: (q.arrival_time_s, q.query_id))
+        no_overlap = 0
+        for query in ordered:
+            footprint = self.preprocessor.footprint(query)
+            if not footprint:
+                # No overlap at this site: completes immediately, bypassing
+                # both the gate and the engines (as in the plain replay).
+                no_overlap += 1
+                continue
+            arrival_ms = query.arrival_time_s * 1000.0
+            events.push(
+                Event(
+                    arrival_ms,
+                    EventKind.QUERY_ARRIVAL,
+                    payload=(query, footprint, arrival_ms, 0),
+                )
+            )
+        admitted: List[AdmittedQuery] = []
+        rejected: List[RejectedQuery] = []
+        deferrals = 0
+        while events:
+            event = events.pop()
+            query, footprint, arrival_ms, attempt = event.payload
+            now_ms = event.time_ms
+            session = self.sessions.session_for(query)
+            if attempt == 0:
+                session.observe_offer(now_ms)
+                self.deadlines.assign(
+                    query.query_id,
+                    assign_deadline_class(
+                        query.query_id, self.config.deadline_mix, self.config.seed
+                    ),
+                )
+            snapshot = self.model.snapshot(now_ms, session.offered_rate_qps(now_ms))
+            decision = self.policy.decide(snapshot, self.limits)
+            if decision is AdmissionDecision.DEFER and attempt >= self.config.max_defers:
+                decision = AdmissionDecision.REJECT
+            if decision is AdmissionDecision.ADMIT:
+                self.model.admit(query.query_id, footprint, now_ms)
+                session.admitted += 1
+                self.deadlines.on_admitted(query.query_id)
+                admitted.append(
+                    AdmittedQuery(
+                        query=query,
+                        footprint=footprint,
+                        arrival_ms=arrival_ms,
+                        submit_ms=now_ms,
+                        defers=attempt,
+                    )
+                )
+            elif decision is AdmissionDecision.DEFER:
+                session.deferred += 1
+                deferrals += 1
+                events.push(
+                    Event(
+                        now_ms + self.config.defer_delay_ms,
+                        EventKind.CONTROL,
+                        payload=(query, footprint, arrival_ms, attempt + 1),
+                    )
+                )
+            else:
+                session.rejected += 1
+                self.deadlines.on_rejected(query.query_id)
+                reason = ",".join(snapshot.breached(self.limits)) or "rejected"
+                rejected.append(RejectedQuery(query, arrival_ms, reason, attempt))
+        self.intake = IntakeOutcome(
+            admitted=admitted,
+            rejected=rejected,
+            no_overlap=no_overlap,
+            deferrals=deferrals,
+        )
+        for admission in admitted:
+            self.hub.register(
+                admission.query.query_id, admission.footprint.keys(), admission.arrival_ms
+            )
+        return self.intake
+
+    # ------------------------------------------------------------------ #
+    # streaming
+    # ------------------------------------------------------------------ #
+
+    def on_batch(self, batch: BatchResult) -> List[ResultChunk]:
+        """Feed one serial-engine bucket service into the result streams."""
+        return self.hub.on_service(
+            batch.work_item.bucket_index,
+            batch.queries_served,
+            batch.objects_served,
+            batch.finished_at_ms,
+        )
+
+    def ingest_records(self, records: Iterable) -> int:
+        """Feed a backend's service records (global finish-time order)."""
+        return self.hub.ingest_records(records)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+
+    def finalize(self) -> None:
+        """Score every completed stream against its deadline class."""
+        if self._finalized:
+            return
+        self._finalized = True
+        for stream in self.hub.streams():
+            if not stream.is_complete:
+                continue
+            ttfr = stream.time_to_first_result_ms
+            ttc = stream.time_to_completion_ms
+            self.deadlines.on_completed(
+                stream.query_id,
+                ttfr / 1000.0 if ttfr is not None else None,
+                ttc / 1000.0 if ttc is not None else None,
+            )
+
+    def report(self) -> ServingReport:
+        """Summarise the run (intake, streaming latencies, SLA table)."""
+        if self.intake is None:
+            raise RuntimeError("report() requires an intake pass first")
+        self.finalize()
+        return ServingReport(
+            admission_policy=self.policy.name,
+            clients=self.config.clients,
+            offered=self.intake.offered,
+            admitted=len(self.intake.admitted),
+            rejected=len(self.intake.rejected),
+            deferrals=self.intake.deferrals,
+            completed=len(self.hub.completed_queries()),
+            chunks=self.hub.total_chunks,
+            ttfr_stats=summarize_response_times(self.hub.time_to_first_result_s()),
+            completion_stats=summarize_response_times(self.hub.time_to_completion_s()),
+            deadline_rows=self.deadlines.rows(),
+            deadline_summary=self.deadlines.summary(),
+        )

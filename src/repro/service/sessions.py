@@ -1,0 +1,102 @@
+"""Per-client sessions: identity, offered-rate measurement and accounting.
+
+The serving front-end multiplexes many clients over one archive.  A
+:class:`ClientSession` tracks what one client has offered and what became
+of it (admitted / deferred / rejected) plus a sliding-window measurement
+of the client's offered rate in virtual time — the quantity per-client
+admission limits gate on.  The :class:`SessionRegistry` owns the sessions
+and the client-assignment rule (by default queries hash onto a fixed pool
+of synthetic clients; traces with real client ids can inject their own
+assignment function).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.workload.query import CrossMatchQuery
+
+__all__ = ["ClientSession", "SessionRegistry"]
+
+#: Width of the sliding window used to measure a client's offered rate.
+RATE_WINDOW_MS = 60_000.0
+
+
+@dataclass
+class ClientSession:
+    """One client's view of the serving front-end."""
+
+    client_id: int
+    window_ms: float = RATE_WINDOW_MS
+    offered: int = 0
+    admitted: int = 0
+    deferred: int = 0
+    rejected: int = 0
+    _offer_times: Deque[float] = field(default_factory=deque)
+
+    def observe_offer(self, now_ms: float) -> None:
+        """Record one query offered by this client at *now_ms*."""
+        self.offered += 1
+        self._offer_times.append(now_ms)
+        self._prune(now_ms)
+
+    def offered_rate_qps(self, now_ms: float) -> float:
+        """Offered queries per second over the trailing window."""
+        self._prune(now_ms)
+        if not self._offer_times:
+            return 0.0
+        return len(self._offer_times) / (self.window_ms / 1000.0)
+
+    def _prune(self, now_ms: float) -> None:
+        horizon = now_ms - self.window_ms
+        while self._offer_times and self._offer_times[0] <= horizon:
+            self._offer_times.popleft()
+
+
+class SessionRegistry:
+    """Owns the client sessions and the query-to-client assignment."""
+
+    def __init__(
+        self,
+        clients: int = 4,
+        client_of: Optional[Callable[[CrossMatchQuery], int]] = None,
+        window_ms: float = RATE_WINDOW_MS,
+    ) -> None:
+        if clients <= 0:
+            raise ValueError("clients must be positive")
+        self.clients = clients
+        self.window_ms = window_ms
+        self._client_of = client_of or (lambda query: query.query_id % self.clients)
+        self._sessions: Dict[int, ClientSession] = {}
+
+    def client_of(self, query: CrossMatchQuery) -> int:
+        """The client a query belongs to."""
+        return self._client_of(query)
+
+    def session(self, client_id: int) -> ClientSession:
+        """The session of *client_id* (created on first use)."""
+        session = self._sessions.get(client_id)
+        if session is None:
+            session = ClientSession(client_id, window_ms=self.window_ms)
+            self._sessions[client_id] = session
+        return session
+
+    def session_for(self, query: CrossMatchQuery) -> ClientSession:
+        """The session owning *query*."""
+        return self.session(self.client_of(query))
+
+    def sessions(self) -> List[ClientSession]:
+        """Every session that has seen at least one offer, by client id."""
+        return [self._sessions[cid] for cid in sorted(self._sessions)]
+
+    def totals(self) -> Dict[str, int]:
+        """Aggregate intake accounting over all sessions."""
+        sessions = self._sessions.values()
+        return {
+            "offered": sum(s.offered for s in sessions),
+            "admitted": sum(s.admitted for s in sessions),
+            "deferred": sum(s.deferred for s in sessions),
+            "rejected": sum(s.rejected for s in sessions),
+        }

@@ -31,6 +31,7 @@ from repro.workload.query import CrossMatchQuery
 
 if TYPE_CHECKING:
     from repro.parallel.backend import ExecutionBackend
+    from repro.service.frontend import ServiceConfig, ServingFrontEnd, ServingReport
 
 __all__ = [
     "POLICY_NAMES",
@@ -94,15 +95,27 @@ class SimulationResult:
     backend: str = "serial"
     #: Real (measured) wall-clock seconds of the run, including backend setup.
     real_elapsed_s: float = 0.0
+    #: Serving runs only: the front-end's report (intake, streams, SLAs).
+    serving: Optional["ServingReport"] = None
 
     @property
     def avg_response_time_s(self) -> float:
-        """Mean query response time in seconds."""
+        """Mean query response time in seconds.
+
+        Zero-completed runs — e.g. a serving run whose admission gate shed
+        everything — report 0.0: :func:`summarize_response_times` returns
+        an all-zero summary for an empty sample (the regression tests in
+        ``tests/service/test_frontend.py`` pin this down).
+        """
         return self.response_stats.mean_s
 
     @property
     def response_time_cov(self) -> float:
-        """Coefficient of variance of the response time (Figure 7b)."""
+        """Coefficient of variance of the response time (Figure 7b).
+
+        Like :attr:`avg_response_time_s`, reports 0.0 on zero-completed
+        runs (the stats layer never divides by an empty mean).
+        """
         return self.response_stats.coefficient_of_variance
 
     def to_row(self) -> Dict[str, float]:
@@ -178,10 +191,21 @@ class Simulator:
         alpha: float = 0.25,
         label: str = "",
         saturation_qps: Optional[float] = None,
+        service: Optional["ServiceConfig"] = None,
     ) -> SimulationResult:
-        """Simulate one policy over one trace and summarise the outcome."""
+        """Simulate one policy over one trace and summarise the outcome.
+
+        With *service* set, arrivals are routed through the serving
+        front-end first: admission control decides what the engine sees,
+        bucket drains feed per-query result streams live, and the
+        returned result carries a :class:`ServingReport` in
+        :attr:`SimulationResult.serving`.
+        """
         if isinstance(policy, str):
             policy = make_policy(policy, alpha=alpha, cost=self.config.cost)
+        frontend = self._build_frontend(service)
+        if frontend is not None:
+            queries = frontend.admit(queries).admitted_queries()
         engine = self._build_engine(policy)
         ordered = sorted(queries, key=lambda q: (q.arrival_time_s, q.query_id))
         arrivals_ms = [q.arrival_time_s * 1000.0 for q in ordered]
@@ -200,8 +224,23 @@ class Simulator:
             result = engine.process_next(now_ms)
             if result is None:
                 break
+            if frontend is not None:
+                frontend.on_batch(result)
             now_ms = result.finished_at_ms
-        return self._summarise(engine, policy, alpha, label, saturation_qps)
+        summary = self._summarise(engine, policy, alpha, label, saturation_qps)
+        if frontend is not None:
+            summary.serving = frontend.report()
+        return summary
+
+    def _build_frontend(
+        self, service: Optional["ServiceConfig"]
+    ) -> Optional["ServingFrontEnd"]:
+        """Assemble a serving front-end over this simulator's layout."""
+        if service is None:
+            return None
+        from repro.service.frontend import ServingFrontEnd
+
+        return ServingFrontEnd(service, self._layout, self.config.cost)
 
     def _summarise(
         self,
@@ -245,6 +284,7 @@ class Simulator:
         saturation_qps: Optional[float] = None,
         backend: Union[str, "ExecutionBackend"] = "virtual",
         steal_quantum_ms: Optional[float] = None,
+        service: Optional["ServiceConfig"] = None,
     ) -> SimulationResult:
         """Replay a trace against a sharded engine on an execution backend.
 
@@ -255,11 +295,21 @@ class Simulator:
         backend-invariant (the parity tests pin this down); only
         :attr:`SimulationResult.real_elapsed_s` differs.  ``workers=1``
         reproduces :meth:`run` exactly on either backend.
+
+        With *service* set, the same serving front-end as :meth:`run`
+        gates the trace first; the backends replay the admitted schedule
+        and their service records — which rode the IPC channel on the
+        process backend — feed the result streams.  Because admission is
+        a pure function of the arrival stream, the admitted schedule (and
+        therefore every chunk) is identical across backends.
         """
         from repro.parallel.backend import ParallelRunSpec, make_backend
 
         if isinstance(policy, str):
             policy = make_policy(policy, alpha=alpha, cost=self.config.cost)
+        frontend = self._build_frontend(service)
+        if frontend is not None:
+            queries = frontend.admit(queries).admitted_queries()
         execution = make_backend(backend)
         spec = ParallelRunSpec(
             layout=self._layout,
@@ -274,9 +324,12 @@ class Simulator:
             steal_quantum_ms=steal_quantum_ms,
         )
         outcome = execution.execute(spec)
+        if frontend is not None:
+            frontend.ingest_records(outcome.services)
         report = outcome.report
         response_s = [ms / 1000.0 for ms in report.response_times_ms.values()]
         effective_alpha = getattr(policy, "alpha", None)
+        serving_report = frontend.report() if frontend is not None else None
         return SimulationResult(
             policy_name=report.scheduler_name,
             alpha=effective_alpha,
@@ -299,6 +352,7 @@ class Simulator:
             wall_clock_s=outcome.parallel.wall_clock_ms / 1000.0,
             backend=outcome.backend,
             real_elapsed_s=outcome.real_elapsed_s,
+            serving=serving_report,
         )
 
     def run_alpha_sweep(

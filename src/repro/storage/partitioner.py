@@ -252,7 +252,9 @@ class BucketPartitioner:
                 high = max(high, cursor)  # every bucket covers at least one ID
             else:
                 high = curve_end
-            count = per_bucket if index < bucket_count - 1 else total - per_bucket * (bucket_count - 1)
+            count = (
+                per_bucket if index < bucket_count - 1 else total - per_bucket * (bucket_count - 1)
+            )
             size = self.bucket_megabytes * (count / self.objects_per_bucket)
             buckets.append(BucketSpec(index, HTMRange(cursor, high), count, size))
             cursor = high + 1

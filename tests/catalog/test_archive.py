@@ -46,7 +46,9 @@ class TestSyntheticArchive:
         archive = build_synthetic_archive(
             "twomass",
             generator_config=SkyGeneratorConfig(object_count=200, seed=5),
-            archive_config=ArchiveConfig(objects_per_bucket=50, bucket_megabytes=2.0, target_bucket_read_s=0.1),
+            archive_config=ArchiveConfig(
+                objects_per_bucket=50, bucket_megabytes=2.0, target_bucket_read_s=0.1
+            ),
         )
         assert archive.name == "twomass"
         assert archive.bucket_count == pytest.approx(len(archive.catalog) / 50, abs=1)

@@ -70,7 +70,9 @@ class TestGeneration:
 class TestCompanionSurveys:
     def test_companion_sees_mostly_the_same_sky(self, small_generator):
         base = small_generator.generate("sdss")
-        companion = small_generator.derive_companion(base, "twomass", completeness=0.8, extra_fraction=0.1)
+        companion = small_generator.derive_companion(
+            base, "twomass", completeness=0.8, extra_fraction=0.1
+        )
         assert 0.6 * len(base) <= len(companion) <= 1.1 * len(base)
         assert all(obj.survey == "twomass" for obj in companion)
 

@@ -13,7 +13,9 @@ from repro.core.adaptive import (
 def make_curve(saturation, points):
     curve = TradeoffCurve(saturation_qps=saturation)
     for alpha, throughput, response in points:
-        curve.add(TradeoffPoint(alpha=alpha, throughput_qps=throughput, avg_response_time_s=response))
+        curve.add(
+            TradeoffPoint(alpha=alpha, throughput_qps=throughput, avg_response_time_s=response)
+        )
     return curve
 
 
@@ -22,11 +24,23 @@ def make_curve(saturation, points):
 # large response-time improvement (the paper's Figure 4 shapes).
 HIGH_CURVE = make_curve(
     0.5,
-    [(0.0, 0.22, 300.0), (0.25, 0.20, 250.0), (0.5, 0.17, 240.0), (0.75, 0.15, 235.0), (1.0, 0.14, 230.0)],
+    [
+        (0.0, 0.22, 300.0),
+        (0.25, 0.20, 250.0),
+        (0.5, 0.17, 240.0),
+        (0.75, 0.15, 235.0),
+        (1.0, 0.14, 230.0),
+    ],
 )
 LOW_CURVE = make_curve(
     0.1,
-    [(0.0, 0.105, 290.0), (0.25, 0.104, 220.0), (0.5, 0.103, 180.0), (0.75, 0.102, 150.0), (1.0, 0.10, 135.0)],
+    [
+        (0.0, 0.105, 290.0),
+        (0.25, 0.104, 220.0),
+        (0.5, 0.103, 180.0),
+        (0.75, 0.102, 150.0),
+        (1.0, 0.10, 135.0),
+    ],
 )
 
 

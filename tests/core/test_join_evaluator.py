@@ -18,7 +18,9 @@ from repro.storage.partitioner import BucketPartitioner
 def make_virtual_setup(cache_capacity=4):
     """Cost-model-only setup over a virtual (count-based) store."""
     cost = CostModel.paper_defaults()
-    layout = BucketPartitioner(objects_per_bucket=10_000, bucket_megabytes=40.0).partition_density(8)
+    layout = BucketPartitioner(objects_per_bucket=10_000, bucket_megabytes=40.0).partition_density(
+        8
+    )
     store = BucketStore(layout, calibrated_disk_for_bucket_read(40.0, 1.2))
     cache = BucketCacheManager(store, capacity=cache_capacity)
     evaluator = HybridJoinEvaluator(cost, cache, index=SpatialIndex([]))
@@ -63,7 +65,9 @@ class TestStrategyChoice:
         cost = CostModel.paper_defaults()
         layout = BucketPartitioner().partition_density(4)
         store = BucketStore(layout, calibrated_disk_for_bucket_read(40.0, 1.2))
-        evaluator = HybridJoinEvaluator(cost, BucketCacheManager(store), index=SpatialIndex([]), enable_hybrid=False)
+        evaluator = HybridJoinEvaluator(
+            cost, BucketCacheManager(store), index=SpatialIndex([]), enable_hybrid=False
+        )
         assert evaluator.choose_strategy(1, 10_000, False) is JoinStrategy.SEQUENTIAL_SCAN
 
     def test_threshold_defaults_to_cost_model_breakeven(self):
@@ -147,7 +151,9 @@ class TestFullFidelityJoin:
     def setup(self):
         generator = SkyGenerator(SkyGeneratorConfig(object_count=500, seed=21))
         base = generator.generate("sdss")
-        companion = generator.derive_companion(base, "twomass", completeness=0.9, extra_fraction=0.05)
+        companion = generator.derive_companion(
+            base, "twomass", completeness=0.9, extra_fraction=0.05
+        )
         archive = build_archive(
             "sdss",
             base,

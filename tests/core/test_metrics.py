@@ -77,7 +77,10 @@ class TestWorkloadThroughput:
         cost = CostModel.paper_defaults()
         assert workload_throughput(queue, True, cost) >= workload_throughput(queue, False, cost)
 
-    @given(st.integers(min_value=1, max_value=1_000_000), st.integers(min_value=1, max_value=1_000_000))
+    @given(
+        st.integers(min_value=1, max_value=1_000_000),
+        st.integers(min_value=1, max_value=1_000_000),
+    )
     def test_monotone_in_queue_size_when_on_disk(self, smaller, larger):
         cost = CostModel.paper_defaults()
         low, high = sorted((smaller, larger))

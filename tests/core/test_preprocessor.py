@@ -30,7 +30,8 @@ class TestExplicitObjects:
     def test_object_assigned_to_containing_bucket(self, preprocessor, layout):
         first_bucket = layout[0]
         query = CrossMatchQuery(
-            query_id=1, objects=(obj(0, first_bucket.htm_range.low, first_bucket.htm_range.low + 5),)
+            query_id=1,
+            objects=(obj(0, first_bucket.htm_range.low, first_bucket.htm_range.low + 5),),
         )
         assignment = preprocessor.assign(query)
         assert set(assignment.keys()) == {0}
@@ -49,7 +50,11 @@ class TestExplicitObjects:
         low = layout[2].htm_range.low
         query = CrossMatchQuery(
             query_id=3,
-            objects=(obj(0, low, low + 1), obj(1, low + 2, low + 3), obj(2, layout[3].htm_range.low, layout[3].htm_range.low)),
+            objects=(
+                obj(0, low, low + 1),
+                obj(1, low + 2, low + 3),
+                obj(2, layout[3].htm_range.low, layout[3].htm_range.low),
+            ),
         )
         footprint = preprocessor.footprint(query)
         assert footprint == {2: 2, 3: 1}

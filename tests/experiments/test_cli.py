@@ -44,6 +44,50 @@ class TestWorkerSweep:
             worker_sweep(0)
 
 
+class TestServeCommand:
+    def test_serve_prints_the_serving_report(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scale",
+                    "small",
+                    "--admission",
+                    "reject",
+                    "--intake-bound",
+                    "16",
+                    "--saturation",
+                    "2.0",
+                    "--deadline-mix",
+                    "interactive=0.5,batch=0.5",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "serving report (reject admission" in output
+        assert "avg TTFR" in output
+        assert "first-result SLA" in output
+        assert "interactive" in output and "batch" in output
+
+    def test_serve_rejects_bad_deadline_mix(self):
+        with pytest.raises(ValueError, match="unknown deadline class"):
+            main(["serve", "--scale", "small", "--deadline-mix", "warp=1"])
+
+    def test_serve_rejects_unknown_admission_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--admission", "coin_flip"])
+
+    def test_serve_rejects_backend_without_workers(self):
+        """--backend must not be silently dropped on the serial path."""
+        with pytest.raises(SystemExit, match="requires --workers"):
+            main(["serve", "--scale", "small", "--backend", "process"])
+
+    def test_serve_report_names_the_engine(self, capsys):
+        assert main(["serve", "--scale", "small", "--workers", "2"]) == 0
+        assert "virtual backend x2" in capsys.readouterr().out
+
+
 class TestScalingCommand:
     def test_scaling_experiment_with_workers_flag(self, capsys):
         assert main(["experiments", "scaling", "--scale", "small", "--workers", "2"]) == 0

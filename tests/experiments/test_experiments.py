@@ -70,6 +70,7 @@ class TestCommon:
             "cache_hits",
             "ablations",
             "scaling",
+            "serving",
         }
 
     def test_scaling_sweep_always_includes_serial_baseline(self):
@@ -161,6 +162,24 @@ class TestClaims:
         )
         result = index_only.run(trace=trace, simulator=tiny_simulator)
         assert result.headline["index_only_slowdown_busy_time"] > 3.0
+
+    def test_serving_experiment_reports_the_trade_off(self, tiny_trace, tiny_simulator):
+        from repro.experiments import serving
+
+        result = serving.run(
+            trace=tiny_trace,
+            simulator=tiny_simulator,
+            alphas=(0.0, 1.0),
+            intake_bound=32,
+        )
+        assert result.name == "serving"
+        assert len(result.rows) == 2
+        for alpha in (0.0, 1.0):
+            suffix = f"alpha{alpha:g}"
+            assert 0.0 < result.headline[f"ttfr_s_{suffix}"]
+            assert result.headline[f"ttfr_s_{suffix}"] < result.headline[f"ttc_s_{suffix}"]
+            assert 0.0 <= result.headline[f"rejection_rate_{suffix}"] < 1.0
+        assert result.render()
 
     def test_ablations_table_contains_all_configurations(self, tiny_trace):
         result = ablations.run(trace=tiny_trace, cache_sizes=(5, 20))

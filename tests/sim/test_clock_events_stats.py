@@ -83,6 +83,58 @@ class TestEventQueue:
         assert drained == ["early", "a", "b", "c", "late"]
 
 
+class TestControlEventOrdering:
+    """CONTROL events are the serving front-end's backpressure retries;
+    their interleaving with fresh arrivals must be deterministic: strict
+    time order first, push order (FIFO) within a timestamp, with the
+    event kind playing no role in the ordering."""
+
+    def test_control_retry_racing_a_fresh_arrival_is_fifo(self):
+        queue = EventQueue()
+        queue.push(Event(10.0, EventKind.QUERY_ARRIVAL, payload="fresh"))
+        queue.push(Event(10.0, EventKind.CONTROL, payload="retry"))
+        assert queue.pop().payload == "fresh"
+        assert queue.pop().payload == "retry"
+
+    def test_control_pushed_first_wins_the_tie(self):
+        queue = EventQueue()
+        queue.push(Event(10.0, EventKind.CONTROL, payload="retry"))
+        queue.push(Event(10.0, EventKind.QUERY_ARRIVAL, payload="fresh"))
+        assert queue.pop().payload == "retry"
+        assert queue.pop().payload == "fresh"
+
+    def test_kinds_do_not_reorder_within_a_timestamp(self):
+        queue = EventQueue()
+        kinds = (
+            EventKind.SERVICE_COMPLETE,
+            EventKind.CONTROL,
+            EventKind.QUERY_ARRIVAL,
+            EventKind.WORK_STOLEN,
+            EventKind.CONTROL,
+        )
+        for position, kind in enumerate(kinds):
+            queue.push(Event(7.0, kind, payload=position))
+        assert [queue.pop().payload for _ in range(len(queue))] == [0, 1, 2, 3, 4]
+
+    def test_defer_retry_cycle_is_deterministic(self):
+        """The front-end's defer loop — pop an arrival, re-enqueue it as a
+        CONTROL retry delta later — always drains in a reproducible global
+        order, even when retries land between future arrivals."""
+        queue = EventQueue()
+        for arrival_ms, name in ((0.0, "a"), (4.0, "b"), (8.0, "c")):
+            queue.push(Event(arrival_ms, EventKind.QUERY_ARRIVAL, payload=name))
+        drained = []
+        retried = set()
+        while queue:
+            event = queue.pop()
+            if event.kind is EventKind.QUERY_ARRIVAL and event.payload not in retried:
+                retried.add(event.payload)
+                queue.push(Event(event.time_ms + 6.0, EventKind.CONTROL, payload=event.payload))
+                continue
+            drained.append((event.time_ms, event.payload))
+        assert drained == [(6.0, "a"), (10.0, "b"), (14.0, "c")]
+
+
 class TestWorkerEventLog:
     def test_streams_are_per_worker_and_append_ordered(self):
         log = WorkerEventLog()

@@ -28,7 +28,9 @@ def sorted_ids(draw_count=st.integers(min_value=1, max_value=400)):
 class TestPartitionObjects:
     def test_bucket_counts_and_sizes(self):
         ids = sorted(range(CURVE_START, CURVE_START + 95))
-        partitioner = BucketPartitioner(objects_per_bucket=10, bucket_megabytes=40.0, leaf_level=LEAF_LEVEL)
+        partitioner = BucketPartitioner(
+            objects_per_bucket=10, bucket_megabytes=40.0, leaf_level=LEAF_LEVEL
+        )
         layout = partitioner.partition_objects(ids)
         assert len(layout) == 10
         assert [b.object_count for b in layout][:-1] == [10] * 9
@@ -43,7 +45,9 @@ class TestPartitionObjects:
 
     def test_unsorted_input_rejected(self):
         with pytest.raises(ValueError):
-            BucketPartitioner(leaf_level=LEAF_LEVEL).partition_objects([CURVE_START + 5, CURVE_START + 1])
+            BucketPartitioner(leaf_level=LEAF_LEVEL).partition_objects(
+                [CURVE_START + 5, CURVE_START + 1]
+            )
 
     @given(sorted_ids(), st.integers(min_value=1, max_value=50))
     @settings(max_examples=50, deadline=None)

@@ -46,7 +46,9 @@ class TestUniform:
 
 class TestBursty:
     def test_bursts_are_separated_by_gaps(self):
-        process = BurstyArrivalProcess(burst_rate_qps=10.0, burst_length=5, gap_seconds=100.0, seed=3)
+        process = BurstyArrivalProcess(
+            burst_rate_qps=10.0, burst_length=5, gap_seconds=100.0, seed=3
+        )
         times = process.arrival_times(15)
         assert times == sorted(times)
         # The gap between burst 1 and burst 2 dwarfs intra-burst spacing.
