@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Storage demo: real on-disk buckets under the LifeRaft engines.
+
+This example exercises the PR 4 storage subsystem end to end:
+
+1. generate a synthetic sky catalog and **ingest** it into a columnar
+   ``.lrbs`` bucket store file (equal-population partitioning, HTM-sorted
+   struct-packed column pages, checksums),
+2. replay the same trace against the **in-memory** cost-model store and
+   against the **file-backed** store (real seeks, reads, CRC checks and
+   columnar decoding per bucket service),
+3. show that every virtual-clock number is identical — only the physical
+   work differs — and print the tiered cache behaviour (engine-side LRU
+   bucket cache over the decoded-page tier).
+
+Run with::
+
+    python examples/storage_demo.py
+"""
+
+import os
+import tempfile
+
+from repro.experiments.common import build_trace, render_table
+from repro.sim.simulator import (
+    VIRTUAL_CLOCK_PARITY_FIELDS,
+    SimulationConfig,
+    Simulator,
+)
+from repro.storage.ingest import materialize_layout
+
+BUCKETS = 128
+ROWS_PER_BUCKET = 256
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="liferaft-storage-")
+    store_path = os.path.join(workdir, "site.lrbs")
+
+    # Materialise the site's partition layout as a real file: the layout's
+    # cost-model numbers are written unchanged, and every bucket carries
+    # physical rows for the engines to actually read and decode.
+    scaffold = Simulator(SimulationConfig(bucket_count=BUCKETS))
+    manifest = materialize_layout(store_path, scaffold.layout, rows_per_bucket=ROWS_PER_BUCKET)
+    print(
+        f"ingested {manifest.bucket_count} buckets "
+        f"({manifest.total_rows:,} rows, {manifest.file_bytes / 1024:.0f} KiB) "
+        f"-> {manifest.path}"
+    )
+    print(f"file generation: {manifest.generation}")
+
+    simulator = Simulator(SimulationConfig(bucket_count=BUCKETS), store_path=store_path)
+    trace = build_trace("small", bucket_count=BUCKETS).with_saturation(1.0)
+
+    memory = simulator.run(trace.queries, "liferaft", store_path=None)
+    file_backed = simulator.run(trace.queries, "liferaft")
+
+    rows = []
+    for metric in VIRTUAL_CLOCK_PARITY_FIELDS:
+        memory_value = getattr(memory, metric)
+        file_value = getattr(file_backed, metric)
+        rows.append((metric, memory_value, file_value, memory_value == file_value))
+    print()
+    print(render_table(("virtual-clock metric", "in-memory", "file-backed", "identical"), rows))
+    assert all(row[3] for row in rows), "file-backed run diverged from in-memory run"
+
+    print()
+    print(
+        f"physical work (file-backed only): {file_backed.bucket_reads} bucket reads "
+        f"decoded in {file_backed.real_read_s * 1000:.1f} ms of real I/O"
+    )
+    print(
+        "every deterministic number above is identical: the disk store charges "
+        "the paper's virtual-clock costs while doing real storage work"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,14 @@ intake, latency and SLA summary::
     liferaft serve --scale small --admission reject --intake-bound 48 \
         --deadline-mix interactive=0.3,standard=0.5,batch=0.2
 
+Materialise the small scale's partition as a columnar on-disk bucket
+store, then replay against it (real seeks, reads and decoding; identical
+virtual-clock numbers) and verify file/memory parity in one shot::
+
+    liferaft ingest --scale small --out /tmp/small.lrbs
+    liferaft run --scale small --store-path /tmp/small.lrbs \
+        --verify-against-memory
+
 Print the workload characterisation of a freshly generated trace::
 
     liferaft trace --scale small
@@ -96,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
             "interleaves shard workers in-process (deterministic), "
             "'process' runs one OS process per shard for real wall-clock "
             "speedup"
+        ),
+    )
+    experiments.add_argument(
+        "--store-path",
+        default=None,
+        metavar="FILE",
+        help=(
+            "ingested .lrbs bucket store for the scaling experiment: shard "
+            "workers read materialised on-disk buckets instead of the "
+            "in-memory cost model (see 'liferaft ingest')"
         ),
     )
 
@@ -181,6 +199,114 @@ def build_parser() -> argparse.ArgumentParser:
             "(requires --workers > 1; default: virtual)"
         ),
     )
+    serve.add_argument(
+        "--store-path",
+        default=None,
+        metavar="FILE",
+        help="serve from an ingested .lrbs bucket store (real storage I/O)",
+    )
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help=(
+            "materialise a partition layout (or a synthetic sky catalog) as "
+            "a columnar on-disk bucket store file"
+        ),
+    )
+    ingest.add_argument("--out", required=True, metavar="FILE", help="store file to write")
+    ingest.add_argument("--scale", default="small", choices=sorted(SCALES))
+    ingest.add_argument(
+        "--bucket-count",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="override the scale's bucket count",
+    )
+    ingest.add_argument(
+        "--rows-per-bucket",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "physical rows materialised per bucket (default 256; cost-model "
+            "numbers always come from the layout's full object counts)"
+        ),
+    )
+    ingest.add_argument("--seed", type=int, default=8675309)
+    ingest.add_argument(
+        "--sky-objects",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "instead of materialising the scale's density layout, generate "
+            "a synthetic sky of N objects and ingest it exactly (equal-"
+            "population partitioning over the generated catalog)"
+        ),
+    )
+    ingest.add_argument(
+        "--objects-per-bucket",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="bucket population for --sky-objects ingests (default 10,000)",
+    )
+
+    run = subparsers.add_parser(
+        "run",
+        help=(
+            "replay one trace under one policy and print the virtual-clock "
+            "summary (optionally against an on-disk bucket store)"
+        ),
+    )
+    run.add_argument("--scale", default="small", choices=sorted(SCALES))
+    run.add_argument("--seed", type=int, default=8675309)
+    run.add_argument("--policy", default="liferaft", help="scheduling policy name")
+    run.add_argument(
+        "--alpha", type=float, default=0.25, help="LifeRaft age bias (starvation knob)"
+    )
+    run.add_argument(
+        "--saturation",
+        type=float,
+        default=None,
+        metavar="QPS",
+        help="replay arrival rate (default: the trace's attached arrivals)",
+    )
+    run.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="shard workers (>1 runs the parallel engine)",
+    )
+    run.add_argument(
+        "--backend",
+        default=None,
+        choices=("virtual", "process"),
+        help="execution backend when --workers > 1 (default: virtual)",
+    )
+    run.add_argument(
+        "--store-path",
+        default=None,
+        metavar="FILE",
+        help="replay against an ingested .lrbs bucket store (real storage I/O)",
+    )
+    run.add_argument(
+        "--bucket-count",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="override the scale's bucket count (in-memory runs only)",
+    )
+    run.add_argument(
+        "--verify-against-memory",
+        action="store_true",
+        help=(
+            "run the same trace twice — file-backed and in-memory — and "
+            "fail unless every virtual-clock total is identical "
+            "(requires --store-path)"
+        ),
+    )
 
     subparsers.add_parser("list", help="list available experiments")
     return parser
@@ -205,6 +331,7 @@ def _run_experiments(
     workers: Optional[int] = None,
     shard_strategy: Optional[str] = None,
     backend: Optional[str] = None,
+    store_path: Optional[str] = None,
 ) -> int:
     results = run_all(
         scale=scale,
@@ -212,6 +339,7 @@ def _run_experiments(
         workers=worker_sweep(workers) if workers is not None else None,
         shard_strategy=shard_strategy,
         backend=backend,
+        store_path=store_path,
     )
     for result in results:
         print(result.render())
@@ -228,14 +356,135 @@ def _run_trace(scale: str, seed: int) -> int:
     return 0
 
 
+def _run_ingest(args: argparse.Namespace) -> int:
+    from repro.experiments.common import scale_preset
+    from repro.storage.ingest import (
+        DEFAULT_ROWS_PER_BUCKET,
+        ingest_catalog,
+        materialize_layout,
+    )
+    from repro.storage.partitioner import BucketPartitioner
+
+    if args.sky_objects is not None:
+        from repro.catalog.generator import SkyGenerator, SkyGeneratorConfig
+
+        if args.rows_per_bucket is not None or args.bucket_count is not None:
+            raise SystemExit(
+                "--rows-per-bucket/--bucket-count apply to density ingests only; "
+                "a --sky-objects ingest writes the generated catalog exactly "
+                "(size it with --sky-objects and --objects-per-bucket)"
+            )
+        generator = SkyGenerator(SkyGeneratorConfig(object_count=args.sky_objects, seed=args.seed))
+        table = generator.generate("sdss")
+        manifest = ingest_catalog(
+            args.out, table, objects_per_bucket=args.objects_per_bucket or 10_000
+        )
+        mode = f"synthetic sky ({args.sky_objects} objects, exact rows)"
+    else:
+        if args.objects_per_bucket is not None:
+            raise SystemExit(
+                "--objects-per-bucket applies to --sky-objects ingests only; "
+                "density ingests take their bucket population from the layout"
+            )
+        bucket_count = args.bucket_count or scale_preset(args.scale).bucket_count
+        layout = BucketPartitioner().partition_density(bucket_count)
+        manifest = materialize_layout(
+            args.out,
+            layout,
+            rows_per_bucket=args.rows_per_bucket or DEFAULT_ROWS_PER_BUCKET,
+            seed=args.seed,
+        )
+        mode = f"density layout ({args.scale} scale)"
+    print(f"ingested {mode} -> {manifest.path}")
+    print(
+        f"  generation {manifest.generation} | {manifest.bucket_count} buckets | "
+        f"{manifest.total_objects:,} layout objects | "
+        f"{manifest.total_rows:,} materialised rows | "
+        f"{manifest.file_bytes / 1024 / 1024:.2f} MiB"
+    )
+    return 0
+
+
+def _single_run(simulator, queries, args: argparse.Namespace, store_path):
+    if args.workers > 1:
+        return simulator.run_parallel(
+            queries,
+            args.policy,
+            workers=args.workers,
+            alpha=args.alpha,
+            backend=args.backend or "virtual",
+            store_path=store_path,
+        )
+    return simulator.run(queries, args.policy, alpha=args.alpha, store_path=store_path)
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    from repro.sim.simulator import VIRTUAL_CLOCK_PARITY_FIELDS, Simulator
+
+    if args.backend is not None and args.workers <= 1:
+        raise SystemExit("--backend requires --workers > 1")
+    if args.verify_against_memory and args.store_path is None:
+        raise SystemExit("--verify-against-memory requires --store-path")
+    if args.store_path is not None:
+        if args.bucket_count is not None:
+            raise SystemExit("--bucket-count cannot override an ingested store's layout")
+        simulator = Simulator.from_store(args.store_path)
+        bucket_count = len(simulator.layout)
+    else:
+        bucket_count = args.bucket_count
+        simulator = build_simulator(
+            args.scale, **({"bucket_count": bucket_count} if bucket_count else {})
+        )
+        bucket_count = len(simulator.layout)
+    trace = build_trace(args.scale, seed=args.seed, bucket_count=bucket_count)
+    if args.saturation is not None:
+        trace = trace.with_saturation(args.saturation)
+
+    result = _single_run(simulator, trace.queries, args, store_path=args.store_path)
+    engine = "serial engine" if args.workers == 1 else f"{result.backend} backend x{args.workers}"
+    print(
+        f"run: {result.policy_name} on {engine}, {result.store_backend} store "
+        f"({len(trace)} queries, {bucket_count} buckets)"
+    )
+    rows = [(field, getattr(result, field)) for field in VIRTUAL_CLOCK_PARITY_FIELDS]
+    rows.append(("makespan_s", result.makespan_s))
+    rows.append(("avg_response_s", result.avg_response_time_s))
+    if result.store_backend == "file":
+        rows.append(("real_read_s", result.real_read_s))
+    print(render_table(("metric", "value"), rows))
+
+    if not args.verify_against_memory:
+        return 0
+    memory = _single_run(simulator, trace.queries, args, store_path=None)
+    mismatches = []
+    for field in VIRTUAL_CLOCK_PARITY_FIELDS:
+        file_value, memory_value = getattr(result, field), getattr(memory, field)
+        if file_value != memory_value:
+            mismatches.append((field, file_value, memory_value))
+    if mismatches:
+        print("\nPARITY FAILURE: file-backed run diverged from in-memory run")
+        print(render_table(("metric", "file", "memory"), mismatches))
+        return 1
+    print(
+        f"\nparity OK: all {len(VIRTUAL_CLOCK_PARITY_FIELDS)} virtual-clock totals identical "
+        "across file-backed and in-memory stores"
+    )
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.service.deadline import parse_deadline_mix
     from repro.service.frontend import ServiceConfig
 
-    trace = build_trace(args.scale, seed=args.seed)
+    if args.store_path is not None:
+        from repro.sim.simulator import Simulator
+
+        simulator = Simulator.from_store(args.store_path)
+    else:
+        simulator = build_simulator(args.scale)
+    trace = build_trace(args.scale, seed=args.seed, bucket_count=len(simulator.layout))
     if args.saturation is not None:
         trace = trace.with_saturation(args.saturation)
-    simulator = build_simulator(args.scale)
     config_kwargs = dict(
         admission=args.admission,
         intake_bound=args.intake_bound,
@@ -266,7 +515,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     assert serving is not None
     print(
         f"serving report ({serving.admission_policy} admission, "
-        f"{serving.clients} clients, alpha={args.alpha:g}, {engine_label})"
+        f"{serving.clients} clients, alpha={args.alpha:g}, {engine_label}, "
+        f"{result.store_backend} store)"
     )
     print(
         f"  offered {serving.offered} | admitted {serving.admitted} | "
@@ -310,11 +560,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             shard_strategy=args.shard_strategy,
             backend=args.backend,
+            store_path=args.store_path,
         )
     if args.command == "trace":
         return _run_trace(args.scale, args.seed)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "ingest":
+        return _run_ingest(args)
+    if args.command == "run":
+        return _run_single(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

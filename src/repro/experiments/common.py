@@ -45,11 +45,21 @@ def scale_preset(scale: str) -> ScalePreset:
 
 
 def build_trace(scale: str = "small", seed: int = 8675309, **overrides) -> QueryTrace:
-    """Generate the standard trace for *scale* (optionally overriding knobs)."""
+    """Generate the standard trace for *scale* (optionally overriding knobs).
+
+    When *bucket_count* is overridden below the generator's default query
+    span (e.g. a trace for a small ingested store file), the span is
+    clamped to the partition size; at every standard scale the clamp is a
+    no-op, so existing traces are unchanged.
+    """
     preset = scale_preset(scale)
+    bucket_count = overrides.pop("bucket_count", preset.bucket_count)
+    if "max_span" not in overrides:
+        default_span = TraceConfig.__dataclass_fields__["max_span"].default
+        overrides["max_span"] = min(default_span, bucket_count)
     config = TraceConfig(
         query_count=overrides.pop("query_count", preset.query_count),
-        bucket_count=overrides.pop("bucket_count", preset.bucket_count),
+        bucket_count=bucket_count,
         seed=seed,
         **overrides,
     )
@@ -77,7 +87,10 @@ def estimate_capacity_qps(
     at every scale.
     """
     flooded = trace.with_saturation(1000.0)
-    result = simulator.run(flooded.queries, "liferaft", alpha=alpha)
+    # Always probe capacity in memory: the number is store-invariant (the
+    # file-backed parity tests pin this), so a physical replay of the
+    # flooded trace would be pure wasted I/O on store-backed simulators.
+    result = simulator.run(flooded.queries, "liferaft", alpha=alpha, store_path=None)
     if result.busy_time_s <= 0:
         return 1.0
     return result.completed_queries / result.busy_time_s

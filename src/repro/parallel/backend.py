@@ -129,6 +129,9 @@ class BackendOutcome:
     megabytes_read: float
     #: Real (measured) wall-clock of the run, including backend setup.
     real_elapsed_s: float
+    #: File-backed stores only: wall-clock seconds spent in physical page
+    #: reads + decoding, summed over workers (0.0 for in-memory stores).
+    store_real_read_s: float = 0.0
 
     def coverage(self) -> Dict[int, frozenset]:
         """Per-query bucket coverage: which buckets serviced each query."""
@@ -206,6 +209,7 @@ class VirtualBackend(ExecutionBackend):
             bucket_reads=spec.store.reads,
             megabytes_read=spec.store.bytes_read_mb,
             real_elapsed_s=elapsed,
+            store_real_read_s=getattr(spec.store, "real_read_s", 0.0),
         )
 
 
@@ -563,6 +567,7 @@ class ProcessBackend(ExecutionBackend):
             bucket_reads=sum(r.store_reads for r in ordered_results),
             megabytes_read=sum(r.store_megabytes for r in ordered_results),
             real_elapsed_s=elapsed_s,
+            store_real_read_s=sum(r.store_real_read_s for r in ordered_results),
         )
 
 

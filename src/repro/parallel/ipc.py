@@ -183,6 +183,8 @@ class WorkerResult:
     join_statistics: Dict[str, float]
     store_reads: int
     store_megabytes: float
+    #: File-backed stores only: this shard's physical read + decode time.
+    store_real_read_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -295,11 +297,16 @@ class ShardReplayer:
 
 
 def build_task_worker(task: ShardTask) -> ShardWorker:
-    """Restore a shard worker from its pickled task (child-side setup)."""
+    """Restore a shard worker from its pickled task (child-side setup).
+
+    The layout comes from the restored store, not the snapshot directly:
+    path-based snapshots carry no layout (the store file does), and the
+    in-memory variant restores the same object either way.
+    """
     store = BucketStore.from_snapshot(task.snapshot)
     worker = build_shard_worker(
         task.worker_id,
-        task.snapshot.layout,
+        store.layout,
         store,
         task.policy,
         task.config,
@@ -328,6 +335,7 @@ def worker_result(worker: ShardWorker) -> WorkerResult:
         join_statistics=loop.evaluator.statistics(),
         store_reads=store.reads,
         store_megabytes=store.bytes_read_mb,
+        store_real_read_s=getattr(store, "real_read_s", 0.0),
     )
 
 

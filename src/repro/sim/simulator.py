@@ -14,6 +14,7 @@ variance, cache hit rate, and per-strategy service counts.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
@@ -25,6 +26,8 @@ from repro.core.scheduler import SchedulingPolicy
 from repro.sim.stats import ResponseTimeStats, summarize_response_times
 from repro.storage.bucket_store import BucketStore
 from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_store import DiskBucketStore, open_disk_store
+from repro.storage.format import read_layout
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner, PartitionLayout
 from repro.workload.query import CrossMatchQuery
@@ -38,9 +41,27 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "VIRTUAL_CLOCK_PARITY_FIELDS",
     "make_policy",
     "run_policy_comparison",
 ]
+
+#: The :class:`SimulationResult` fields that must be bit-identical across
+#: storage tiers (in-memory vs file-backed) and execution backends — the
+#: single source of truth for the CLI's ``--verify-against-memory`` gate,
+#: the storage demo and the parity docs.  Every deterministic virtual-clock
+#: total belongs here; real-time measurements (``real_elapsed_s``,
+#: ``real_read_s``) do not.
+VIRTUAL_CLOCK_PARITY_FIELDS = (
+    "completed_queries",
+    "busy_time_s",
+    "total_io_s",
+    "total_match_s",
+    "bucket_services",
+    "bucket_reads",
+    "cache_hit_rate",
+    "throughput_qps",
+)
 
 
 @dataclass(frozen=True)
@@ -97,6 +118,11 @@ class SimulationResult:
     real_elapsed_s: float = 0.0
     #: Serving runs only: the front-end's report (intake, streams, SLAs).
     serving: Optional["ServingReport"] = None
+    #: Which storage tier served bucket reads: "memory" or "file".
+    store_backend: str = "memory"
+    #: File-backed runs only: wall-clock seconds spent in physical page
+    #: reads + columnar decoding (summed over workers for process runs).
+    real_read_s: float = 0.0
 
     @property
     def avg_response_time_s(self) -> float:
@@ -133,12 +159,65 @@ class SimulationResult:
         }
 
 
-class Simulator:
-    """Replays traces against a freshly built engine per run."""
+#: Sentinel for "use the simulator's default store" on per-run overrides
+#: (``store_path=None`` explicitly forces an in-memory run).
+_DEFAULT_STORE = object()
 
-    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+
+class Simulator:
+    """Replays traces against a freshly built engine per run.
+
+    With *store_path* set, every run opens the columnar on-disk bucket
+    store at that path instead of building an in-memory
+    :class:`BucketStore`: bucket services then perform real seeks, reads
+    and columnar decoding while charging identical virtual-clock costs.
+    Per-run ``store_path`` arguments on :meth:`run` / :meth:`run_parallel`
+    override the default (``None`` explicitly forces in-memory, which is
+    how the parity checks compare the two tiers on one simulator).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        store_path: Optional[Union[str, os.PathLike]] = None,
+        _store_layout: Optional[PartitionLayout] = None,
+    ) -> None:
         self.config = config or SimulationConfig()
-        self._layout = self._build_layout()
+        self.store_path = os.fspath(store_path) if store_path is not None else None
+        if self.store_path is not None:
+            # The file defines the site: adopt its layout (validating the
+            # configured partition size so cost-model assumptions hold).
+            # ``_store_layout`` lets :meth:`from_store` hand over the layout
+            # it already parsed instead of reading the directory twice.
+            self._layout = (
+                _store_layout if _store_layout is not None else read_layout(self.store_path)
+            )
+            if len(self._layout) != self.config.bucket_count:
+                raise ValueError(
+                    f"store file {self.store_path!r} has {len(self._layout)} "
+                    f"buckets but the simulation is configured for "
+                    f"{self.config.bucket_count}"
+                )
+        else:
+            self._layout = self._build_layout()
+
+    @classmethod
+    def from_store(
+        cls,
+        store_path: Union[str, os.PathLike],
+        config: Optional[SimulationConfig] = None,
+    ) -> "Simulator":
+        """Build a simulator whose site is defined by a store file.
+
+        When *config* is omitted it is derived from the file (bucket
+        count from the directory, paper defaults elsewhere), so any
+        ingested store — density-materialised or catalog-partitioned —
+        can be replayed against directly.
+        """
+        layout = read_layout(store_path)
+        if config is None:
+            config = SimulationConfig(bucket_count=len(layout))
+        return cls(config, store_path=store_path, _store_layout=layout)
 
     @property
     def layout(self) -> PartitionLayout:
@@ -152,11 +231,27 @@ class Simulator:
         )
         return partitioner.partition_density(self.config.bucket_count)
 
-    def _build_store(self) -> BucketStore:
+    def _resolve_store_path(self, store_path) -> Optional[str]:
+        if store_path is _DEFAULT_STORE:
+            return self.store_path
+        return os.fspath(store_path) if store_path is not None else None
+
+    def _build_store(self, store_path=_DEFAULT_STORE) -> BucketStore:
         disk = calibrated_disk_for_bucket_read(
             self.config.bucket_megabytes, self.config.cost.tb_ms / 1000.0
         )
-        return BucketStore(self._layout, disk)
+        path = self._resolve_store_path(store_path)
+        if path is None:
+            return BucketStore(self._layout, disk)
+        store = open_disk_store(path, disk)
+        if store.layout != self._layout:
+            store.close()
+            raise ValueError(
+                f"store file {path!r} describes a different partition than "
+                "this simulator's layout (bucket boundaries, counts or sizes "
+                "differ); re-ingest it for this site"
+            )
+        return store
 
     def _engine_config(self) -> EngineConfig:
         return EngineConfig(
@@ -167,14 +262,16 @@ class Simulator:
             match_probability=self.config.match_probability,
         )
 
-    def _build_engine(self, policy: SchedulingPolicy) -> LifeRaftEngine:
+    def _build_engine(
+        self, policy: SchedulingPolicy, store: Optional[BucketStore] = None
+    ) -> LifeRaftEngine:
         # An (empty) index object signals that an index on the join key
         # exists, enabling the hybrid strategy; cost accounting for index
         # services flows through the cost model, not through this object.
         index = SpatialIndex([], rows=None, disk=None)
         return LifeRaftEngine(
             self._layout,
-            self._build_store(),
+            store if store is not None else self._build_store(),
             scheduler=policy,
             index=index,
             config=self._engine_config(),
@@ -192,6 +289,7 @@ class Simulator:
         label: str = "",
         saturation_qps: Optional[float] = None,
         service: Optional["ServiceConfig"] = None,
+        store_path=_DEFAULT_STORE,
     ) -> SimulationResult:
         """Simulate one policy over one trace and summarise the outcome.
 
@@ -200,37 +298,50 @@ class Simulator:
         bucket drains feed per-query result streams live, and the
         returned result carries a :class:`ServingReport` in
         :attr:`SimulationResult.serving`.
+
+        *store_path* overrides the simulator's default storage tier for
+        this run: a path replays against that on-disk store, ``None``
+        forces an in-memory store (identical virtual-clock numbers either
+        way — the file-backed parity tests pin this down).
         """
         if isinstance(policy, str):
             policy = make_policy(policy, alpha=alpha, cost=self.config.cost)
         frontend = self._build_frontend(service)
         if frontend is not None:
             queries = frontend.admit(queries).admitted_queries()
-        engine = self._build_engine(policy)
-        ordered = sorted(queries, key=lambda q: (q.arrival_time_s, q.query_id))
-        arrivals_ms = [q.arrival_time_s * 1000.0 for q in ordered]
-        index = 0
-        total = len(ordered)
-        now_ms = arrivals_ms[0] if ordered else 0.0
-        while index < total or engine.has_pending_work():
-            if not engine.has_pending_work() and index < total:
-                # Idle: jump to the next arrival.
-                now_ms = max(now_ms, arrivals_ms[index])
-            while index < total and arrivals_ms[index] <= now_ms + 1e-9:
-                engine.submit(ordered[index], now_ms=arrivals_ms[index])
-                index += 1
-            if not engine.has_pending_work():
-                continue
-            result = engine.process_next(now_ms)
-            if result is None:
-                break
+        store = self._build_store(store_path)
+        try:
+            engine = self._build_engine(policy, store=store)
+            ordered = sorted(queries, key=lambda q: (q.arrival_time_s, q.query_id))
+            arrivals_ms = [q.arrival_time_s * 1000.0 for q in ordered]
+            index = 0
+            total = len(ordered)
+            now_ms = arrivals_ms[0] if ordered else 0.0
+            while index < total or engine.has_pending_work():
+                if not engine.has_pending_work() and index < total:
+                    # Idle: jump to the next arrival.
+                    now_ms = max(now_ms, arrivals_ms[index])
+                while index < total and arrivals_ms[index] <= now_ms + 1e-9:
+                    engine.submit(ordered[index], now_ms=arrivals_ms[index])
+                    index += 1
+                if not engine.has_pending_work():
+                    continue
+                result = engine.process_next(now_ms)
+                if result is None:
+                    break
+                if frontend is not None:
+                    frontend.on_batch(result)
+                now_ms = result.finished_at_ms
+            summary = self._summarise(engine, policy, alpha, label, saturation_qps)
             if frontend is not None:
-                frontend.on_batch(result)
-            now_ms = result.finished_at_ms
-        summary = self._summarise(engine, policy, alpha, label, saturation_qps)
-        if frontend is not None:
-            summary.serving = frontend.report()
-        return summary
+                summary.serving = frontend.report()
+            if isinstance(store, DiskBucketStore):
+                summary.store_backend = "file"
+                summary.real_read_s = store.real_read_s
+            return summary
+        finally:
+            if isinstance(store, DiskBucketStore):
+                store.close()
 
     def _build_frontend(
         self, service: Optional["ServiceConfig"]
@@ -285,6 +396,7 @@ class Simulator:
         backend: Union[str, "ExecutionBackend"] = "virtual",
         steal_quantum_ms: Optional[float] = None,
         service: Optional["ServiceConfig"] = None,
+        store_path=_DEFAULT_STORE,
     ) -> SimulationResult:
         """Replay a trace against a sharded engine on an execution backend.
 
@@ -302,6 +414,11 @@ class Simulator:
         process backend — feed the result streams.  Because admission is
         a pure function of the arrival stream, the admitted schedule (and
         therefore every chunk) is identical across backends.
+
+        *store_path* behaves as in :meth:`run`.  On the process backend a
+        file-backed store ships as a small path-based snapshot: each
+        worker child reopens the file read-only and performs its own
+        physical I/O instead of unpickling the catalog.
         """
         from repro.parallel.backend import ParallelRunSpec, make_backend
 
@@ -311,19 +428,24 @@ class Simulator:
         if frontend is not None:
             queries = frontend.admit(queries).admitted_queries()
         execution = make_backend(backend)
-        spec = ParallelRunSpec(
-            layout=self._layout,
-            store=self._build_store(),
-            queries=tuple(queries),
-            policy=policy,
-            config=self._engine_config(),
-            workers=workers,
-            shard_strategy=shard_strategy,
-            index=SpatialIndex([], rows=None, disk=None),
-            enable_stealing=enable_stealing,
-            steal_quantum_ms=steal_quantum_ms,
-        )
-        outcome = execution.execute(spec)
+        store = self._build_store(store_path)
+        try:
+            spec = ParallelRunSpec(
+                layout=self._layout,
+                store=store,
+                queries=tuple(queries),
+                policy=policy,
+                config=self._engine_config(),
+                workers=workers,
+                shard_strategy=shard_strategy,
+                index=SpatialIndex([], rows=None, disk=None),
+                enable_stealing=enable_stealing,
+                steal_quantum_ms=steal_quantum_ms,
+            )
+            outcome = execution.execute(spec)
+        finally:
+            if isinstance(store, DiskBucketStore):
+                store.close()
         if frontend is not None:
             frontend.ingest_records(outcome.services)
         report = outcome.report
@@ -353,6 +475,8 @@ class Simulator:
             backend=outcome.backend,
             real_elapsed_s=outcome.real_elapsed_s,
             serving=serving_report,
+            store_backend="file" if isinstance(store, DiskBucketStore) else "memory",
+            real_read_s=outcome.store_real_read_s,
         )
 
     def run_alpha_sweep(

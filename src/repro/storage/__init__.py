@@ -13,12 +13,30 @@ equal-population bucket partitioner over the HTM curve, a bucket store that
 answers HTM range queries the way the DBMS does for the bucket cache, and a
 sorted spatial index with probe-cost accounting for the hybrid join and the
 index-only baseline.
+
+Since PR 4 the package also contains a real I/O subsystem: a columnar
+on-disk bucket format (:mod:`repro.storage.format`), ingest paths that
+materialise generated catalogs to disk (:mod:`repro.storage.ingest`), and
+a file-backed :class:`~repro.storage.disk_store.DiskBucketStore` that
+performs physical seeks, reads, checksum verification and columnar
+decoding per bucket service while charging the same virtual-clock costs
+as the in-memory store — with an optional decoded-page cache tier under
+the engine-side LRU bucket cache.
 """
 
 from repro.storage.disk import DiskModel, DiskParameters, IOTrace, IOKind
 from repro.storage.cache import LRUCache, CacheStatistics
 from repro.storage.partitioner import BucketPartitioner, BucketSpec, PartitionLayout
-from repro.storage.bucket_store import BucketStore, Bucket
+from repro.storage.bucket_store import BucketStore, Bucket, StoreSnapshot
+from repro.storage.format import (
+    BucketFileReader,
+    BucketFileWriter,
+    StoreFormatError,
+    StoreManifest,
+    read_layout,
+)
+from repro.storage.ingest import ingest_catalog, materialize_layout
+from repro.storage.disk_store import DecodedPageCache, DiskBucketStore, open_disk_store
 from repro.storage.index import SpatialIndex, IndexProbeResult
 
 __all__ = [
@@ -33,6 +51,17 @@ __all__ = [
     "PartitionLayout",
     "BucketStore",
     "Bucket",
+    "StoreSnapshot",
+    "BucketFileReader",
+    "BucketFileWriter",
+    "StoreFormatError",
+    "StoreManifest",
+    "read_layout",
+    "ingest_catalog",
+    "materialize_layout",
+    "DecodedPageCache",
+    "DiskBucketStore",
+    "open_disk_store",
     "SpatialIndex",
     "IndexProbeResult",
 ]

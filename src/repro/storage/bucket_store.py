@@ -66,16 +66,32 @@ class StoreSnapshot:
     """A read-only, picklable image of a :class:`BucketStore`.
 
     The snapshot carries everything a worker process needs to rebuild an
-    equivalent store — the partition layout, the disk parameters and the
-    (optional) materialised catalog — without sharing any mutable state
-    with the parent.  Each process that restores the snapshot gets its own
-    read counters and its own (trace-disabled) disk model, mirroring N
-    database servers over one immutable archive.
+    equivalent store without sharing any mutable state with the parent.
+    Two variants exist:
+
+    * **in-memory** — the partition layout, the disk parameters and the
+      (optional) materialised catalog travel inside the pickle;
+    * **path-based** (``store_path`` set) — only the file path, its
+      expected generation and the disk parameters travel; the restoring
+      process reopens the columnar store file read-only and does its own
+      physical I/O.  This keeps :class:`~repro.parallel.ipc.ShardTask`
+      pickles small even for fully materialised archives.
+
+    Each process that restores a snapshot gets its own read counters and
+    its own (trace-disabled) disk model, mirroring N database servers
+    over one immutable archive.
     """
 
-    layout: PartitionLayout
+    #: ``None`` for path-based snapshots (the file carries the layout).
+    layout: Optional[PartitionLayout]
     disk_parameters: "DiskParameters"
     catalog: Optional[Tuple[Tuple[int, ...], Tuple[object, ...]]] = None
+    #: Path to a columnar ``.lrbs`` store file (path-based variant).
+    store_path: Optional[str] = None
+    #: Expected file generation; restoring fails cleanly on a mismatch.
+    generation: Optional[str] = None
+    #: Tier-2 decoded-page cache capacity for the restored store.
+    page_cache_buckets: int = 0
 
 
 class BucketStore:
@@ -136,8 +152,22 @@ class BucketStore:
 
         The restored store charges the same costs as the original (same
         disk parameters, no I/O trace) but owns fresh read counters, so
-        per-process accounting can be summed by the coordinator.
+        per-process accounting can be summed by the coordinator.  A
+        path-based snapshot restores as a file-backed
+        :class:`~repro.storage.disk_store.DiskBucketStore` opened
+        read-only against the snapshot's generation.
         """
+        if snapshot.store_path is not None:
+            from repro.storage.disk_store import open_disk_store
+
+            return open_disk_store(
+                snapshot.store_path,
+                DiskModel(snapshot.disk_parameters),
+                page_cache_buckets=snapshot.page_cache_buckets,
+                expected_generation=snapshot.generation,
+            )
+        if snapshot.layout is None:
+            raise ValueError("snapshot carries neither a layout nor a store path")
         catalog = None
         if snapshot.catalog is not None:
             ids, rows = snapshot.catalog

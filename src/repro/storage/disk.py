@@ -17,8 +17,9 @@ batch, instead of per-query random reads).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional
 
 
 class IOKind(enum.Enum):
@@ -73,34 +74,78 @@ class IORecord:
     label: str = ""
 
 
-@dataclass
 class IOTrace:
-    """Accumulates I/O records and aggregate counters."""
+    """A bounded I/O trace: a ring buffer of records plus exact aggregates.
 
-    records: List[IORecord] = field(default_factory=list)
-    enabled: bool = True
-    max_records: int = 1_000_000
+    Long serving runs issue millions of I/O requests; an unbounded trace
+    would grow without limit.  Detailed :class:`IORecord` entries therefore
+    live in a ring buffer of ``max_records`` (the *newest* entries win —
+    the tail of a run is what failure analysis wants), while the
+    per-kind counters behind :meth:`count`, :meth:`total_ms` and
+    :meth:`total_megabytes` are maintained incrementally and stay exact no
+    matter how many detailed entries the ring has dropped.  The cache
+    ablation's sequential-vs-random assertions run on those aggregates,
+    so they keep working on runs of any length.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[IORecord] = (),
+        enabled: bool = True,
+        max_records: int = 65_536,
+    ) -> None:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        self.enabled = enabled
+        self.max_records = max_records
+        self._records: Deque[IORecord] = deque(maxlen=max_records)
+        self._counts: Dict[IOKind, int] = {}
+        self._cost_ms: Dict[IOKind, float] = {}
+        self._megabytes: Dict[IOKind, float] = {}
+        #: Detailed entries evicted by the ring buffer (aggregates kept).
+        self.dropped = 0
+        for record in records:
+            self.record(record)
+
+    @property
+    def records(self) -> List[IORecord]:
+        """The retained detailed entries, oldest first (a bounded window)."""
+        return list(self._records)
 
     def record(self, record: IORecord) -> None:
-        """Append *record*, dropping the detailed entry once the cap is hit."""
-        if self.enabled and len(self.records) < self.max_records:
-            self.records.append(record)
+        """Fold *record* into the aggregates and the ring buffer."""
+        if not self.enabled:
+            return
+        self._counts[record.kind] = self._counts.get(record.kind, 0) + 1
+        self._cost_ms[record.kind] = self._cost_ms.get(record.kind, 0.0) + record.cost_ms
+        self._megabytes[record.kind] = self._megabytes.get(record.kind, 0.0) + record.megabytes
+        if len(self._records) == self.max_records:
+            self.dropped += 1
+        self._records.append(record)
 
     def count(self, kind: IOKind) -> int:
-        """Number of recorded requests of *kind*."""
-        return sum(1 for r in self.records if r.kind is kind)
+        """Number of recorded requests of *kind* (exact, never truncated)."""
+        return self._counts.get(kind, 0)
 
     def total_ms(self, kind: Optional[IOKind] = None) -> float:
         """Total recorded I/O time, optionally restricted to one kind."""
-        return sum(r.cost_ms for r in self.records if kind is None or r.kind is kind)
+        if kind is not None:
+            return self._cost_ms.get(kind, 0.0)
+        return sum(self._cost_ms.values())
 
     def total_megabytes(self, kind: Optional[IOKind] = None) -> float:
         """Total bytes moved, optionally restricted to one kind."""
-        return sum(r.megabytes for r in self.records if kind is None or r.kind is kind)
+        if kind is not None:
+            return self._megabytes.get(kind, 0.0)
+        return sum(self._megabytes.values())
 
     def clear(self) -> None:
-        """Drop all recorded entries."""
-        self.records.clear()
+        """Drop all recorded entries and reset the aggregates."""
+        self._records.clear()
+        self._counts.clear()
+        self._cost_ms.clear()
+        self._megabytes.clear()
+        self.dropped = 0
 
 
 class DiskModel:

@@ -79,6 +79,22 @@ class PartitionLayout:
         """All bucket specs in curve order."""
         return self._buckets
 
+    def __eq__(self, other: object) -> bool:
+        """Layouts are equal when every bucket spec and the level match.
+
+        Used to validate that an on-disk store file describes the same
+        site as a simulator's configured partition (bucket boundaries,
+        counts and sizes all enter the cost model, so any drift would
+        silently change measured numbers).
+        """
+        if not isinstance(other, PartitionLayout):
+            return NotImplemented
+        return self.leaf_level == other.leaf_level and self._buckets == other._buckets
+
+    def __hash__(self) -> int:
+        """Hash consistent with :meth:`__eq__` (specs are frozen dataclasses)."""
+        return hash((self.leaf_level, self._buckets))
+
     def __len__(self) -> int:
         return len(self._buckets)
 

@@ -98,3 +98,148 @@ class TestScalingCommand:
     def test_workers_flag_ignored_by_non_parallel_experiments(self, capsys):
         assert main(["experiments", "figure2", "--scale", "small", "--workers", "2"]) == 0
         assert "figure2" in capsys.readouterr().out
+
+
+@pytest.fixture
+def small_store(tmp_path):
+    """A tiny ingested store (64 buckets, 16 rows each) for CLI tests."""
+    path = tmp_path / "cli-site.lrbs"
+    assert (
+        main(
+            [
+                "ingest",
+                "--scale",
+                "small",
+                "--bucket-count",
+                "64",
+                "--rows-per-bucket",
+                "16",
+                "--out",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    return path
+
+
+class TestIngestCommand:
+    def test_ingest_writes_a_readable_store(self, tmp_path, capsys):
+        from repro.storage.format import read_layout
+
+        path = tmp_path / "fresh.lrbs"
+        args = ["ingest", "--scale", "small", "--bucket-count", "64"]
+        args += ["--rows-per-bucket", "16", "--out", str(path)]
+        assert main(args) == 0
+        assert path.exists()
+        assert len(read_layout(path)) == 64
+        output = capsys.readouterr().out
+        assert "ingested density layout" in output
+        assert "generation" in output
+
+    def test_ingest_synthetic_sky(self, tmp_path, capsys):
+        from repro.storage.disk_store import open_disk_store
+
+        path = tmp_path / "sky.lrbs"
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--sky-objects",
+                    "400",
+                    "--objects-per-bucket",
+                    "50",
+                    "--out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert "synthetic sky" in capsys.readouterr().out
+        with open_disk_store(path) as store:
+            assert store.layout.total_objects() == 400
+            assert len(store.bucket_image(0).objects) == 50
+
+    def test_density_flags_conflict_with_sky_mode(self, tmp_path):
+        out = str(tmp_path / "x.lrbs")
+        with pytest.raises(SystemExit, match="density ingests only"):
+            main(["ingest", "--sky-objects", "100", "--rows-per-bucket", "4", "--out", out])
+
+    def test_sky_flags_conflict_with_density_mode(self, tmp_path):
+        out = str(tmp_path / "y.lrbs")
+        with pytest.raises(SystemExit, match="sky-objects ingests only"):
+            main(["ingest", "--scale", "small", "--objects-per-bucket", "10", "--out", out])
+
+
+class TestRunCommand:
+    def test_run_in_memory(self, capsys):
+        assert main(["run", "--scale", "small", "--bucket-count", "64"]) == 0
+        output = capsys.readouterr().out
+        assert "memory store" in output
+        assert "completed_queries" in output
+
+    def test_run_verifies_file_memory_parity(self, small_store, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--scale",
+                    "small",
+                    "--store-path",
+                    str(small_store),
+                    "--verify-against-memory",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "file store" in output
+        assert "parity OK" in output
+
+    def test_verify_requires_store_path(self):
+        with pytest.raises(SystemExit, match="requires --store-path"):
+            main(["run", "--scale", "small", "--verify-against-memory"])
+
+    def test_backend_requires_workers(self):
+        with pytest.raises(SystemExit, match="requires --workers"):
+            main(["run", "--scale", "small", "--backend", "process"])
+
+    def test_bucket_count_conflicts_with_store(self, small_store):
+        with pytest.raises(SystemExit, match="cannot override"):
+            main(
+                [
+                    "run",
+                    "--scale",
+                    "small",
+                    "--store-path",
+                    str(small_store),
+                    "--bucket-count",
+                    "32",
+                ]
+            )
+
+
+class TestStorePathFlags:
+    def test_serve_from_store(self, small_store, capsys):
+        assert main(["serve", "--scale", "small", "--store-path", str(small_store)]) == 0
+        assert "file store" in capsys.readouterr().out
+
+    def test_scaling_experiment_from_store(self, small_store, capsys):
+        assert (
+            main(
+                [
+                    "experiments",
+                    "scaling",
+                    "--scale",
+                    "small",
+                    "--workers",
+                    "2",
+                    "--store-path",
+                    str(small_store),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "file-backed" in output
+        assert "real read (s)" in output

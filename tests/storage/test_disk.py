@@ -84,6 +84,59 @@ class TestDiskModel:
         assert trace.records == []
 
 
+class TestTraceRingBuffer:
+    """The trace is a ring buffer: detail is bounded, aggregates are exact."""
+
+    def test_ring_keeps_newest_records(self):
+        trace = IOTrace(enabled=True, max_records=3)
+        for i in range(10):
+            trace.record(IORecord(IOKind.RANDOM_PAGE_READ, 0.01, 1.0, label=f"r{i}"))
+        assert [r.label for r in trace.records] == ["r7", "r8", "r9"]
+        assert trace.dropped == 7
+
+    def test_aggregates_survive_ring_eviction(self):
+        trace = IOTrace(enabled=True, max_records=2)
+        for _ in range(100):
+            trace.record(IORecord(IOKind.SEQUENTIAL_BUCKET_READ, 40.0, 1200.0))
+        for _ in range(50):
+            trace.record(IORecord(IOKind.RANDOM_INDEX_PROBE, 0.008, 13.0))
+        # Only 2 detailed records remain, but the counters are exact.
+        assert len(trace.records) == 2
+        assert trace.count(IOKind.SEQUENTIAL_BUCKET_READ) == 100
+        assert trace.count(IOKind.RANDOM_INDEX_PROBE) == 50
+        assert trace.total_ms(IOKind.SEQUENTIAL_BUCKET_READ) == pytest.approx(120_000.0)
+        assert trace.total_megabytes(IOKind.SEQUENTIAL_BUCKET_READ) == pytest.approx(4000.0)
+        assert trace.total_ms() == pytest.approx(120_000.0 + 650.0)
+
+    def test_memory_stays_bounded_on_long_runs(self):
+        trace = IOTrace(enabled=True, max_records=16)
+        disk = DiskModel(trace=trace)
+        for i in range(10_000):
+            disk.bucket_read_ms(40.0, label=f"bucket:{i % 7}")
+        assert len(trace.records) == 16
+        assert trace.count(IOKind.SEQUENTIAL_BUCKET_READ) == 10_000
+
+    def test_clear_resets_aggregates_and_drop_counter(self):
+        trace = IOTrace(enabled=True, max_records=1)
+        trace.record(IORecord(IOKind.RANDOM_PAGE_READ, 0.01, 1.0))
+        trace.record(IORecord(IOKind.RANDOM_PAGE_READ, 0.01, 1.0))
+        assert trace.dropped == 1
+        trace.clear()
+        assert trace.dropped == 0
+        assert trace.count(IOKind.RANDOM_PAGE_READ) == 0
+        assert trace.total_ms() == 0.0
+
+    def test_disabled_trace_records_nothing(self):
+        trace = IOTrace(enabled=False)
+        trace.record(IORecord(IOKind.RANDOM_PAGE_READ, 0.01, 1.0))
+        assert trace.records == []
+        assert trace.count(IOKind.RANDOM_PAGE_READ) == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            IOTrace(max_records=0)
+
+
 class TestCalibration:
     def test_calibrated_disk_reproduces_paper_tb(self):
         disk = calibrated_disk_for_bucket_read(40.0, 1.2)
