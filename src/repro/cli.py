@@ -32,6 +32,14 @@ virtual-clock numbers) and verify file/memory parity in one shot::
     liferaft run --scale small --store-path /tmp/small.lrbs \
         --verify-against-memory
 
+Kill shard worker 1 during window 1 of a two-worker run (a real SIGKILL
+on the process backend), recover it from its checkpoint, and verify the
+crash-injected run is bit-identical to an uninterrupted one::
+
+    liferaft run --scale small --store-path /tmp/small.lrbs --workers 2 \
+        --backend process --inject-crash 1@1 --checkpoint-every windows:2 \
+        --verify-recovery
+
 Print the workload characterisation of a freshly generated trace::
 
     liferaft trace --scale small
@@ -307,6 +315,59 @@ def build_parser() -> argparse.ArgumentParser:
             "(requires --store-path)"
         ),
     )
+    run.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write .lrcp shard checkpoints to DIR (enables the reliability "
+            "subsystem; default without --checkpoint-every/--inject-crash: "
+            "off).  Omitting DIR while other reliability flags are set uses "
+            "a private temporary directory"
+        ),
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        default=None,
+        metavar="CADENCE",
+        help=(
+            "checkpoint cadence: 'windows:K' (every K window barriers) or "
+            "'interval:MS' (every MS of virtual time); default windows:1 "
+            "when the reliability subsystem is active"
+        ),
+    )
+    run.add_argument(
+        "--inject-crash",
+        action="append",
+        default=None,
+        metavar="W@N",
+        help=(
+            "deterministically kill shard worker W during window N and "
+            "recover it from its latest checkpoint (repeatable, or a comma "
+            "list; real SIGKILL on --backend process).  Crash injection "
+            "disables work stealing so the recovered run is bit-comparable "
+            "to an uninterrupted one"
+        ),
+    )
+    run.add_argument(
+        "--checkpoint-window-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "virtual-time window between reliability barriers (default: "
+            "the steal quantum, 64 bucket reads)"
+        ),
+    )
+    run.add_argument(
+        "--verify-recovery",
+        action="store_true",
+        help=(
+            "after a crash-injected run, replay the same trace without "
+            "faults and fail unless every virtual-clock total is identical "
+            "(requires --inject-crash)"
+        ),
+    )
 
     subparsers.add_parser("list", help="list available experiments")
     return parser
@@ -405,8 +466,55 @@ def _run_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
-def _single_run(simulator, queries, args: argparse.Namespace, store_path):
-    if args.workers > 1:
+def _build_reliability(args: argparse.Namespace):
+    """Assemble a ReliabilityConfig from the run command's flags (or None)."""
+    if (
+        args.checkpoint_dir is None
+        and args.checkpoint_every is None
+        and args.inject_crash is None
+    ):
+        if args.checkpoint_window_ms is not None:
+            # A bare tuning knob must not silently turn the subsystem on.
+            raise SystemExit(
+                "--checkpoint-window-ms tunes the reliability window and "
+                "requires --checkpoint-dir, --checkpoint-every or "
+                "--inject-crash"
+            )
+        return None
+    from repro.reliability import FaultPlan, ReliabilityConfig
+
+    try:
+        faults = FaultPlan.parse(args.inject_crash) if args.inject_crash else None
+        if faults:
+            for point in faults.crashes:
+                if point.worker_id >= args.workers:
+                    raise ValueError(
+                        f"--inject-crash {point.spec} targets worker "
+                        f"{point.worker_id}, but --workers {args.workers} runs "
+                        f"workers 0..{args.workers - 1} (worker ids are 0-based)"
+                    )
+        return ReliabilityConfig(
+            checkpoint_dir=args.checkpoint_dir,
+            cadence=args.checkpoint_every or "windows:1",
+            faults=faults,
+            window_quantum_ms=args.checkpoint_window_ms,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from error
+
+
+def _single_run(
+    simulator,
+    queries,
+    args: argparse.Namespace,
+    store_path,
+    reliability=None,
+    enable_stealing: bool = True,
+):
+    # Reliability runs always go through the parallel path: checkpoints
+    # live at its window barriers (a 1-worker parallel run reproduces the
+    # serial engine exactly — the parity tests pin that down).
+    if args.workers > 1 or reliability is not None:
         return simulator.run_parallel(
             queries,
             args.policy,
@@ -414,6 +522,8 @@ def _single_run(simulator, queries, args: argparse.Namespace, store_path):
             alpha=args.alpha,
             backend=args.backend or "virtual",
             store_path=store_path,
+            enable_stealing=enable_stealing,
+            reliability=reliability,
         )
     return simulator.run(queries, args.policy, alpha=args.alpha, store_path=store_path)
 
@@ -425,6 +535,8 @@ def _run_single(args: argparse.Namespace) -> int:
         raise SystemExit("--backend requires --workers > 1")
     if args.verify_against_memory and args.store_path is None:
         raise SystemExit("--verify-against-memory requires --store-path")
+    if args.verify_recovery and not args.inject_crash:
+        raise SystemExit("--verify-recovery requires --inject-crash")
     if args.store_path is not None:
         if args.bucket_count is not None:
             raise SystemExit("--bucket-count cannot override an ingested store's layout")
@@ -440,8 +552,23 @@ def _run_single(args: argparse.Namespace) -> int:
     if args.saturation is not None:
         trace = trace.with_saturation(args.saturation)
 
-    result = _single_run(simulator, trace.queries, args, store_path=args.store_path)
-    engine = "serial engine" if args.workers == 1 else f"{result.backend} backend x{args.workers}"
+    reliability = _build_reliability(args)
+    # Injected crashes disable stealing: each shard is then a pure function
+    # of its schedule, so the recovered run is bit-comparable to a clean one.
+    stealing = not (reliability is not None and reliability.faults)
+    result = _single_run(
+        simulator,
+        trace.queries,
+        args,
+        store_path=args.store_path,
+        reliability=reliability,
+        enable_stealing=stealing,
+    )
+    engine = (
+        "serial engine"
+        if args.workers == 1 and reliability is None
+        else f"{result.backend} backend x{args.workers}"
+    )
     print(
         f"run: {result.policy_name} on {engine}, {result.store_backend} store "
         f"({len(trace)} queries, {bucket_count} buckets)"
@@ -452,10 +579,63 @@ def _run_single(args: argparse.Namespace) -> int:
     if result.store_backend == "file":
         rows.append(("real_read_s", result.real_read_s))
     print(render_table(("metric", "value"), rows))
+    if result.reliability is not None:
+        print("\nreliability:")
+        print(
+            render_table(
+                ("metric", "value"),
+                list(result.reliability.describe().items()),
+            )
+        )
+
+    status = 0
+    if args.verify_recovery:
+        planned = len(reliability.faults) if reliability and reliability.faults else 0
+        injected = result.reliability.crashes_injected if result.reliability else 0
+        if injected < planned:
+            # A crash point whose window the run never reached (or whose
+            # shard had already drained) verifies nothing; fail loudly
+            # rather than comparing two effectively-clean runs.
+            print(
+                f"\nRECOVERY VERIFICATION INVALID: only {injected} of "
+                f"{planned} planned crashes fired — the run drained before "
+                "the crash windows (shrink --checkpoint-window-ms or the "
+                "--inject-crash window indices)"
+            )
+            return 1
+        clean = _single_run(
+            simulator,
+            trace.queries,
+            args,
+            store_path=args.store_path,
+            reliability=None,
+            enable_stealing=stealing,
+        )
+        mismatches = [
+            (field, getattr(result, field), getattr(clean, field))
+            for field in VIRTUAL_CLOCK_PARITY_FIELDS
+            if getattr(result, field) != getattr(clean, field)
+        ]
+        if mismatches:
+            print("\nRECOVERY PARITY FAILURE: crash-injected run diverged from clean run")
+            print(render_table(("metric", "crashed", "clean"), mismatches))
+            status = 1
+        else:
+            print(
+                f"\nrecovery parity OK: all {len(VIRTUAL_CLOCK_PARITY_FIELDS)} "
+                "virtual-clock totals identical across crash-injected and clean runs"
+            )
 
     if not args.verify_against_memory:
-        return 0
-    memory = _single_run(simulator, trace.queries, args, store_path=None)
+        return status
+    memory = _single_run(
+        simulator,
+        trace.queries,
+        args,
+        store_path=None,
+        reliability=reliability,
+        enable_stealing=stealing,
+    )
     mismatches = []
     for field in VIRTUAL_CLOCK_PARITY_FIELDS:
         file_value, memory_value = getattr(result, field), getattr(memory, field)
@@ -469,7 +649,7 @@ def _run_single(args: argparse.Namespace) -> int:
         f"\nparity OK: all {len(VIRTUAL_CLOCK_PARITY_FIELDS)} virtual-clock totals identical "
         "across file-backed and in-memory stores"
     )
-    return 0
+    return status
 
 
 def _run_serve(args: argparse.Namespace) -> int:

@@ -14,7 +14,7 @@ integration and the φ(i) probe the workload-throughput metric needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.storage.bucket_store import Bucket, BucketStore
 from repro.storage.cache import LRUCache
@@ -66,6 +66,23 @@ class BucketCacheManager:
         read = self.store.read_bucket(bucket_index)
         self._cache.put(bucket_index, read.bucket)
         return CacheLoadResult(read.bucket, read.cost_ms, hit=False)
+
+    def restore(
+        self, resident: Sequence[int], statistics: Mapping[str, float]
+    ) -> None:
+        """Rebuild the cache at a checkpointed state (crash recovery).
+
+        *resident* lists bucket indices least-to-most recently used (the
+        shape :meth:`resident_buckets` returns); each image is
+        re-materialised from the store without charging virtual I/O, and
+        the hit/miss counters resume from their checkpointed values so the
+        tail of a recovered run produces the exact hit/miss sequence — and
+        the exact lifetime hit rate — of an uninterrupted one.
+        """
+        self._cache.clear()
+        for bucket_index in resident:
+            self._cache.seed(bucket_index, self.store.bucket_image(bucket_index))
+        self._cache.statistics.restore(dict(statistics))
 
     def invalidate(self, bucket_index: int) -> bool:
         """Drop a bucket from the cache (used by failure-injection tests)."""

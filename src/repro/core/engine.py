@@ -137,6 +137,10 @@ class ServiceLoop:
         self.cache = cache
         self.evaluator = evaluator
         self.batches: List[BatchResult] = []
+        #: Lifetime service count.  Usually ``len(batches)``, but crash
+        #: recovery restores the counter without replaying the batch
+        #: history, so reports must read this rather than the list length.
+        self.services = 0
         self.busy_ms = 0.0
         self.last_completion_ms = 0.0
         self.strategy_counts: Dict[str, int] = {s.value: 0 for s in JoinStrategy}
@@ -192,6 +196,7 @@ class ServiceLoop:
 
     def _record(self, result: BatchResult) -> None:
         self.batches.append(result)
+        self.services += 1
         self.busy_ms += result.cost_ms
         self.strategy_counts[result.join.strategy.value] += 1
         self.total_io_ms += result.join.io_cost_ms
@@ -342,7 +347,7 @@ class LifeRaftEngine:
             busy_time_ms=self.loop.busy_ms,
             makespan_ms=makespan,
             response_times_ms=response_times,
-            bucket_services=len(self.loop.batches),
+            bucket_services=self.loop.services,
             cache_hit_rate=self.cache.hit_rate,
             cache_statistics=self.cache.statistics(),
             join_statistics=self.evaluator.statistics(),

@@ -20,7 +20,9 @@ from repro.experiments import (
     figure8,
     index_only,
     cache_hits,
+    cache_ablation,
     ablations,
+    recovery,
     scaling,
     serving,
 )
@@ -35,7 +37,9 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "figure8": figure8.run,
     "index_only": index_only.run,
     "cache_hits": cache_hits.run,
+    "cache_ablation": cache_ablation.run,
     "ablations": ablations.run,
+    "recovery": recovery.run,
     "scaling": scaling.run,
     "serving": serving.run,
 }

@@ -33,7 +33,7 @@ import multiprocessing
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.engine import EngineConfig, EngineReport
 from repro.core.preprocessor import QueryPreProcessor
@@ -68,6 +68,9 @@ from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import PartitionLayout
 from repro.workload.query import CrossMatchQuery
 
+if TYPE_CHECKING:
+    from repro.reliability.config import ReliabilityConfig, ReliabilityReport
+
 #: How long the coordinator waits on a single worker-process reply before
 #: declaring the run wedged (generous: windows are seconds of real work).
 REPLY_TIMEOUT_S = 600.0
@@ -79,6 +82,108 @@ REPLY_TIMEOUT_S = 600.0
 #: full-scale saturated trace, 64 bucket reads keeps the virtual-clock
 #: speedup of per-step stealing while cutting coordination traffic ~8x.
 DEFAULT_QUANTUM_BUCKET_READS = 64.0
+
+
+def fan_out_arrivals(
+    spec: "ParallelRunSpec",
+    plan: ShardPlan,
+    tracker: CompletionTracker,
+    events: WorkerEventLog,
+) -> List[List[StagedShare]]:
+    """Build every shard's arrival schedule (the virtual engine's fan-out).
+
+    Shared by the process coordinator and the reliability coordinator:
+    per-shard schedules are the unit of recovery — a shard restored from a
+    checkpoint replays exactly the tail of the schedule built here.
+    """
+    preprocessor = QueryPreProcessor(spec.layout)
+    arrivals: List[List[StagedShare]] = [[] for _ in range(spec.workers)]
+    ordered = sorted(spec.queries, key=lambda q: (q.arrival_time_s, q.query_id))
+    for query in ordered:
+        arrival_ms = query.arrival_time_s * 1000.0
+        assignments = preprocessor.assign(query)
+        if not assignments:
+            # No overlap at this site: completes immediately (as serially).
+            continue
+        if tracker.known(query.query_id):
+            raise ValueError(f"query {query.query_id} appears twice in the trace")
+        recipients: Set[int] = set()
+        for bucket_index, payload in assignments.items():
+            worker_id = plan.owner_of(bucket_index)
+            arrivals[worker_id].append(
+                StagedShare(arrival_ms, query.query_id, bucket_index, payload)
+            )
+            recipients.add(worker_id)
+        for worker_id in sorted(recipients):
+            events.record(
+                worker_id,
+                Event(arrival_ms, EventKind.QUERY_ARRIVAL, payload=query.query_id),
+            )
+        tracker.register(query.query_id, assignments.keys(), arrival_ms)
+    return arrivals
+
+
+def merge_backend_outcome(
+    backend_name: str,
+    spec: "ParallelRunSpec",
+    plan: ShardPlan,
+    tracker: CompletionTracker,
+    events: WorkerEventLog,
+    batches: List[BatchRecord],
+    steal_records: List[StealRecord],
+    results: Sequence[WorkerResult],
+    elapsed_s: float,
+    reliability: Optional["ReliabilityReport"] = None,
+) -> BackendOutcome:
+    """Merge per-shard batch records and accounting into one outcome.
+
+    The single merge rule the process coordinator and the reliability
+    coordinator share: services are replayed in global virtual-time order
+    (the step order of the in-process engine) so cross-shard completion
+    bookkeeping is identical to the virtual backend's.
+    """
+    batches.sort(key=lambda r: (r.started_at_ms, r.worker_id, r.seq))
+    for record in batches:
+        events.record(
+            record.worker_id,
+            Event(
+                record.finished_at_ms,
+                EventKind.SERVICE_COMPLETE,
+                payload=(record.bucket_index, record.queries_served),
+            ),
+        )
+        for query_id in record.queries_served:
+            tracker.on_serviced(query_id, record.bucket_index, record.finished_at_ms)
+    ordered_results = sorted(results, key=lambda r: r.worker_id)
+    scheduler_name = (
+        f"parallel(workers={spec.workers}, policy={spec.policy.name}, "
+        f"shard={plan.strategy})"
+    )
+    report = merge_worker_results(scheduler_name, tracker, ordered_results)
+    parallel = ParallelReport(
+        engine=report,
+        workers=spec.workers,
+        shard_strategy=plan.strategy,
+        worker_busy_ms=[r.busy_ms for r in ordered_results],
+        worker_clocks_ms=[r.clock_ms for r in ordered_results],
+        worker_services=[r.services for r in ordered_results],
+        steals=len(steal_records),
+        wall_clock_ms=max((r.clock_ms for r in ordered_results), default=0.0),
+    )
+    return BackendOutcome(
+        backend=backend_name,
+        report=report,
+        parallel=parallel,
+        events=events,
+        steal_records=steal_records,
+        completed=tracker.completed_order,
+        services=batches,
+        bucket_reads=sum(r.store_reads for r in ordered_results),
+        megabytes_read=sum(r.store_megabytes for r in ordered_results),
+        real_elapsed_s=elapsed_s,
+        store_real_read_s=sum(r.store_real_read_s for r in ordered_results),
+        reliability=reliability,
+    )
 
 
 @dataclass
@@ -98,6 +203,11 @@ class ParallelRunSpec:
     #: Virtual-time window between steal barriers of the process backend;
     #: ``None`` derives it from the cost model's bucket-read time.
     steal_quantum_ms: Optional[float] = None
+    #: Checkpoint/recovery configuration.  When set, both backends route
+    #: through the reliability coordinator: the run is always windowed
+    #: (barriers are where checkpoints are captured and crashes injected),
+    #: and dead shards are restored from their latest checkpoint.
+    reliability: Optional["ReliabilityConfig"] = None
 
     def resolved_plan(self) -> ShardPlan:
         """The shard plan of the run (built from the strategy when absent)."""
@@ -132,6 +242,8 @@ class BackendOutcome:
     #: File-backed stores only: wall-clock seconds spent in physical page
     #: reads + decoding, summed over workers (0.0 for in-memory stores).
     store_real_read_s: float = 0.0
+    #: Reliability runs only: what the checkpoint/recovery machinery did.
+    reliability: Optional["ReliabilityReport"] = None
 
     def coverage(self) -> Dict[int, frozenset]:
         """Per-query bucket coverage: which buckets serviced each query."""
@@ -165,6 +277,10 @@ class VirtualBackend(ExecutionBackend):
     name = "virtual"
 
     def execute(self, spec: ParallelRunSpec) -> BackendOutcome:
+        if spec.reliability is not None:
+            from repro.reliability.runtime import execute_with_reliability
+
+            return execute_with_reliability(spec, backend_name=self.name)
         started = time.perf_counter()
         engine = ParallelEngine(
             spec.layout,
@@ -213,17 +329,134 @@ class VirtualBackend(ExecutionBackend):
         )
 
 
-class _ShardHandle:
-    """The coordinator's view of one worker process."""
+class ShardView:
+    """A coordinator's bookkeeping of one shard between window barriers.
 
-    def __init__(self, worker_id: int, process, conn, arrivals: Sequence[StagedShare]):
+    Tracks only what steal and boundary decisions need — the shard's
+    clock, its pending-queue metadata and its next staged arrival — and
+    folds each :class:`~repro.parallel.ipc.WindowReport` back in.  Shared
+    by the process coordinator below and the reliability coordinator
+    (:mod:`repro.reliability.runtime`), so both compute identical window
+    boundaries.
+    """
+
+    def __init__(self, worker_id: int, arrivals: Sequence[StagedShare]):
         self.worker_id = worker_id
-        self.process = process
-        self.conn = conn
         self.clock_ms = 0.0
         self.pending: Dict[int, BucketQueueMeta] = {}
         self.next_staged_ms: Optional[float] = arrivals[0].arrival_ms if arrivals else None
         self.drained = not arrivals
+
+    def apply_window(self, report: WindowReport) -> None:
+        """Fold a window report into the coordinator's view of the shard."""
+        self.clock_ms = report.clock_ms
+        self.pending = {meta.bucket_index: meta for meta in report.pending}
+        self.next_staged_ms = report.next_staged_ms
+        self.drained = report.drained
+
+    def boundary_candidate_ms(self) -> Optional[float]:
+        """Earliest virtual time at which this shard can make progress."""
+        if self.drained:
+            return None
+        if self.pending:
+            return self.clock_ms
+        if self.next_staged_ms is None:
+            return None
+        return max(self.clock_ms, self.next_staged_ms)
+
+
+def run_steal_round(
+    views: Sequence[ShardView],
+    steal_records: List[StealRecord],
+    events: WorkerEventLog,
+    release: Callable[[ShardView, int], ReleasedBucket],
+    adopt: Callable[[ShardView, AdoptBucket], None],
+) -> List[Tuple[StealRecord, ReleasedBucket, AdoptBucket]]:
+    """Window-barrier work stealing: idle shards adopt starving queues.
+
+    The rule matches the in-process engine: each idle shard (no queued
+    work) may adopt the globally most starving foreign queue — oldest
+    pending entry first — provided it can start the service strictly
+    earlier than the victim could (``max(thief clock, newest entry)``
+    versus the victim's clock).  Queues migrate whole, together with
+    their not-yet-ingested staged shares, so batching is preserved and
+    future arrivals follow the queue.
+
+    The single steal rule both coordinators share: the process backend
+    drives it with plain pipe requests, the reliability coordinator with
+    crash-recovering channel calls.  Returns the round's migrations as
+    ``(record, released, adopt message)`` so callers can journal them
+    (recovery re-settles bucket ownership by replaying the journal).
+    """
+    migrations: List[Tuple[StealRecord, ReleasedBucket, AdoptBucket]] = []
+    thieves = sorted(
+        (view for view in views if not view.pending),
+        key=lambda view: (view.clock_ms, view.worker_id),
+    )
+    for thief in thieves:
+        best: Optional[Tuple[float, int, ShardView]] = None
+        for victim in views:
+            if victim.worker_id == thief.worker_id:
+                continue
+            for meta in victim.pending.values():
+                key = (meta.oldest_enqueue_ms, meta.bucket_index)
+                if best is None or key < (best[0], best[1]):
+                    best = (meta.oldest_enqueue_ms, meta.bucket_index, victim)
+        if best is None:
+            break  # nothing pending anywhere
+        _oldest, bucket_index, victim = best
+        meta = victim.pending[bucket_index]
+        start_ms = max(thief.clock_ms, meta.newest_enqueue_ms)
+        if start_ms >= victim.clock_ms:
+            continue  # migration would not start the service any earlier
+        released = release(victim, bucket_index)
+        if not released.entries:
+            continue  # defensive: the queue vanished between windows
+        message = AdoptBucket(
+            bucket_index=bucket_index,
+            entries=released.entries,
+            staged=released.staged,
+            clock_ms=start_ms,
+        )
+        adopt(thief, message)
+        del victim.pending[bucket_index]
+        victim.next_staged_ms = released.next_staged_ms
+        victim.drained = not victim.pending and victim.next_staged_ms is None
+        enqueues = [entry.enqueue_time_ms for entry in released.entries]
+        thief.pending[bucket_index] = BucketQueueMeta(
+            bucket_index=bucket_index,
+            entry_count=len(released.entries),
+            oldest_enqueue_ms=min(enqueues),
+            newest_enqueue_ms=max(enqueues),
+        )
+        if released.staged:
+            staged_first = min(share.arrival_ms for share in released.staged)
+            if thief.next_staged_ms is None or staged_first < thief.next_staged_ms:
+                thief.next_staged_ms = staged_first
+        thief.clock_ms = max(thief.clock_ms, start_ms)
+        thief.drained = False
+        record = StealRecord(
+            time_ms=start_ms,
+            bucket_index=bucket_index,
+            victim_id=victim.worker_id,
+            thief_id=thief.worker_id,
+            entry_count=len(released.entries),
+        )
+        steal_records.append(record)
+        migrations.append((record, released, message))
+        events.record(
+            thief.worker_id, Event(start_ms, EventKind.WORK_STOLEN, payload=record)
+        )
+    return migrations
+
+
+class _ShardHandle(ShardView):
+    """The coordinator's view of one worker process, plus its pipe."""
+
+    def __init__(self, worker_id: int, process, conn, arrivals: Sequence[StagedShare]):
+        super().__init__(worker_id, arrivals)
+        self.process = process
+        self.conn = conn
         self.result: Optional[WorkerResult] = None
 
     def send(self, message) -> None:
@@ -251,23 +484,6 @@ class _ShardHandle:
     def request(self, message):
         self.send(message)
         return self.recv()
-
-    def apply_window(self, report: WindowReport) -> None:
-        """Fold a window report into the coordinator's view of the shard."""
-        self.clock_ms = report.clock_ms
-        self.pending = {meta.bucket_index: meta for meta in report.pending}
-        self.next_staged_ms = report.next_staged_ms
-        self.drained = report.drained
-
-    def boundary_candidate_ms(self) -> Optional[float]:
-        """Earliest virtual time at which this shard can make progress."""
-        if self.drained:
-            return None
-        if self.pending:
-            return self.clock_ms
-        if self.next_staged_ms is None:
-            return None
-        return max(self.clock_ms, self.next_staged_ms)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -297,11 +513,17 @@ class ProcessBackend(ExecutionBackend):
     # -- setup ----------------------------------------------------------- #
 
     def execute(self, spec: ParallelRunSpec) -> BackendOutcome:
+        if spec.reliability is not None:
+            from repro.reliability.runtime import execute_with_reliability
+
+            return execute_with_reliability(
+                spec, backend_name=self.name, start_method=self.start_method
+            )
         started = time.perf_counter()
         plan = spec.resolved_plan()
         tracker = CompletionTracker()
         events = WorkerEventLog()
-        arrivals = self._fan_out(spec, plan, tracker, events)
+        arrivals = fan_out_arrivals(spec, plan, tracker, events)
         snapshot = spec.store.snapshot()
         context = multiprocessing.get_context(self.start_method)
         handles: List[_ShardHandle] = []
@@ -336,8 +558,8 @@ class ProcessBackend(ExecutionBackend):
         finally:
             self._shutdown(handles)
         elapsed = time.perf_counter() - started
-        return self._merge(
-            spec, plan, tracker, events, batches, steal_records, results, elapsed
+        return merge_backend_outcome(
+            self.name, spec, plan, tracker, events, batches, steal_records, results, elapsed
         )
 
     @staticmethod
@@ -349,40 +571,6 @@ class ProcessBackend(ExecutionBackend):
                 "per-shard schedulers must be constructible per worker"
             )
         return clone()
-
-    @staticmethod
-    def _fan_out(
-        spec: ParallelRunSpec,
-        plan: ShardPlan,
-        tracker: CompletionTracker,
-        events: WorkerEventLog,
-    ) -> List[List[StagedShare]]:
-        """Build every shard's arrival schedule (the virtual engine's fan-out)."""
-        preprocessor = QueryPreProcessor(spec.layout)
-        arrivals: List[List[StagedShare]] = [[] for _ in range(spec.workers)]
-        ordered = sorted(spec.queries, key=lambda q: (q.arrival_time_s, q.query_id))
-        for query in ordered:
-            arrival_ms = query.arrival_time_s * 1000.0
-            assignments = preprocessor.assign(query)
-            if not assignments:
-                # No overlap at this site: completes immediately (as serially).
-                continue
-            if tracker.known(query.query_id):
-                raise ValueError(f"query {query.query_id} appears twice in the trace")
-            recipients: Set[int] = set()
-            for bucket_index, payload in assignments.items():
-                worker_id = plan.owner_of(bucket_index)
-                arrivals[worker_id].append(
-                    StagedShare(arrival_ms, query.query_id, bucket_index, payload)
-                )
-                recipients.add(worker_id)
-            for worker_id in sorted(recipients):
-                events.record(
-                    worker_id,
-                    Event(arrival_ms, EventKind.QUERY_ARRIVAL, payload=query.query_id),
-                )
-            tracker.register(query.query_id, assignments.keys(), arrival_ms)
-        return arrivals
 
     # -- the coordinator loop -------------------------------------------- #
 
@@ -429,74 +617,15 @@ class ProcessBackend(ExecutionBackend):
         steal_records: List[StealRecord],
         events: WorkerEventLog,
     ) -> None:
-        """Window-barrier work stealing: idle shards adopt starving queues.
-
-        The rule matches the in-process engine: each idle shard (no queued
-        work) may adopt the globally most starving foreign queue — oldest
-        pending entry first — provided it can start the service strictly
-        earlier than the victim could (``max(thief clock, newest entry)``
-        versus the victim's clock).  Queues migrate whole, together with
-        their not-yet-ingested staged shares, so batching is preserved and
-        future arrivals follow the queue.
-        """
-        thieves = sorted(
-            (handle for handle in handles if not handle.pending),
-            key=lambda handle: (handle.clock_ms, handle.worker_id),
+        """One shared-rule steal round (see :func:`run_steal_round`),
+        driven over plain pipe requests."""
+        run_steal_round(
+            handles,
+            steal_records,
+            events,
+            release=lambda victim, bucket: victim.request(ReleaseBucket(bucket)),
+            adopt=lambda thief, message: thief.request(message),
         )
-        for thief in thieves:
-            best: Optional[Tuple[float, int, _ShardHandle]] = None
-            for victim in handles:
-                if victim.worker_id == thief.worker_id:
-                    continue
-                for meta in victim.pending.values():
-                    key = (meta.oldest_enqueue_ms, meta.bucket_index)
-                    if best is None or key < (best[0], best[1]):
-                        best = (meta.oldest_enqueue_ms, meta.bucket_index, victim)
-            if best is None:
-                return  # nothing pending anywhere
-            _oldest, bucket_index, victim = best
-            meta = victim.pending[bucket_index]
-            start_ms = max(thief.clock_ms, meta.newest_enqueue_ms)
-            if start_ms >= victim.clock_ms:
-                continue  # migration would not start the service any earlier
-            released: ReleasedBucket = victim.request(ReleaseBucket(bucket_index))
-            if not released.entries:
-                continue  # defensive: the queue vanished between windows
-            thief.request(
-                AdoptBucket(
-                    bucket_index=bucket_index,
-                    entries=released.entries,
-                    staged=released.staged,
-                    clock_ms=start_ms,
-                )
-            )
-            del victim.pending[bucket_index]
-            victim.next_staged_ms = released.next_staged_ms
-            victim.drained = not victim.pending and victim.next_staged_ms is None
-            enqueues = [entry.enqueue_time_ms for entry in released.entries]
-            thief.pending[bucket_index] = BucketQueueMeta(
-                bucket_index=bucket_index,
-                entry_count=len(released.entries),
-                oldest_enqueue_ms=min(enqueues),
-                newest_enqueue_ms=max(enqueues),
-            )
-            if released.staged:
-                staged_first = min(share.arrival_ms for share in released.staged)
-                if thief.next_staged_ms is None or staged_first < thief.next_staged_ms:
-                    thief.next_staged_ms = staged_first
-            thief.clock_ms = max(thief.clock_ms, start_ms)
-            thief.drained = False
-            record = StealRecord(
-                time_ms=start_ms,
-                bucket_index=bucket_index,
-                victim_id=victim.worker_id,
-                thief_id=thief.worker_id,
-                entry_count=len(released.entries),
-            )
-            steal_records.append(record)
-            events.record(
-                thief.worker_id, Event(start_ms, EventKind.WORK_STOLEN, payload=record)
-            )
 
     @staticmethod
     def _shutdown(handles: Sequence[_ShardHandle]) -> None:
@@ -511,65 +640,6 @@ class ProcessBackend(ExecutionBackend):
                 handle.process.terminate()
                 handle.process.join(timeout=10.0)
             handle.conn.close()
-
-    # -- merging ---------------------------------------------------------- #
-
-    def _merge(
-        self,
-        spec: ParallelRunSpec,
-        plan: ShardPlan,
-        tracker: CompletionTracker,
-        events: WorkerEventLog,
-        batches: List[BatchRecord],
-        steal_records: List[StealRecord],
-        results: Sequence[WorkerResult],
-        elapsed_s: float,
-    ) -> BackendOutcome:
-        # Replay services in global virtual-time order (the step order of
-        # the in-process engine) so cross-shard completion bookkeeping is
-        # identical to the virtual backend's.
-        batches.sort(key=lambda r: (r.started_at_ms, r.worker_id, r.seq))
-        for record in batches:
-            events.record(
-                record.worker_id,
-                Event(
-                    record.finished_at_ms,
-                    EventKind.SERVICE_COMPLETE,
-                    payload=(record.bucket_index, record.queries_served),
-                ),
-            )
-            for query_id in record.queries_served:
-                tracker.on_serviced(query_id, record.bucket_index, record.finished_at_ms)
-        ordered_results = sorted(results, key=lambda r: r.worker_id)
-        scheduler_name = (
-            f"parallel(workers={spec.workers}, policy={spec.policy.name}, "
-            f"shard={plan.strategy})"
-        )
-        report = merge_worker_results(scheduler_name, tracker, ordered_results)
-        parallel = ParallelReport(
-            engine=report,
-            workers=spec.workers,
-            shard_strategy=plan.strategy,
-            worker_busy_ms=[r.busy_ms for r in ordered_results],
-            worker_clocks_ms=[r.clock_ms for r in ordered_results],
-            worker_services=[r.services for r in ordered_results],
-            steals=len(steal_records),
-            wall_clock_ms=max((r.clock_ms for r in ordered_results), default=0.0),
-        )
-        return BackendOutcome(
-            backend=self.name,
-            report=report,
-            parallel=parallel,
-            events=events,
-            steal_records=steal_records,
-            completed=tracker.completed_order,
-            services=batches,
-            bucket_reads=sum(r.store_reads for r in ordered_results),
-            megabytes_read=sum(r.store_megabytes for r in ordered_results),
-            real_elapsed_s=elapsed_s,
-            store_real_read_s=sum(r.store_real_read_s for r in ordered_results),
-        )
-
 
 #: Registry of execution backends by name.
 EXECUTION_BACKENDS = {

@@ -16,7 +16,11 @@ synchronous message protocol driven by the coordinator in
   queue (entries *and* its not-yet-ingested staged shares) between
   processes — work stealing as message passing;
 * :class:`Finalize` collects the shard's aggregate accounting as a
-  :class:`WorkerResult`.
+  :class:`WorkerResult`;
+* :class:`CaptureCheckpoint` has the child write its resumable state as a
+  ``.lrcp`` file (see :mod:`repro.reliability.checkpoint`); a respawned
+  child restores from :attr:`ShardTask.checkpoint_path` and resumes its
+  batch numbering at the checkpoint's cursor.
 
 Everything the protocol ships must pickle under the ``spawn`` start
 method; the replay logic itself lives in :class:`ShardReplayer`, which is
@@ -58,6 +62,9 @@ class ShardTask:
     snapshot: StoreSnapshot
     index: Optional[SpatialIndex]
     arrivals: Tuple[StagedShare, ...]
+    #: Recovery only: restore the shard from this ``.lrcp`` checkpoint
+    #: after rebuilding it, then resume the schedule tail from there.
+    checkpoint_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -82,6 +89,19 @@ class AdoptBucket:
     entries: Tuple[WorkloadEntry, ...]
     staged: Tuple[StagedShare, ...]
     clock_ms: float
+
+
+@dataclass(frozen=True)
+class CaptureCheckpoint:
+    """Capture the shard's state at the current barrier into *path*.
+
+    The child serialises and writes the ``.lrcp`` file itself — real
+    checkpoint I/O happens in parallel across shards, and the coordinator
+    only learns the summary.
+    """
+
+    path: str
+    window_index: int
 
 
 @dataclass(frozen=True)
@@ -167,6 +187,20 @@ class Ack:
 
 
 @dataclass(frozen=True)
+class CheckpointWritten:
+    """Reply to :class:`CaptureCheckpoint`: the written file's summary."""
+
+    worker_id: int
+    window_index: int
+    clock_ms: float
+    #: Batch records emitted before the barrier (the replay cursor).
+    seq: int
+    byte_size: int
+    #: Real seconds the capture + write took on the shard.
+    real_elapsed_s: float
+
+
+@dataclass(frozen=True)
 class WorkerResult:
     """Final per-shard accounting, merged by the coordinator."""
 
@@ -211,9 +245,12 @@ class ShardReplayer:
     so window boundaries pause the timeline without altering it.
     """
 
-    def __init__(self, worker: ShardWorker) -> None:
+    def __init__(self, worker: ShardWorker, start_seq: int = 0) -> None:
         self.worker = worker
-        self._seq = 0
+        #: Next batch sequence number.  A recovered shard resumes at its
+        #: checkpoint's cursor so replayed records carry the same numbers
+        #: the lost originals did.
+        self.seq = start_seq
 
     def advance(self, until_ms: Optional[float]) -> List[BatchRecord]:
         """Run services starting before *until_ms* (``None`` = drain all)."""
@@ -230,7 +267,7 @@ class ShardReplayer:
                 records.append(
                     BatchRecord(
                         worker_id=worker.worker_id,
-                        seq=self._seq,
+                        seq=self.seq,
                         bucket_index=result.work_item.bucket_index,
                         queries_served=result.queries_served,
                         started_at_ms=result.started_at_ms,
@@ -238,7 +275,7 @@ class ShardReplayer:
                         objects_served=result.objects_served,
                     )
                 )
-                self._seq += 1
+                self.seq += 1
             else:
                 staged = worker.next_staged_ms()
                 if staged is None:
@@ -317,6 +354,27 @@ def build_task_worker(task: ShardTask) -> ShardWorker:
     return worker
 
 
+def prepare_task_worker(task: ShardTask) -> Tuple[ShardWorker, int]:
+    """Build a task's worker, restoring it from a checkpoint when one is set.
+
+    Returns ``(worker, start_seq)``: a fresh shard starts emitting batch
+    records at 0, a recovered shard resumes at its checkpoint's cursor.
+    The checkpoint is generation-bound — restoring against a store that
+    was re-ingested since the capture fails cleanly.
+    """
+    worker = build_task_worker(task)
+    if task.checkpoint_path is None:
+        return worker, 0
+    from repro.reliability.checkpoint import restore_worker
+
+    state = restore_worker(
+        task.checkpoint_path,
+        worker,
+        expected_generation=worker.loop.cache.store.generation,
+    )
+    return worker, state.seq
+
+
 def worker_result(worker: ShardWorker) -> WorkerResult:
     """Collect one shard's final accounting for the coordinator."""
     loop = worker.loop
@@ -325,7 +383,7 @@ def worker_result(worker: ShardWorker) -> WorkerResult:
         worker_id=worker.worker_id,
         clock_ms=worker.now_ms,
         busy_ms=loop.busy_ms,
-        services=len(loop.batches),
+        services=loop.services,
         steals=worker.steals,
         total_io_ms=loop.total_io_ms,
         total_match_ms=loop.total_match_ms,
@@ -342,8 +400,8 @@ def worker_result(worker: ShardWorker) -> WorkerResult:
 def shard_worker_main(conn, task: ShardTask) -> None:
     """Entry point of one worker process (must be importable for spawn)."""
     try:
-        worker = build_task_worker(task)
-        replayer = ShardReplayer(worker)
+        worker, start_seq = prepare_task_worker(task)
+        replayer = ShardReplayer(worker, start_seq=start_seq)
         while True:
             message = conn.recv()
             if isinstance(message, RunWindow):
@@ -354,6 +412,25 @@ def shard_worker_main(conn, task: ShardTask) -> None:
             elif isinstance(message, AdoptBucket):
                 replayer.adopt(message)
                 conn.send(Ack(task.worker_id))
+            elif isinstance(message, CaptureCheckpoint):
+                import time
+
+                from repro.reliability.checkpoint import checkpoint_worker
+
+                started = time.perf_counter()
+                info = checkpoint_worker(
+                    message.path, worker, replayer.seq, message.window_index
+                )
+                conn.send(
+                    CheckpointWritten(
+                        worker_id=task.worker_id,
+                        window_index=message.window_index,
+                        clock_ms=worker.now_ms,
+                        seq=replayer.seq,
+                        byte_size=info.byte_size,
+                        real_elapsed_s=time.perf_counter() - started,
+                    )
+                )
             elif isinstance(message, Finalize):
                 conn.send(worker_result(worker))
             elif isinstance(message, Shutdown):

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.engine import BatchResult, EngineConfig, ServiceLoop, build_service_loop
 from repro.core.scheduler import SchedulingPolicy
@@ -139,6 +139,18 @@ class ShardWorker:
                 s for s in self._staged if s.bucket_index != bucket_index
             )
         return taken
+
+    def staged_shares(self) -> Tuple[StagedShare, ...]:
+        """The not-yet-ingested stage, in arrival order (checkpoint capture)."""
+        return tuple(self._staged)
+
+    def restore_staged(self, shares: Iterable[StagedShare]) -> None:
+        """Replace the stage wholesale (checkpoint restore).
+
+        The incoming shares are a stage captured by :meth:`staged_shares`,
+        so they are already in arrival order.
+        """
+        self._staged = deque(shares)
 
     def next_staged_ms(self) -> Optional[float]:
         """Arrival time of the earliest staged share, or ``None``."""

@@ -1,0 +1,62 @@
+"""Fault tolerance: checkpoint/recovery under the parallel backends.
+
+LifeRaft's batching makes shards pure functions of their admitted
+schedules, so fault tolerance reduces to checkpointing queue-shaped state
+at window barriers and replaying schedule tails.  This package provides:
+
+* :mod:`repro.reliability.checkpoint` — the versioned, CRC-checked,
+  store-generation-bound ``.lrcp`` codec plus shard state capture/restore;
+* :mod:`repro.reliability.policy` — pluggable checkpoint cadences
+  (every-K-windows, virtual-time interval);
+* :mod:`repro.reliability.faults` — deterministic, seedable crash plans;
+* :mod:`repro.reliability.runtime` — the recovery coordinator that kills,
+  detects, respawns and re-settles shards on both execution backends;
+* :mod:`repro.reliability.config` — :class:`ReliabilityConfig`, the knob
+  ``Simulator.run_parallel(reliability=...)`` and the CLI expose, and the
+  :class:`ReliabilityReport` every reliable run returns.
+"""
+
+from repro.reliability.checkpoint import (
+    CHECKPOINT_SUFFIX,
+    CheckpointError,
+    CheckpointInfo,
+    RunCheckpoint,
+    ShardCheckpoint,
+    capture_shard,
+    checkpoint_worker,
+    read_checkpoint,
+    restore_shard,
+    restore_worker,
+    write_checkpoint,
+)
+from repro.reliability.config import RecoveryEvent, ReliabilityConfig, ReliabilityReport
+from repro.reliability.faults import CrashPoint, FaultPlan
+from repro.reliability.policy import (
+    CheckpointPolicy,
+    EveryKWindows,
+    VirtualInterval,
+    parse_cadence,
+)
+
+__all__ = [
+    "CHECKPOINT_SUFFIX",
+    "CheckpointError",
+    "CheckpointInfo",
+    "CheckpointPolicy",
+    "CrashPoint",
+    "EveryKWindows",
+    "FaultPlan",
+    "RecoveryEvent",
+    "ReliabilityConfig",
+    "ReliabilityReport",
+    "RunCheckpoint",
+    "ShardCheckpoint",
+    "VirtualInterval",
+    "capture_shard",
+    "checkpoint_worker",
+    "parse_cadence",
+    "read_checkpoint",
+    "restore_shard",
+    "restore_worker",
+    "write_checkpoint",
+]

@@ -1,0 +1,107 @@
+"""Checkpoint cadence policies.
+
+How often to checkpoint is the classic reliability trade-off: frequent
+checkpoints bound the work lost to a crash (and the recovery latency) at
+the price of steady-state overhead; sparse checkpoints are nearly free
+until a crash forces a long replay.  The recovery experiment sweeps this
+knob; the policies here are the pluggable cadences it sweeps over.
+
+A policy is consulted once per shard at every window barrier and is
+*stateful*: ``due()`` both answers and commits, so each shard owns its
+own instance (built per worker from the config's cadence spec).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+
+class CheckpointPolicy(ABC):
+    """Decides, at each window barrier, whether a shard checkpoints now."""
+
+    spec: str = "abstract"
+
+    @abstractmethod
+    def due(self, window_index: int, clock_ms: float) -> bool:
+        """``True`` to checkpoint at this barrier.  Answering commits: the
+        policy records the barrier as its latest checkpoint."""
+
+
+class EveryKWindows(CheckpointPolicy):
+    """Checkpoint at the first barrier and every *k* windows thereafter."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError("checkpoint window stride must be positive")
+        self.k = k
+        self.spec = f"windows:{k}"
+        self._last_window: Optional[int] = None
+
+    def due(self, window_index: int, clock_ms: float) -> bool:
+        if self._last_window is not None and window_index - self._last_window < self.k:
+            return False
+        self._last_window = window_index
+        return True
+
+
+class VirtualInterval(CheckpointPolicy):
+    """Checkpoint whenever *interval_ms* of virtual time has elapsed.
+
+    The first barrier always checkpoints (a shard with no checkpoint
+    replays its whole schedule on a crash), then the policy waits for the
+    shard's own clock to advance by the interval — a shard servicing big
+    buckets checkpoints as often, in virtual-time terms, as one servicing
+    small ones.
+    """
+
+    def __init__(self, interval_ms: float) -> None:
+        if interval_ms <= 0:
+            raise ValueError("checkpoint interval must be positive")
+        self.interval_ms = interval_ms
+        self.spec = f"interval:{interval_ms:g}"
+        self._last_clock_ms: Optional[float] = None
+
+    def due(self, window_index: int, clock_ms: float) -> bool:
+        if (
+            self._last_clock_ms is not None
+            and clock_ms - self._last_clock_ms < self.interval_ms
+        ):
+            return False
+        self._last_clock_ms = clock_ms
+        return True
+
+
+def parse_cadence(spec: str) -> CheckpointPolicy:
+    """Build a fresh policy instance from a cadence spec string.
+
+    Accepted forms: ``"windows:K"`` (or a bare integer ``"K"``) for an
+    every-K-windows cadence, ``"interval:MS"`` for a virtual-time
+    interval in milliseconds.
+    """
+    text = spec.strip().lower()
+    if ":" in text:
+        kind, _, value = text.partition(":")
+        kind = kind.strip()
+        value = value.strip()
+        if kind == "windows":
+            return EveryKWindows(int(value))
+        if kind == "interval":
+            return VirtualInterval(float(value))
+        raise ValueError(
+            f"unknown checkpoint cadence {spec!r}; use 'windows:K' or 'interval:MS'"
+        )
+    try:
+        return EveryKWindows(int(text))
+    except ValueError as error:
+        raise ValueError(
+            f"unknown checkpoint cadence {spec!r}; use 'windows:K' or 'interval:MS'"
+        ) from error
+
+
+__all__ = [
+    "CheckpointPolicy",
+    "EveryKWindows",
+    "VirtualInterval",
+    "parse_cadence",
+]

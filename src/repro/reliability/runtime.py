@@ -1,0 +1,822 @@
+"""The recovery coordinator: windowed execution with checkpoints and crashes.
+
+This module is the runtime half of the reliability subsystem.  When a
+:class:`~repro.reliability.config.ReliabilityConfig` is attached to a
+parallel run, both execution backends route here instead of their normal
+drive loops, and the run proceeds in bounded virtual-time windows even
+with stealing disabled — **window barriers are where checkpoints are
+captured and where crashes are injected and detected**.
+
+The coordinator drives :class:`ShardChannel` abstractions so one recovery
+implementation serves both backends:
+
+* :class:`ProcessChannel` — one OS process per shard over a pipe (the
+  process backend).  A due crash point really ``SIGKILL``\\ s the child;
+  detection is the broken pipe at the next message exchange.
+* :class:`InlineChannel` — the shard's :class:`~repro.parallel.ipc.
+  ShardReplayer` driven in-process (the virtual backend).  A crash
+  discards the live worker object, simulating the same total state loss
+  deterministically.
+
+Recovery is the same either way: rebuild the shard from its
+:class:`~repro.parallel.ipc.ShardTask` **plus its latest checkpoint**,
+discard the batch records the replay will re-emit (the coordinator's
+per-shard cursor rewinds to the checkpoint's ``seq``), re-settle bucket
+ownership for any post-checkpoint steals through the existing
+``ReleaseBucket``/``AdoptBucket`` machinery, and let the window loop
+re-run the schedule tail.  Because every shard is a pure function of its
+admitted schedule, the recovered run's virtual-clock outcome — completion
+sets, per-query chunk sequences, every parity field — is identical to an
+uninterrupted run (``tests/reliability/`` pins this across backends and
+worker counts with stealing off).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import shutil
+import tempfile
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.parallel.backend import (
+    REPLY_TIMEOUT_S,
+    BackendOutcome,
+    ParallelRunSpec,
+    ShardView,
+    fan_out_arrivals,
+    merge_backend_outcome,
+    run_steal_round,
+)
+from repro.parallel.engine import CompletionTracker, StealRecord
+from repro.parallel.ipc import (
+    AdoptBucket,
+    BatchRecord,
+    CaptureCheckpoint,
+    CheckpointWritten,
+    Finalize,
+    ReleaseBucket,
+    ReleasedBucket,
+    RunWindow,
+    ShardReplayer,
+    ShardTask,
+    Shutdown,
+    WindowReport,
+    WorkerFailure,
+    WorkerResult,
+    prepare_task_worker,
+    shard_worker_main,
+    worker_result,
+)
+from repro.reliability.checkpoint import (
+    CHECKPOINT_SUFFIX,
+    RUN_CHECKPOINT_WORKER,
+    RunCheckpoint,
+    checkpoint_worker,
+    write_checkpoint,
+)
+from repro.reliability.config import RecoveryEvent, ReliabilityReport
+from repro.sim.events import WorkerEventLog
+
+#: Poll granularity while waiting on a child reply (liveness checks run
+#: between polls so a SIGKILLed child is detected promptly).  The wedge
+#: threshold itself is the process backend's ``REPLY_TIMEOUT_S``.
+POLL_INTERVAL_S = 0.05
+
+
+class ChannelCrashed(RuntimeError):
+    """A shard died (real kill or simulated) before/while replying."""
+
+    def __init__(self, worker_id: int) -> None:
+        super().__init__(f"shard worker {worker_id} crashed")
+        self.worker_id = worker_id
+
+
+class ShardChannel(ABC):
+    """One shard as the recovery coordinator sees it."""
+
+    def __init__(self, task: ShardTask) -> None:
+        self.task = task
+        self.worker_id = task.worker_id
+        self._pending_window: Optional[Tuple[Optional[float]]] = None
+        self._pending_checkpoint: Optional[Tuple[str, int]] = None
+
+    @abstractmethod
+    def advance(self, until_ms: Optional[float]) -> WindowReport:
+        """Run one window; raises :class:`ChannelCrashed` on a dead shard."""
+
+    # The begin/collect split lets the coordinator broadcast a window (or
+    # a checkpoint round) to every shard before collecting any reply, so
+    # real per-window work runs concurrently across worker processes.
+    # The base implementations are synchronous (the inline channel has no
+    # concurrency to exploit); the process channel overrides them to
+    # really pipeline over its pipe.
+
+    def begin_window(self, until_ms: Optional[float]) -> None:
+        """Stage one window; the work happens at :meth:`collect_window`."""
+        self._pending_window = (until_ms,)
+
+    def collect_window(self) -> WindowReport:
+        """Finish the staged window (raises :class:`ChannelCrashed`)."""
+        assert self._pending_window is not None, "collect_window without begin"
+        (until_ms,) = self._pending_window
+        self._pending_window = None
+        return self.advance(until_ms)
+
+    def begin_checkpoint(self, path: str, window_index: int) -> None:
+        """Stage one checkpoint capture for :meth:`collect_checkpoint`."""
+        self._pending_checkpoint = (path, window_index)
+
+    def collect_checkpoint(self) -> CheckpointWritten:
+        """Finish the staged checkpoint capture."""
+        assert self._pending_checkpoint is not None, "collect without begin"
+        path, window_index = self._pending_checkpoint
+        self._pending_checkpoint = None
+        return self.checkpoint(path, window_index)
+
+    @abstractmethod
+    def release(self, bucket_index: int) -> ReleasedBucket:
+        """Extract one whole workload queue (steal source / re-settlement)."""
+
+    @abstractmethod
+    def adopt(self, message: AdoptBucket) -> None:
+        """Deliver a migrated queue (steal target / re-settlement)."""
+
+    @abstractmethod
+    def checkpoint(self, path: str, window_index: int) -> CheckpointWritten:
+        """Capture the shard's state into an ``.lrcp`` file."""
+
+    @abstractmethod
+    def finalize(self) -> WorkerResult:
+        """Collect the shard's final accounting."""
+
+    @abstractmethod
+    def kill(self) -> None:
+        """Inject a crash: the shard loses all state since its checkpoint."""
+
+    @abstractmethod
+    def respawn(self, checkpoint_path: Optional[str]) -> None:
+        """Rebuild the shard from its task, restored from *checkpoint_path*
+        (``None`` restarts it cold, replaying the whole schedule)."""
+
+    @abstractmethod
+    def shutdown(self) -> None:
+        """Tear the shard down at the end of the run."""
+
+
+class InlineChannel(ShardChannel):
+    """The in-process shard used by the virtual backend's reliability path.
+
+    The replay machinery is exactly the worker process's
+    (:func:`~repro.parallel.ipc.prepare_task_worker` +
+    :class:`~repro.parallel.ipc.ShardReplayer`), minus the fork — so a
+    simulated crash/recovery exercises the identical restore code path the
+    real process backend runs.
+    """
+
+    def __init__(self, task: ShardTask) -> None:
+        super().__init__(task)
+        self._replayer: Optional[ShardReplayer] = None
+        self._boot(None)
+
+    def _boot(self, checkpoint_path: Optional[str]) -> None:
+        task = dataclasses.replace(self.task, checkpoint_path=checkpoint_path)
+        worker, start_seq = prepare_task_worker(task)
+        self._replayer = ShardReplayer(worker, start_seq=start_seq)
+
+    def _live(self) -> ShardReplayer:
+        if self._replayer is None:
+            raise ChannelCrashed(self.worker_id)
+        return self._replayer
+
+    def advance(self, until_ms: Optional[float]) -> WindowReport:
+        replayer = self._live()
+        return replayer.window_report(replayer.advance(until_ms))
+
+    def release(self, bucket_index: int) -> ReleasedBucket:
+        return self._live().release(bucket_index)
+
+    def adopt(self, message: AdoptBucket) -> None:
+        self._live().adopt(message)
+
+    def checkpoint(self, path: str, window_index: int) -> CheckpointWritten:
+        replayer = self._live()
+        started = time.perf_counter()
+        info = checkpoint_worker(path, replayer.worker, replayer.seq, window_index)
+        return CheckpointWritten(
+            worker_id=self.worker_id,
+            window_index=window_index,
+            clock_ms=replayer.worker.now_ms,
+            seq=replayer.seq,
+            byte_size=info.byte_size,
+            real_elapsed_s=time.perf_counter() - started,
+        )
+
+    def finalize(self) -> WorkerResult:
+        return worker_result(self._live().worker)
+
+    def kill(self) -> None:
+        self._replayer = None  # every bit of shard state is gone
+
+    def respawn(self, checkpoint_path: Optional[str]) -> None:
+        self._boot(checkpoint_path)
+
+    def shutdown(self) -> None:
+        self._replayer = None
+
+
+class ProcessChannel(ShardChannel):
+    """One shard worker process, killable and respawnable."""
+
+    def __init__(self, task: ShardTask, start_method: str = "spawn") -> None:
+        super().__init__(task)
+        self._context = multiprocessing.get_context(start_method)
+        self._process = None
+        self._conn = None
+        self._window_send_failed = False
+        self._checkpoint_send_failed = False
+        self._spawn(None)
+
+    def _spawn(self, checkpoint_path: Optional[str]) -> None:
+        task = dataclasses.replace(self.task, checkpoint_path=checkpoint_path)
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=shard_worker_main,
+            args=(child_conn, task),
+            daemon=True,
+            name=f"liferaft-shard-{self.worker_id}",
+        )
+        process.start()
+        child_conn.close()
+        self._process = process
+        self._conn = parent_conn
+
+    def _send(self, message) -> None:
+        if self._conn is None:
+            raise ChannelCrashed(self.worker_id)
+        try:
+            self._conn.send(message)
+        except (OSError, ValueError) as error:
+            raise ChannelCrashed(self.worker_id) from error
+
+    def _request(self, message):
+        self._send(message)
+        return self._receive()
+
+    def _receive(self):
+        if self._conn is None:
+            raise ChannelCrashed(self.worker_id)
+        deadline = time.monotonic() + REPLY_TIMEOUT_S
+        while True:
+            try:
+                if self._conn.poll(POLL_INTERVAL_S):
+                    break
+            except (OSError, ValueError) as error:
+                raise ChannelCrashed(self.worker_id) from error
+            if self._process is not None and not self._process.is_alive():
+                # Dead and the pipe has drained: nothing more is coming.
+                if not self._conn.poll(0):
+                    raise ChannelCrashed(self.worker_id)
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"shard worker {self.worker_id} sent no reply within "
+                    f"{REPLY_TIMEOUT_S:g}s; aborting the run"
+                )
+        try:
+            reply = self._conn.recv()
+        except (EOFError, ConnectionResetError, OSError) as error:
+            raise ChannelCrashed(self.worker_id) from error
+        if isinstance(reply, WorkerFailure):
+            raise RuntimeError(
+                f"shard worker {reply.worker_id} failed:\n{reply.traceback_text}"
+            )
+        return reply
+
+    def advance(self, until_ms: Optional[float]) -> WindowReport:
+        return self._request(RunWindow(until_ms))
+
+    def begin_window(self, until_ms: Optional[float]) -> None:
+        # A failed send is surfaced at collect time so the coordinator's
+        # broadcast loop never has to handle crashes mid-fan-out.
+        self._window_send_failed = False
+        try:
+            self._send(RunWindow(until_ms))
+        except ChannelCrashed:
+            self._window_send_failed = True
+
+    def collect_window(self) -> WindowReport:
+        if self._window_send_failed:
+            raise ChannelCrashed(self.worker_id)
+        return self._receive()
+
+    def begin_checkpoint(self, path: str, window_index: int) -> None:
+        self._checkpoint_send_failed = False
+        try:
+            self._send(CaptureCheckpoint(path, window_index))
+        except ChannelCrashed:
+            self._checkpoint_send_failed = True
+
+    def collect_checkpoint(self) -> CheckpointWritten:
+        if self._checkpoint_send_failed:
+            raise ChannelCrashed(self.worker_id)
+        return self._receive()
+
+    def release(self, bucket_index: int) -> ReleasedBucket:
+        return self._request(ReleaseBucket(bucket_index))
+
+    def adopt(self, message: AdoptBucket) -> None:
+        self._request(message)
+
+    def checkpoint(self, path: str, window_index: int) -> CheckpointWritten:
+        return self._request(CaptureCheckpoint(path, window_index))
+
+    def finalize(self) -> WorkerResult:
+        return self._request(Finalize())
+
+    def kill(self) -> None:
+        if self._process is not None:
+            self._process.kill()
+            self._process.join(timeout=10.0)
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def respawn(self, checkpoint_path: Optional[str]) -> None:
+        self.kill()
+        self._spawn(checkpoint_path)
+
+    def shutdown(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.send(Shutdown())
+            except (OSError, ValueError):
+                pass
+        if self._process is not None:
+            self._process.join(timeout=10.0)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout=10.0)
+            self._process = None
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+
+@dataclass
+class _JournaledSteal:
+    """One queue migration the coordinator witnessed (for re-settlement)."""
+
+    window_index: int
+    record: StealRecord
+    released: ReleasedBucket
+    adopt: AdoptBucket
+
+
+@dataclass
+class _LatestCheckpoint:
+    """The newest durable state of one shard."""
+
+    path: str
+    window_index: int
+    seq: int
+    clock_ms: float
+
+
+class RecoveryCoordinator:
+    """Drives one reliable run: windows, checkpoints, crashes, recovery."""
+
+    def __init__(
+        self,
+        spec: ParallelRunSpec,
+        backend_name: str,
+        start_method: str = "spawn",
+    ) -> None:
+        assert spec.reliability is not None
+        self.spec = spec
+        self.backend_name = backend_name
+        self.start_method = start_method
+        self.rel = spec.reliability
+        self.plan = spec.resolved_plan()
+        self.tracker = CompletionTracker()
+        self.events = WorkerEventLog()
+        self.faults = self.rel.fault_plan()
+        for point in self.faults.crashes:
+            if point.worker_id >= spec.workers:
+                raise ValueError(
+                    f"crash point {point.spec} targets worker {point.worker_id}, "
+                    f"but the run has workers 0..{spec.workers - 1} "
+                    "(worker ids are 0-based)"
+                )
+        self.quantum_ms = (
+            self.rel.window_quantum_ms
+            if self.rel.window_quantum_ms is not None
+            else spec.quantum_ms()
+        )
+        self.arrivals = fan_out_arrivals(spec, self.plan, self.tracker, self.events)
+        self.generation = spec.store.generation
+        self.channels: List[ShardChannel] = []
+        self.views: List[ShardView] = []
+        self.policies = [self.rel.build_policy() for _ in range(spec.workers)]
+        self.batches: List[BatchRecord] = []
+        self.steal_records: List[StealRecord] = []
+        self.journal: List[_JournaledSteal] = []
+        #: Next expected batch seq per shard (the emitted-record cursor).
+        self.accepted_seq: Dict[int, int] = {w: 0 for w in range(spec.workers)}
+        self.latest: Dict[int, _LatestCheckpoint] = {}
+        self.recovery_budget = {
+            w: self.rel.max_recoveries_per_worker for w in range(spec.workers)
+        }
+        self.report = ReliabilityReport(checkpoint_dir="", cadence=self.rel.cadence)
+
+    # -- setup / teardown -------------------------------------------------- #
+
+    def _build_channels(self, checkpoint_dir: str) -> None:
+        snapshot = self.spec.store.snapshot()
+        for worker_id in range(self.spec.workers):
+            policy = (
+                self.spec.policy if worker_id == 0 else self._clone(self.spec.policy)
+            )
+            task = ShardTask(
+                worker_id=worker_id,
+                config=self.spec.config,
+                policy=policy,
+                snapshot=snapshot,
+                index=self.spec.index,
+                arrivals=tuple(self.arrivals[worker_id]),
+            )
+            if self.backend_name == "process":
+                channel: ShardChannel = ProcessChannel(task, self.start_method)
+            else:
+                channel = InlineChannel(task)
+            self.channels.append(channel)
+            self.views.append(ShardView(worker_id, self.arrivals[worker_id]))
+        self.report.checkpoint_dir = checkpoint_dir
+
+    @staticmethod
+    def _clone(policy):
+        clone = getattr(policy, "clone", None)
+        if clone is None:
+            raise TypeError(
+                f"policy {policy!r} does not support clone(); "
+                "per-shard schedulers must be constructible per worker"
+            )
+        return clone()
+
+    # -- the run ----------------------------------------------------------- #
+
+    def execute(self) -> BackendOutcome:
+        started = time.perf_counter()
+        owns_dir = self.rel.checkpoint_dir is None
+        checkpoint_dir = self.rel.checkpoint_dir or tempfile.mkdtemp(
+            prefix="liferaft-ckpt-"
+        )
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        try:
+            self._build_channels(checkpoint_dir)
+            try:
+                self._window_loop(checkpoint_dir)
+                results = [
+                    self._finalize_with_recovery(channel) for channel in self.channels
+                ]
+            finally:
+                for channel in self.channels:
+                    channel.shutdown()
+        finally:
+            if owns_dir:
+                shutil.rmtree(checkpoint_dir, ignore_errors=True)
+        elapsed = time.perf_counter() - started
+        return merge_backend_outcome(
+            self.backend_name,
+            self.spec,
+            self.plan,
+            self.tracker,
+            self.events,
+            self.batches,
+            self.steal_records,
+            results,
+            elapsed,
+            reliability=self.report,
+        )
+
+    def _window_loop(self, checkpoint_dir: str) -> None:
+        window_index = 0
+        stealing = self.spec.enable_stealing and self.spec.workers > 1
+        while True:
+            candidates = [
+                candidate
+                for view in self.views
+                if (candidate := view.boundary_candidate_ms()) is not None
+            ]
+            if not candidates:
+                break
+            boundary = min(candidates) + self.quantum_ms
+            # Inject this window's scheduled crashes: the shard dies while
+            # the window is (about to be) in flight, exactly as a machine
+            # failure would land mid-computation.
+            for view, channel in zip(self.views, self.channels):
+                if not view.drained and self.faults.crash_due(
+                    channel.worker_id, window_index
+                ):
+                    channel.kill()
+                    self.report.crashes_injected += 1
+            # Broadcast the window to every live shard before collecting
+            # any reply, so real per-window work (page reads, decodes)
+            # runs concurrently across worker processes; crashed shards
+            # surface at collect time and are recovered after every
+            # in-flight reply has drained (re-settlement must not talk to
+            # a shard with a window outstanding).
+            active = [
+                (view, channel)
+                for view, channel in zip(self.views, self.channels)
+                if not view.drained
+            ]
+            for _view, channel in active:
+                channel.begin_window(boundary)
+            crashed: List[Tuple[ShardView, ShardChannel]] = []
+            for view, channel in active:
+                try:
+                    report = channel.collect_window()
+                except ChannelCrashed:
+                    crashed.append((view, channel))
+                    continue
+                self._accept(report)
+                view.apply_window(report)
+            for view, channel in crashed:
+                report = self._advance_with_recovery(channel, view, boundary, window_index)
+                self._accept(report)
+                view.apply_window(report)
+            if all(view.drained for view in self.views):
+                self.report.windows = window_index + 1
+                break
+            if stealing:
+                self._steal_round(window_index)
+            self._checkpoint_round(checkpoint_dir, window_index)
+            window_index += 1
+            self.report.windows = window_index
+
+    def _accept(self, report: WindowReport) -> None:
+        """Accept a window's batch records behind the per-shard cursor.
+
+        Exactly-once: a record is accepted only at its expected sequence
+        number.  After a recovery the cursor rewinds to the checkpoint's
+        ``seq`` (the replayed tail re-produces the discarded records with
+        the same numbers), so nothing is lost and nothing is duplicated.
+        """
+        cursor = self.accepted_seq[report.worker_id]
+        for record in report.batches:
+            if record.seq < cursor:
+                continue  # an already-accepted record re-surfacing
+            if record.seq != cursor:
+                raise RuntimeError(
+                    f"shard {report.worker_id} skipped batch seq "
+                    f"{cursor} (got {record.seq})"
+                )
+            self.batches.append(record)
+            cursor += 1
+        self.accepted_seq[report.worker_id] = cursor
+
+    # -- crash recovery ---------------------------------------------------- #
+
+    def _advance_with_recovery(
+        self,
+        channel: ShardChannel,
+        view: ShardView,
+        boundary: Optional[float],
+        window_index: int,
+    ) -> WindowReport:
+        while True:
+            try:
+                return channel.advance(boundary)
+            except ChannelCrashed:
+                self._recover(channel, view, window_index)
+
+    def _finalize_with_recovery(self, channel: ShardChannel) -> WorkerResult:
+        view = self.views[channel.worker_id]
+        while True:
+            try:
+                return channel.finalize()
+            except ChannelCrashed:
+                self._recover(channel, view, self.report.windows)
+                # A recovered shard may have a schedule tail to replay
+                # before its accounting is final again.
+                report = self._advance_with_recovery(channel, view, None, self.report.windows)
+                self._accept(report)
+                view.apply_window(report)
+
+    def _recover(self, channel: ShardChannel, view: ShardView, window_index: int) -> None:
+        """Restore a dead shard from its latest checkpoint and re-settle."""
+        worker_id = channel.worker_id
+        if self.recovery_budget[worker_id] <= 0:
+            raise RuntimeError(
+                f"shard worker {worker_id} exceeded "
+                f"{self.rel.max_recoveries_per_worker} recoveries; giving up"
+            )
+        self.recovery_budget[worker_id] -= 1
+        started = time.perf_counter()
+        latest = self.latest.get(worker_id)
+        checkpoint_path = latest.path if latest is not None else None
+        checkpoint_seq = latest.seq if latest is not None else 0
+        checkpoint_window = latest.window_index if latest is not None else -1
+        channel.respawn(checkpoint_path)
+        # Rewind the emitted-record cursor: everything at or past the
+        # checkpoint's seq is lost work the replay will re-produce.
+        replayed = [
+            record
+            for record in self.batches
+            if record.worker_id == worker_id and record.seq >= checkpoint_seq
+        ]
+        if replayed:
+            self.batches = [
+                record
+                for record in self.batches
+                if not (record.worker_id == worker_id and record.seq >= checkpoint_seq)
+            ]
+        self.accepted_seq[worker_id] = checkpoint_seq
+        # _resettle ends by probing the restored shard (an empty window),
+        # which refreshes the coordinator's view in the same round trip.
+        self._resettle(channel, view, checkpoint_window)
+        self.report.recoveries.append(
+            RecoveryEvent(
+                worker_id=worker_id,
+                window_index=window_index,
+                checkpoint_window=checkpoint_window,
+                services_replayed=len(replayed),
+                real_latency_s=time.perf_counter() - started,
+            )
+        )
+
+    def _resettle(
+        self, channel: ShardChannel, view: ShardView, checkpoint_window: int
+    ) -> None:
+        """Replay post-checkpoint queue migrations involving the shard.
+
+        Steals are settled through the coordinator, so every migrated
+        payload passed through here and can be replayed: migrations the
+        crashed shard *received* after its checkpoint are re-adopted;
+        queues it *gave up* after its checkpoint are extracted again from
+        the restored state and forwarded to the current owner (which may
+        hold newer entries — adoption merges, and downstream completion
+        and stream bookkeeping are idempotent per (query, bucket)).
+
+        A window's steal round runs *before* its checkpoint round, so a
+        checkpoint captured at window ``w`` already contains that window's
+        migrations — only steals from strictly later windows are replayed
+        (replaying window ``w``'s would double-adopt their entries).
+        """
+        worker_id = channel.worker_id
+        touched: List[int] = []
+        for steal in self.journal:
+            if steal.window_index <= checkpoint_window:
+                continue
+            if steal.record.thief_id == worker_id:
+                channel.adopt(steal.adopt)
+            elif steal.record.victim_id == worker_id:
+                released = channel.release(steal.record.bucket_index)
+                if released.entries or released.staged:
+                    owner = self._current_owner(steal.record.bucket_index)
+                    if owner != worker_id:
+                        self.channels[owner].adopt(
+                            AdoptBucket(
+                                bucket_index=steal.record.bucket_index,
+                                entries=released.entries,
+                                staged=released.staged,
+                                clock_ms=0.0,
+                            )
+                        )
+                        touched.append(owner)
+        view.apply_window(channel.advance(0.0))
+        for owner in set(touched):
+            self.views[owner].apply_window(self.channels[owner].advance(0.0))
+
+    def _current_owner(self, bucket_index: int) -> int:
+        """Who owns a bucket's queue now: the plan, or the latest thief."""
+        owner = self.plan.owner_of(bucket_index)
+        for steal in self.journal:
+            if steal.record.bucket_index == bucket_index:
+                owner = steal.record.thief_id
+        return owner
+
+    # -- stealing (window-barrier, journaled) ------------------------------- #
+
+    def _steal_round(self, window_index: int) -> None:
+        """One shared-rule steal round (see
+        :func:`repro.parallel.backend.run_steal_round`), driven through
+        crash-recovering channel calls, with every migration journaled so
+        recovery can re-settle bucket ownership after a crash."""
+        migrations = run_steal_round(
+            self.views,
+            self.steal_records,
+            self.events,
+            release=lambda victim, bucket: self._release_with_recovery(
+                victim, bucket, window_index
+            ),
+            adopt=lambda thief, message: self.channels[thief.worker_id].adopt(message),
+        )
+        for record, released, adopt in migrations:
+            self.journal.append(
+                _JournaledSteal(
+                    window_index=window_index,
+                    record=record,
+                    released=released,
+                    adopt=adopt,
+                )
+            )
+
+    def _release_with_recovery(
+        self, view: ShardView, bucket_index: int, window_index: int
+    ) -> ReleasedBucket:
+        channel = self.channels[view.worker_id]
+        while True:
+            try:
+                return channel.release(bucket_index)
+            except ChannelCrashed:
+                self._recover(channel, view, window_index)
+
+    # -- checkpoint cadence ------------------------------------------------- #
+
+    def _checkpoint_round(self, checkpoint_dir: str, window_index: int) -> None:
+        # Broadcast the captures first: each shard serialises and writes
+        # its own .lrcp file, so checkpoint I/O runs concurrently across
+        # worker processes.
+        due: List[Tuple[ShardView, ShardChannel, str]] = []
+        for view, channel, policy in zip(self.views, self.channels, self.policies):
+            if view.drained:
+                continue
+            if not policy.due(window_index, view.clock_ms):
+                continue
+            path = os.path.join(
+                checkpoint_dir,
+                f"shard{channel.worker_id:02d}-w{window_index:06d}{CHECKPOINT_SUFFIX}",
+            )
+            channel.begin_checkpoint(path, window_index)
+            due.append((view, channel, path))
+        wrote_any = False
+        failed: List[Tuple[ShardView, ShardChannel]] = []
+        for view, channel, path in due:
+            try:
+                written = channel.collect_checkpoint()
+            except ChannelCrashed:
+                # An unplanned death while checkpointing: note it and skip
+                # the capture — recovery waits until every in-flight reply
+                # has drained (re-settlement must not talk to a shard with
+                # a capture outstanding); the next barrier retries.
+                failed.append((view, channel))
+                continue
+            self.latest[channel.worker_id] = _LatestCheckpoint(
+                path=path,
+                window_index=window_index,
+                seq=written.seq,
+                clock_ms=written.clock_ms,
+            )
+            self.report.checkpoints_written += 1
+            self.report.checkpoint_bytes += written.byte_size
+            self.report.checkpoint_real_s += written.real_elapsed_s
+            wrote_any = True
+        for view, channel in failed:
+            self._recover(channel, view, window_index)
+        if wrote_any:
+            # The coordinator's own durable state rides alongside: the
+            # cross-shard completion tracker and the per-shard
+            # emitted-record cursor (the result streams' chunk cursor).
+            run_path = os.path.join(
+                checkpoint_dir, f"run-w{window_index:06d}{CHECKPOINT_SUFFIX}"
+            )
+            started = time.perf_counter()
+            info = write_checkpoint(
+                run_path,
+                worker_id=RUN_CHECKPOINT_WORKER,
+                window_index=window_index,
+                clock_ms=max((view.clock_ms for view in self.views), default=0.0),
+                generation=self.generation,
+                payload_obj=RunCheckpoint(
+                    window_index=window_index,
+                    tracker=self.tracker,
+                    accepted_seq=dict(self.accepted_seq),
+                ),
+            )
+            self.report.checkpoints_written += 1
+            self.report.checkpoint_bytes += info.byte_size
+            self.report.checkpoint_real_s += time.perf_counter() - started
+
+
+def execute_with_reliability(
+    spec: ParallelRunSpec,
+    backend_name: str,
+    start_method: str = "spawn",
+) -> BackendOutcome:
+    """Run *spec* under the recovery coordinator (both backends call this)."""
+    return RecoveryCoordinator(spec, backend_name, start_method).execute()
+
+
+__all__ = [
+    "ChannelCrashed",
+    "InlineChannel",
+    "ProcessChannel",
+    "RecoveryCoordinator",
+    "ShardChannel",
+    "execute_with_reliability",
+]

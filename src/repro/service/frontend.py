@@ -50,7 +50,7 @@ from repro.service.deadline import (
     assign_deadline_class,
 )
 from repro.service.sessions import RATE_WINDOW_MS, SessionRegistry
-from repro.service.streams import ResultChunk, StreamHub
+from repro.service.streams import ResultChunk, StreamCursor, StreamHub
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.stats import ResponseTimeStats, summarize_response_times
 from repro.storage.partitioner import PartitionLayout
@@ -347,6 +347,19 @@ class ServingFrontEnd:
     def ingest_records(self, records: Iterable) -> int:
         """Feed a backend's service records (global finish-time order)."""
         return self.hub.ingest_records(records)
+
+    def cursor(self) -> StreamCursor:
+        """Snapshot the emitted-chunk position (for durable recovery)."""
+        return self.hub.cursor()
+
+    def restore_cursor(self, cursor: StreamCursor) -> None:
+        """Resume a front-end's streams from a checkpointed cursor.
+
+        The front-end must have admitted the same schedule that produced
+        the cursor (streams registered, nothing emitted); delivered chunks
+        are replayed silently and ingestion continues exactly-once.
+        """
+        self.hub.restore(cursor)
 
     # ------------------------------------------------------------------ #
     # reporting

@@ -22,9 +22,9 @@ the serving parity tests pin this down.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-__all__ = ["ResultChunk", "ResultStream", "StreamHub"]
+__all__ = ["ResultChunk", "ResultStream", "StreamCursor", "StreamHub"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,24 @@ class ResultChunk:
     time_ms: float
     #: ``True`` on the chunk that completes the query.
     final: bool
+
+
+@dataclass(frozen=True)
+class StreamCursor:
+    """A resumable position over a :class:`StreamHub`'s emitted chunks.
+
+    The serving-side half of crash recovery: chunks already delivered to
+    clients must never be re-emitted when a hub is rebuilt after a
+    failure.  The cursor records, per query, exactly what each stream has
+    emitted — ``(bucket, objects, time_ms)`` triples in sequence order —
+    so :meth:`StreamHub.restore` can silently replay them into fresh
+    streams (no subscriber callbacks fire) and subsequent record
+    ingestion resumes exactly once from the cut.
+    """
+
+    total_chunks: int
+    #: Per query id: the emitted chunks as (bucket, objects, time_ms).
+    emitted: Tuple[Tuple[int, Tuple[Tuple[int, int, float], ...]], ...]
 
 
 class ResultStream:
@@ -157,6 +175,48 @@ class StreamHub:
     def known(self, query_id: int) -> bool:
         """``True`` once the query's stream is open."""
         return query_id in self._streams
+
+    def cursor(self) -> StreamCursor:
+        """Snapshot the emitted-chunk position of every stream."""
+        emitted = []
+        for query_id in sorted(self._streams):
+            chunks = self._streams[query_id].chunks
+            if chunks:
+                emitted.append(
+                    (
+                        query_id,
+                        tuple(
+                            (c.bucket_index, c.objects_matched, c.time_ms)
+                            for c in chunks
+                        ),
+                    )
+                )
+        return StreamCursor(total_chunks=self.total_chunks, emitted=tuple(emitted))
+
+    def restore(self, cursor: StreamCursor) -> None:
+        """Replay a cursor into freshly registered streams, silently.
+
+        Every stream named by the cursor must be registered and must not
+        have emitted anything yet; the replayed chunks do **not** reach
+        subscribers — the clients already received them before the
+        failure.  After this call, :meth:`ingest_records` resumes
+        exactly-once: replaying a record whose bucket the cursor already
+        covers is a no-op.
+        """
+        for query_id, chunks in cursor.emitted:
+            stream = self._streams.get(query_id)
+            if stream is None:
+                raise ValueError(
+                    f"cursor names query {query_id}, which has no registered stream"
+                )
+            if stream.chunks:
+                raise ValueError(
+                    f"query {query_id}'s stream already emitted chunks; "
+                    "cursors restore into fresh streams only"
+                )
+            for bucket_index, objects, time_ms in chunks:
+                stream.emit(bucket_index, objects, time_ms)
+        self.total_chunks = cursor.total_chunks
 
     def on_service(
         self,

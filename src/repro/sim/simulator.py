@@ -34,6 +34,7 @@ from repro.workload.query import CrossMatchQuery
 
 if TYPE_CHECKING:
     from repro.parallel.backend import ExecutionBackend
+    from repro.reliability.config import ReliabilityConfig, ReliabilityReport
     from repro.service.frontend import ServiceConfig, ServingFrontEnd, ServingReport
 
 __all__ = [
@@ -82,10 +83,17 @@ class SimulationConfig:
     enable_hybrid: bool = True
     hybrid_threshold_fraction: Optional[float] = None
     match_probability: float = 0.85
+    #: File-backed runs only: tier-2 decoded-page cache capacity.  ``None``
+    #: uses the storage default; ``0`` disables the tier entirely (every
+    #: tier-1 miss performs a physical read — the cache ablation's "off"
+    #: arm).  Virtual-clock numbers are tier-invariant either way.
+    page_cache_buckets: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.bucket_count <= 0:
             raise ValueError("bucket_count must be positive")
+        if self.page_cache_buckets is not None and self.page_cache_buckets < 0:
+            raise ValueError("page_cache_buckets must be non-negative")
 
 
 @dataclass
@@ -123,6 +131,11 @@ class SimulationResult:
     #: File-backed runs only: wall-clock seconds spent in physical page
     #: reads + columnar decoding (summed over workers for process runs).
     real_read_s: float = 0.0
+    #: File-backed serial runs only: physical page reads that reached the
+    #: store file (tier-2 misses) — what the cache ablation compares.
+    page_reads: int = 0
+    #: Reliability runs only: checkpoints written, crashes, recoveries.
+    reliability: Optional["ReliabilityReport"] = None
 
     @property
     def avg_response_time_s(self) -> float:
@@ -243,7 +256,12 @@ class Simulator:
         path = self._resolve_store_path(store_path)
         if path is None:
             return BucketStore(self._layout, disk)
-        store = open_disk_store(path, disk)
+        if self.config.page_cache_buckets is not None:
+            store = open_disk_store(
+                path, disk, page_cache_buckets=self.config.page_cache_buckets
+            )
+        else:
+            store = open_disk_store(path, disk)
         if store.layout != self._layout:
             store.close()
             raise ValueError(
@@ -309,8 +327,9 @@ class Simulator:
         frontend = self._build_frontend(service)
         if frontend is not None:
             queries = frontend.admit(queries).admitted_queries()
-        store = self._build_store(store_path)
-        try:
+        # Every store is a context manager (a no-op close for the in-memory
+        # store), so a failed run can never leak an open store fd.
+        with self._build_store(store_path) as store:
             engine = self._build_engine(policy, store=store)
             ordered = sorted(queries, key=lambda q: (q.arrival_time_s, q.query_id))
             arrivals_ms = [q.arrival_time_s * 1000.0 for q in ordered]
@@ -338,10 +357,8 @@ class Simulator:
             if isinstance(store, DiskBucketStore):
                 summary.store_backend = "file"
                 summary.real_read_s = store.real_read_s
+                summary.page_reads = store.page_reads
             return summary
-        finally:
-            if isinstance(store, DiskBucketStore):
-                store.close()
 
     def _build_frontend(
         self, service: Optional["ServiceConfig"]
@@ -397,6 +414,7 @@ class Simulator:
         steal_quantum_ms: Optional[float] = None,
         service: Optional["ServiceConfig"] = None,
         store_path=_DEFAULT_STORE,
+        reliability: Optional["ReliabilityConfig"] = None,
     ) -> SimulationResult:
         """Replay a trace against a sharded engine on an execution backend.
 
@@ -419,6 +437,16 @@ class Simulator:
         file-backed store ships as a small path-based snapshot: each
         worker child reopens the file read-only and performs its own
         physical I/O instead of unpickling the catalog.
+
+        With *reliability* set, the run checkpoints per-shard state at
+        window barriers under the configured cadence, injects the
+        configured crash plan (really killing worker processes on the
+        process backend), and recovers dead shards from their latest
+        checkpoint.  Virtual-clock results of a crash-injected run are
+        identical to an uninterrupted one (the reliability parity tests
+        pin this down with stealing off); the returned result carries the
+        :class:`~repro.reliability.config.ReliabilityReport` in
+        :attr:`SimulationResult.reliability`.
         """
         from repro.parallel.backend import ParallelRunSpec, make_backend
 
@@ -428,8 +456,7 @@ class Simulator:
         if frontend is not None:
             queries = frontend.admit(queries).admitted_queries()
         execution = make_backend(backend)
-        store = self._build_store(store_path)
-        try:
+        with self._build_store(store_path) as store:
             spec = ParallelRunSpec(
                 layout=self._layout,
                 store=store,
@@ -441,11 +468,9 @@ class Simulator:
                 index=SpatialIndex([], rows=None, disk=None),
                 enable_stealing=enable_stealing,
                 steal_quantum_ms=steal_quantum_ms,
+                reliability=reliability,
             )
             outcome = execution.execute(spec)
-        finally:
-            if isinstance(store, DiskBucketStore):
-                store.close()
         if frontend is not None:
             frontend.ingest_records(outcome.services)
         report = outcome.report
@@ -477,6 +502,7 @@ class Simulator:
             serving=serving_report,
             store_backend="file" if isinstance(store, DiskBucketStore) else "memory",
             real_read_s=outcome.store_real_read_s,
+            reliability=outcome.reliability,
         )
 
     def run_alpha_sweep(

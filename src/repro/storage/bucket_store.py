@@ -19,6 +19,8 @@ model, which is how ``Tb`` enters the simulation.
 from __future__ import annotations
 
 import bisect
+import hashlib
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -134,6 +136,49 @@ class BucketStore:
     def is_virtual(self) -> bool:
         """``True`` when no materialised catalog is attached."""
         return self._sorted_ids is None
+
+    @property
+    def generation(self) -> str:
+        """Content-derived identity of the served partition.
+
+        File-backed stores override this with the store file's directory
+        digest; the in-memory store derives an equivalent digest from its
+        layout so checkpoints (which are only valid against the exact
+        store they were captured over) can be generation-bound on every
+        storage tier.
+        """
+        cached = getattr(self, "_generation", None)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        digest.update(struct.pack("<IQ", self.layout.leaf_level, len(self.layout)))
+        for index in range(len(self.layout)):
+            spec = self.layout[index]
+            digest.update(
+                struct.pack(
+                    "<QQQd",
+                    spec.htm_range.low,
+                    spec.htm_range.high,
+                    spec.object_count,
+                    spec.megabytes,
+                )
+            )
+        self._generation = digest.hexdigest()[:16]
+        return self._generation
+
+    def close(self) -> None:
+        """Release any backing resources (no-op for the in-memory store).
+
+        Defined on the base class so every store is usable as a context
+        manager: the simulator opens stores per run inside ``with`` blocks
+        and a failed run can never leak a file descriptor.
+        """
+
+    def __enter__(self) -> "BucketStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def snapshot(self) -> StoreSnapshot:
         """Capture a read-only image of this store for another process."""

@@ -49,6 +49,18 @@ class CacheStatistics:
             "hit_rate": self.hit_rate,
         }
 
+    def restore(self, counters: Dict[str, float]) -> None:
+        """Overwrite the counters from a :meth:`snapshot` dictionary.
+
+        Crash recovery rebuilds a cache at a checkpointed state; the
+        counters must resume from their checkpointed values so lifetime
+        hit rates are identical to an uninterrupted run.
+        """
+        self.hits = int(counters.get("hits", 0))
+        self.misses = int(counters.get("misses", 0))
+        self.insertions = int(counters.get("insertions", 0))
+        self.evictions = int(counters.get("evictions", 0))
+
 
 class LRUCache(Generic[K, V]):
     """Bounded mapping that evicts the least recently used entry when full.
@@ -114,6 +126,20 @@ class LRUCache(Generic[K, V]):
         self._entries[key] = value
         self.statistics.insertions += 1
         return evicted
+
+    def seed(self, key: K, value: V) -> None:
+        """Insert *key* as the most recent entry without touching counters.
+
+        Recovery rebuilds a checkpointed cache image entry by entry (least
+        to most recently used); seeding must neither count as an access
+        nor evict — the caller replays at most ``capacity`` entries.
+        """
+        if key not in self._entries and len(self._entries) >= self._capacity:
+            raise ValueError(
+                f"cannot seed more than {self._capacity} entries into the cache"
+            )
+        self._entries[key] = value
+        self._entries.move_to_end(key)
 
     def invalidate(self, key: K) -> bool:
         """Drop *key* from the cache; return ``True`` when it was present."""

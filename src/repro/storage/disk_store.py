@@ -174,14 +174,12 @@ class DiskBucketStore(BucketStore):
         return stats
 
     def close(self) -> None:
-        """Release the underlying file handle."""
+        """Release the underlying file handle.
+
+        Context-manager support comes from the :class:`BucketStore` base
+        class, which makes every store tier uniformly ``with``-able.
+        """
         self._reader.close()
-
-    def __enter__(self) -> "DiskBucketStore":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
 
 def open_disk_store(

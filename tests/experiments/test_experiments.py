@@ -68,7 +68,9 @@ class TestCommon:
             "figure8",
             "index_only",
             "cache_hits",
+            "cache_ablation",
             "ablations",
+            "recovery",
             "scaling",
             "serving",
         }
@@ -188,3 +190,49 @@ class TestClaims:
         assert "hybrid=on" in labels and "hybrid=off" in labels
         assert "liferaft" in labels and "least_sharable_first" in labels
         assert "metric=normalised" in labels and "metric=raw" in labels
+
+
+class TestRecoveryExperiment:
+    def test_cadence_sweep_keeps_parity_and_orders_lost_work(
+        self, tiny_trace, tiny_simulator
+    ):
+        from repro.experiments import recovery
+
+        result = recovery.run(
+            trace=tiny_trace,
+            simulator=tiny_simulator,
+            cadences=("windows:1", "windows:8"),
+        )
+        assert result.name == "recovery"
+        assert len(result.rows) == 2
+        # Every cadence preserves the crash-parity invariant.
+        assert all(row[-1] == "yes" for row in result.rows)
+        # The sweep recovered from the planned crashes at both cadences.
+        assert all(row[4] >= 1 for row in result.rows)
+        # Sparser checkpoints can only lose as much or more work.
+        fine, sparse = result.rows[0], result.rows[1]
+        assert fine[1] > sparse[1]  # more checkpoints at the finer cadence
+        assert fine[5] <= sparse[5]  # never more lost work at the finer cadence
+        assert "lost_services_finest" in result.headline
+
+
+class TestCacheAblationExperiment:
+    def test_page_cache_off_vs_on_over_one_store(self, tmp_path, tiny_trace):
+        from repro.experiments import cache_ablation
+        from repro.experiments.common import build_simulator
+        from repro.storage.ingest import materialize_layout
+
+        simulator = build_simulator("small", bucket_count=TINY["bucket_count"])
+        store_path = tmp_path / "ablation.lrbs"
+        materialize_layout(store_path, simulator.layout, rows_per_bucket=16)
+        result = cache_ablation.run(trace=tiny_trace, store_path=str(store_path))
+        assert result.name == "cache_ablation"
+        assert result.headline["virtual_invariant"] == 1.0
+        by_capacity = {row[0]: row for row in result.rows}
+        off, default = by_capacity[0], by_capacity[20]
+        # Tier 2 off: every physical read reaches the file.
+        assert off[2] == result.headline["page_reads_off"]
+        # The default tier absorbs at least some repeated reads.
+        assert default[2] <= off[2]
+        # The virtual bucket-read counter is identical in every row.
+        assert len({row[1] for row in result.rows}) == 1

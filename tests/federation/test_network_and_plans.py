@@ -1,0 +1,157 @@
+"""Focused coverage of the federation's network cost model and plan builder.
+
+The seed suite exercises these modules only incidentally through the
+end-to-end federation test; this file pins their contracts directly —
+the latency+bandwidth arithmetic of :class:`NetworkModel` and every
+validation and ordering rule of the left-deep plan builder.
+"""
+
+import pytest
+
+from repro.federation.network import DEFAULT_OBJECT_BYTES, NetworkModel, TransferResult
+from repro.federation.plans import CrossMatchPlan, PlanStep, build_left_deep_plan
+from repro.htm.geometry import SkyPoint
+
+CENTER = SkyPoint(ra=180.0, dec=0.0)
+
+
+class TestNetworkModelArithmetic:
+    def test_cost_is_latency_plus_transfer_time(self):
+        model = NetworkModel(latency_ms=100.0, bandwidth_mbps=8.0, object_bytes=1024)
+        # 1024 objects * 1 KiB = 1 MiB = 8 Mib -> 1 s at 8 Mb/s.
+        result = model.transfer(1024)
+        assert result.megabytes == pytest.approx(1.0)
+        assert result.cost_ms == pytest.approx(100.0 + 1000.0)
+
+    def test_transfer_cost_scales_linearly_with_objects(self):
+        model = NetworkModel(latency_ms=0.0)
+        single = model.transfer(1_000).cost_ms
+        double = model.transfer(2_000).cost_ms
+        assert double == pytest.approx(2.0 * single)
+
+    def test_latency_dominates_small_transfers(self):
+        model = NetworkModel(latency_ms=80.0, bandwidth_mbps=10_000.0)
+        result = model.transfer(1)
+        assert result.cost_ms == pytest.approx(80.0, rel=1e-3)
+
+    def test_default_object_size_is_applied(self):
+        model = NetworkModel()
+        result = model.transfer(1024 * 1024)
+        assert result.megabytes == pytest.approx(DEFAULT_OBJECT_BYTES)
+
+    def test_result_carries_object_count(self):
+        result = NetworkModel().transfer(42)
+        assert isinstance(result, TransferResult)
+        assert result.object_count == 42
+
+    def test_zero_objects_costs_only_latency(self):
+        model = NetworkModel(latency_ms=25.0)
+        result = model.transfer(0)
+        assert result.megabytes == 0.0
+        assert result.cost_ms == pytest.approx(25.0)
+
+    def test_negative_object_count_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            NetworkModel().transfer(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latency_ms": -1.0},
+            {"bandwidth_mbps": 0.0},
+            {"bandwidth_mbps": -5.0},
+            {"object_bytes": 0},
+        ],
+    )
+    def test_model_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NetworkModel(**kwargs)
+
+    def test_model_is_immutable(self):
+        model = NetworkModel()
+        with pytest.raises(AttributeError):
+            model.latency_ms = 5.0
+
+
+class TestLeftDeepPlanBuilder:
+    def test_selectivity_orders_most_selective_first(self):
+        plan = build_left_deep_plan(
+            query_id=1,
+            archives=["sdss", "first", "twomass"],
+            center=CENTER,
+            radius_deg=1.0,
+            selectivity={"sdss": 0.9, "first": 0.05, "twomass": 0.4},
+        )
+        assert plan.archives == ("first", "twomass", "sdss")
+        assert plan.seed_archive == "first"
+        assert plan.steps[0].is_seed
+        assert not any(step.is_seed for step in plan.steps[1:])
+
+    def test_unknown_selectivity_defaults_to_least_selective(self):
+        plan = build_left_deep_plan(
+            query_id=2,
+            archives=["a", "b", "c"],
+            center=CENTER,
+            radius_deg=1.0,
+            selectivity={"c": 0.1},
+        )
+        assert plan.archives[0] == "c"
+        # Unranked archives keep their given relative order (stable sort).
+        assert plan.archives[1:] == ("a", "b")
+
+    def test_without_selectivity_user_order_is_kept(self):
+        plan = build_left_deep_plan(
+            query_id=3, archives=["b", "a"], center=CENTER, radius_deg=0.5
+        )
+        assert plan.archives == ("b", "a")
+
+    def test_positions_are_sequential(self):
+        plan = build_left_deep_plan(
+            query_id=4, archives=["a", "b", "c"], center=CENTER, radius_deg=0.5
+        )
+        assert [step.position for step in plan.steps] == [0, 1, 2]
+        assert len(plan) == 3
+
+    def test_match_radius_and_magnitude_limit_travel_with_the_plan(self):
+        plan = build_left_deep_plan(
+            query_id=5,
+            archives=["a"],
+            center=CENTER,
+            radius_deg=0.5,
+            match_radius_arcsec=7.5,
+            magnitude_limit=21.0,
+        )
+        assert plan.match_radius_arcsec == 7.5
+        assert plan.magnitude_limit == 21.0
+
+    def test_empty_archive_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one archive"):
+            build_left_deep_plan(query_id=6, archives=[], center=CENTER, radius_deg=1.0)
+
+
+class TestPlanValidation:
+    def _steps(self):
+        return [
+            PlanStep(position=0, archive="a", is_seed=True),
+            PlanStep(position=1, archive="b"),
+        ]
+
+    def test_non_positive_radius_rejected(self):
+        with pytest.raises(ValueError, match="radius"):
+            CrossMatchPlan(query_id=1, center=CENTER, radius_deg=0.0, steps=self._steps())
+
+    def test_plan_needs_steps(self):
+        with pytest.raises(ValueError, match="at least one step"):
+            CrossMatchPlan(query_id=1, center=CENTER, radius_deg=1.0, steps=[])
+
+    def test_first_step_must_be_the_seed(self):
+        steps = [PlanStep(position=0, archive="a"), PlanStep(position=1, archive="b")]
+        with pytest.raises(ValueError, match="seed"):
+            CrossMatchPlan(query_id=1, center=CENTER, radius_deg=1.0, steps=steps)
+
+    def test_archives_property_follows_execution_order(self):
+        plan = CrossMatchPlan(
+            query_id=1, center=CENTER, radius_deg=1.0, steps=self._steps()
+        )
+        assert plan.archives == ("a", "b")
+        assert plan.seed_archive == "a"

@@ -1,0 +1,239 @@
+"""The ``.lrcp`` codec: round trip, corruption handling, state fidelity."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.engine import EngineConfig
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
+from repro.parallel.ipc import ShardReplayer
+from repro.parallel.worker import StagedShare, build_shard_worker
+from repro.reliability.checkpoint import (
+    CHECKPOINT_VERSION,
+    MAGIC,
+    CheckpointError,
+    RunCheckpoint,
+    ShardCheckpoint,
+    capture_shard,
+    checkpoint_worker,
+    read_checkpoint,
+    restore_worker,
+    write_checkpoint,
+)
+from repro.storage.bucket_store import BucketStore
+from repro.storage.partitioner import BucketPartitioner
+
+BUCKETS = 16
+
+
+@pytest.fixture()
+def layout():
+    return BucketPartitioner().partition_density(BUCKETS)
+
+
+def build_worker(layout, worker_id=0):
+    store = BucketStore(layout)
+    policy = LifeRaftScheduler(SchedulerConfig())
+    return build_shard_worker(worker_id, layout, store, policy, EngineConfig())
+
+
+def stage_workload(worker, count=12, seed=3):
+    """Stage a deterministic per-bucket arrival schedule."""
+    for i in range(count):
+        bucket = (i * 5 + seed) % BUCKETS
+        worker.stage(
+            StagedShare(
+                arrival_ms=100.0 * i,
+                query_id=i,
+                bucket_index=bucket,
+                payload=50 + (i % 3) * 25,
+            )
+        )
+
+
+class TestEnvelope:
+    def test_round_trip_arbitrary_payload(self, tmp_path):
+        path = tmp_path / "state.lrcp"
+        payload = {"queues": [1, 2, 3], "clock": 42.5}
+        info = write_checkpoint(
+            path,
+            worker_id=3,
+            window_index=7,
+            clock_ms=42.5,
+            generation="a" * 16,
+            payload_obj=payload,
+        )
+        assert info.byte_size == os.path.getsize(path)
+        restored, read_info = read_checkpoint(path, expected_generation="a" * 16)
+        assert restored == payload
+        assert read_info.worker_id == 3
+        assert read_info.window_index == 7
+        assert read_info.clock_ms == 42.5
+        assert read_info.generation == "a" * 16
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = tmp_path / "state.lrcp"
+        write_checkpoint(path, 0, 0, 0.0, "b" * 16, {"x": 1})
+        assert not os.path.exists(str(path) + ".tmp")
+
+    def test_generation_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "state.lrcp"
+        write_checkpoint(path, 0, 0, 0.0, "c" * 16, {})
+        with pytest.raises(CheckpointError, match="re-ingested"):
+            read_checkpoint(path, expected_generation="d" * 16)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "state.lrcp"
+        path.write_bytes(b"NOPE" + b"\x00" * 64)
+        with pytest.raises(CheckpointError, match="bad magic"):
+            read_checkpoint(path)
+
+    def test_version_skew_rejected(self, tmp_path):
+        path = tmp_path / "state.lrcp"
+        write_checkpoint(path, 0, 0, 0.0, "e" * 16, {})
+        data = bytearray(path.read_bytes())
+        # Bump the version field (offset 4, little-endian H) and re-seal
+        # the header CRC so only the version check can fire.
+        data[4] = CHECKPOINT_VERSION + 1
+        from zlib import crc32
+
+        from repro.reliability.checkpoint import _CRC, _HEADER
+
+        body = bytes(data[: _HEADER.size - _CRC.size])
+        data[_HEADER.size - _CRC.size : _HEADER.size] = _CRC.pack(
+            crc32(body) & 0xFFFFFFFF
+        )
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="version"):
+            read_checkpoint(path)
+
+    def test_header_corruption_rejected(self, tmp_path):
+        path = tmp_path / "state.lrcp"
+        write_checkpoint(path, 0, 0, 0.0, "f" * 16, {})
+        data = bytearray(path.read_bytes())
+        data[10] ^= 0xFF  # flip a header byte without fixing the CRC
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="header checksum"):
+            read_checkpoint(path)
+
+    def test_payload_corruption_rejected(self, tmp_path):
+        path = tmp_path / "state.lrcp"
+        write_checkpoint(path, 0, 0, 0.0, "0" * 16, {"key": "value"})
+        data = bytearray(path.read_bytes())
+        data[-6] ^= 0x01  # flip a payload byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(CheckpointError, match="payload checksum"):
+            read_checkpoint(path)
+
+    def test_truncation_rejected(self, tmp_path):
+        path = tmp_path / "state.lrcp"
+        write_checkpoint(path, 0, 0, 0.0, "1" * 16, {"key": list(range(100))})
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_checkpoint(path)
+        path.write_bytes(data[:10])
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot open"):
+            read_checkpoint(tmp_path / "absent.lrcp")
+
+    def test_magic_is_lrcp(self):
+        assert MAGIC == b"LRCP"
+
+
+class TestShardStateFidelity:
+    """A restored worker must continue exactly as the original would have."""
+
+    def test_capture_restore_mid_run_produces_identical_tail(self, layout, tmp_path):
+        # Reference: run one worker straight through.
+        reference = build_worker(layout)
+        stage_workload(reference)
+        ref_replayer = ShardReplayer(reference)
+        reference_records = ref_replayer.advance(None)
+
+        # Subject: advance halfway, checkpoint, restore into a fresh
+        # worker, drain the tail there.
+        subject = build_worker(layout)
+        stage_workload(subject)
+        replayer = ShardReplayer(subject)
+        barrier_ms = reference_records[len(reference_records) // 2].finished_at_ms
+        head = replayer.advance(barrier_ms)
+        path = tmp_path / "mid.lrcp"
+        info = checkpoint_worker(path, subject, replayer.seq, window_index=1)
+        assert info.seq == len(head)
+
+        recovered = build_worker(layout)
+        stage_workload(recovered)
+        state = restore_worker(path, recovered)
+        tail_replayer = ShardReplayer(recovered, start_seq=state.seq)
+        tail = tail_replayer.advance(None)
+
+        def as_tuples(records):
+            return [
+                (r.seq, r.bucket_index, r.queries_served, r.started_at_ms, r.finished_at_ms)
+                for r in records
+            ]
+
+        assert as_tuples(head + tail) == as_tuples(reference_records)
+        # Final accounting matches the uninterrupted worker exactly.
+        assert recovered.loop.busy_ms == pytest.approx(reference.loop.busy_ms)
+        assert recovered.loop.services == reference.loop.services
+        assert recovered.loop.total_io_ms == pytest.approx(reference.loop.total_io_ms)
+        assert recovered.cache.statistics() == reference.cache.statistics()
+        assert recovered.cache.resident_buckets() == reference.cache.resident_buckets()
+        assert (
+            recovered.manager.completed_queries()[len(state.manager.completed_queries()):]
+            or recovered.manager.completed_queries()
+        )
+
+    def test_restore_rejects_wrong_worker(self, layout, tmp_path):
+        worker = build_worker(layout, worker_id=0)
+        stage_workload(worker)
+        path = tmp_path / "w0.lrcp"
+        checkpoint_worker(path, worker, 0, window_index=0)
+        other = build_worker(layout, worker_id=1)
+        with pytest.raises(CheckpointError, match="belongs to worker 0"):
+            restore_worker(path, other)
+
+    def test_restore_rejects_generation_mismatch(self, layout, tmp_path):
+        worker = build_worker(layout)
+        stage_workload(worker)
+        path = tmp_path / "gen.lrcp"
+        checkpoint_worker(path, worker, 0, window_index=0)
+        other_layout = BucketPartitioner().partition_density(BUCKETS * 2)
+        other = build_worker(other_layout)
+        with pytest.raises(CheckpointError, match="re-ingested"):
+            restore_worker(
+                path, other, expected_generation=other.loop.cache.store.generation
+            )
+
+    def test_restore_rejects_run_checkpoint_payload(self, layout, tmp_path):
+        path = tmp_path / "run.lrcp"
+        write_checkpoint(
+            path,
+            0,
+            0,
+            0.0,
+            build_worker(layout).loop.cache.store.generation,
+            RunCheckpoint(window_index=0, tracker=None, accepted_seq={}),
+        )
+        worker = build_worker(layout)
+        with pytest.raises(CheckpointError, match="not a shard checkpoint"):
+            restore_worker(path, worker)
+
+    def test_captured_state_is_picklable_and_complete(self, layout):
+        worker = build_worker(layout)
+        stage_workload(worker)
+        ShardReplayer(worker).advance(500.0)
+        state = capture_shard(worker, seq=4, window_index=2)
+        clone = pickle.loads(pickle.dumps(state))
+        assert isinstance(clone, ShardCheckpoint)
+        assert clone.seq == 4
+        assert clone.window_index == 2
+        assert clone.clock_ms == worker.now_ms
+        assert clone.staged == worker.staged_shares()
+        assert clone.services == worker.loop.services

@@ -1,0 +1,435 @@
+"""The headline reliability invariant: crashes change nothing.
+
+A crash-injected run with recovery must produce *identical* virtual-clock
+results to an uninterrupted run — completion sets, per-query chunk
+sequences, every parity field — across the serial engine, the virtual
+backend and the process backend, workers {1, 2, 4}, with stealing off.
+The schedule-purity property makes this possible; the checkpoint/restore
+machinery makes it true; this harness pins it down.
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig, LifeRaftEngine
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
+from repro.parallel.backend import ParallelRunSpec, make_backend
+from repro.reliability import FaultPlan, ReliabilityConfig
+from repro.service.streams import StreamHub
+from repro.sim.simulator import (
+    VIRTUAL_CLOCK_PARITY_FIELDS,
+    SimulationConfig,
+    Simulator,
+)
+from repro.storage.bucket_store import BucketStore
+from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.index import SpatialIndex
+from repro.storage.partitioner import BucketPartitioner
+from repro.workload.generator import TraceConfig, TraceGenerator
+
+BUCKETS = 64
+WORKER_COUNTS = (1, 2, 4)
+#: Window quantum: fine enough that every run spans several barriers, so
+#: the crash plans below actually fire.
+WINDOW_BUCKET_READS = 4.0
+#: Per worker count: a deterministic crash plan that targets live shards.
+CRASH_PLANS = {1: "0@1,0@3", 2: "1@1,0@3", 4: "1@1,3@2,0@4"}
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return BucketPartitioner().partition_density(BUCKETS)
+
+
+@pytest.fixture(scope="module")
+def sim_config():
+    return SimulationConfig(bucket_count=BUCKETS)
+
+
+@pytest.fixture(scope="module")
+def engine_config(sim_config):
+    return EngineConfig(cache_buckets=sim_config.cache_buckets, cost=sim_config.cost)
+
+
+@pytest.fixture(scope="module")
+def timed_queries():
+    config = TraceConfig(query_count=40, bucket_count=BUCKETS, seed=21)
+    return tuple(TraceGenerator(config).generate().with_saturation(3.0).queries)
+
+
+def build_store(layout, sim_config):
+    disk = calibrated_disk_for_bucket_read(
+        sim_config.bucket_megabytes, sim_config.cost.tb_ms / 1000.0
+    )
+    return BucketStore(layout, disk)
+
+
+def build_spec(layout, sim_config, engine_config, queries, workers, **kwargs):
+    return ParallelRunSpec(
+        layout=layout,
+        store=build_store(layout, sim_config),
+        queries=queries,
+        policy=LifeRaftScheduler(SchedulerConfig(cost=sim_config.cost)),
+        config=engine_config,
+        workers=workers,
+        shard_strategy="round_robin",
+        index=SpatialIndex([], rows=None, disk=None),
+        enable_stealing=False,
+        **kwargs,
+    )
+
+
+def reliability_config(workers, cadence="windows:1", plan=None, tb_ms=1200.0):
+    return ReliabilityConfig(
+        cadence=cadence,
+        faults=FaultPlan.parse(plan if plan is not None else CRASH_PLANS[workers]),
+        window_quantum_ms=tb_ms * WINDOW_BUCKET_READS,
+    )
+
+
+def chunk_sequences(outcome, coverage, arrivals):
+    """Derive every query's chunk sequence from an outcome's services."""
+    hub = StreamHub()
+    for query_id, buckets in coverage.items():
+        hub.register(query_id, buckets, arrivals[query_id])
+    hub.ingest_records(outcome.services)
+    return {
+        stream.query_id: tuple(
+            (c.seq, c.bucket_index, c.objects_matched, round(c.time_ms, 6), c.final)
+            for c in stream.chunks
+        )
+        for stream in hub.streams()
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_reference(layout, sim_config, engine_config, timed_queries):
+    """The uninterrupted serial engine's outcome on the timed trace."""
+    engine = LifeRaftEngine(
+        layout,
+        build_store(layout, sim_config),
+        scheduler=LifeRaftScheduler(SchedulerConfig(cost=sim_config.cost)),
+        index=SpatialIndex([], rows=None, disk=None),
+        config=engine_config,
+    )
+    ordered = sorted(timed_queries, key=lambda q: (q.arrival_time_s, q.query_id))
+    arrivals_ms = [q.arrival_time_s * 1000.0 for q in ordered]
+    index, total = 0, len(ordered)
+    now_ms = arrivals_ms[0] if ordered else 0.0
+    while index < total or engine.has_pending_work():
+        if not engine.has_pending_work() and index < total:
+            now_ms = max(now_ms, arrivals_ms[index])
+        while index < total and arrivals_ms[index] <= now_ms + 1e-9:
+            engine.submit(ordered[index], now_ms=arrivals_ms[index])
+            index += 1
+        if not engine.has_pending_work():
+            continue
+        result = engine.process_next(now_ms)
+        if result is None:
+            break
+        now_ms = result.finished_at_ms
+    coverage = {}
+    for batch in engine.batches:
+        for query_id in batch.queries_served:
+            coverage.setdefault(query_id, set()).add(batch.work_item.bucket_index)
+    return {
+        "report": engine.report(),
+        "completed": list(engine.manager.completed_queries()),
+        "coverage": {qid: frozenset(b) for qid, b in coverage.items()},
+        "arrivals": {q.query_id: q.arrival_time_s * 1000.0 for q in ordered},
+        "bucket_reads": engine.store.reads,
+    }
+
+
+@pytest.fixture(scope="module")
+def clean_outcomes(layout, sim_config, engine_config, timed_queries):
+    """Uninterrupted runs of both backends at every worker count."""
+    outcomes = {}
+    for backend_name in ("virtual", "process"):
+        for workers in WORKER_COUNTS:
+            spec = build_spec(layout, sim_config, engine_config, timed_queries, workers)
+            outcomes[(backend_name, workers)] = make_backend(backend_name).execute(spec)
+    return outcomes
+
+
+@pytest.fixture(scope="module")
+def crashed_outcomes(layout, sim_config, engine_config, timed_queries):
+    """Crash-injected runs with recovery, both backends, every worker count."""
+    outcomes = {}
+    for backend_name in ("virtual", "process"):
+        for workers in WORKER_COUNTS:
+            spec = build_spec(
+                layout,
+                sim_config,
+                engine_config,
+                timed_queries,
+                workers,
+                reliability=reliability_config(workers, tb_ms=sim_config.cost.tb_ms),
+            )
+            outcomes[(backend_name, workers)] = make_backend(backend_name).execute(spec)
+    return outcomes
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+@pytest.mark.parametrize("backend_name", ("virtual", "process"))
+class TestCrashParity:
+    def test_crashes_actually_happened(self, crashed_outcomes, backend_name, workers):
+        outcome = crashed_outcomes[(backend_name, workers)]
+        assert outcome.reliability is not None
+        assert outcome.reliability.crashes_injected > 0
+        assert outcome.reliability.recovery_count == outcome.reliability.crashes_injected
+        assert outcome.reliability.checkpoints_written > 0
+
+    def test_completion_sequence_matches_serial(
+        self, crashed_outcomes, serial_reference, backend_name, workers
+    ):
+        outcome = crashed_outcomes[(backend_name, workers)]
+        assert frozenset(outcome.completed) == frozenset(serial_reference["completed"])
+        assert len(outcome.completed) == len(set(outcome.completed))
+
+    def test_chunk_sequences_match_clean_run(
+        self, crashed_outcomes, clean_outcomes, serial_reference, backend_name, workers
+    ):
+        crashed = crashed_outcomes[(backend_name, workers)]
+        clean = clean_outcomes[(backend_name, workers)]
+        coverage = serial_reference["coverage"]
+        arrivals = serial_reference["arrivals"]
+        assert chunk_sequences(crashed, coverage, arrivals) == chunk_sequences(
+            clean, coverage, arrivals
+        )
+
+    def test_virtual_clock_totals_match_clean_run(
+        self, crashed_outcomes, clean_outcomes, backend_name, workers
+    ):
+        crashed = crashed_outcomes[(backend_name, workers)]
+        clean = clean_outcomes[(backend_name, workers)]
+        assert crashed.report.busy_time_ms == pytest.approx(
+            clean.report.busy_time_ms, rel=1e-12
+        )
+        assert crashed.report.total_io_ms == pytest.approx(
+            clean.report.total_io_ms, rel=1e-12
+        )
+        assert crashed.report.total_match_ms == pytest.approx(
+            clean.report.total_match_ms, rel=1e-12
+        )
+        assert crashed.report.bucket_services == clean.report.bucket_services
+        assert crashed.report.strategy_counts == clean.report.strategy_counts
+        assert crashed.report.cache_hit_rate == pytest.approx(
+            clean.report.cache_hit_rate, rel=1e-12
+        )
+        assert crashed.bucket_reads == clean.bucket_reads
+        assert crashed.coverage() == clean.coverage()
+
+    def test_exact_batch_timelines_match_clean_run(
+        self, crashed_outcomes, clean_outcomes, backend_name, workers
+    ):
+        def timeline(outcome):
+            return sorted(
+                (
+                    r.worker_id,
+                    r.seq,
+                    r.bucket_index,
+                    r.queries_served,
+                    round(r.started_at_ms, 6),
+                    round(r.finished_at_ms, 6),
+                )
+                for r in outcome.services
+            )
+
+        assert timeline(crashed_outcomes[(backend_name, workers)]) == timeline(
+            clean_outcomes[(backend_name, workers)]
+        )
+
+    def test_response_times_match_serial(
+        self, crashed_outcomes, serial_reference, backend_name, workers
+    ):
+        outcome = crashed_outcomes[(backend_name, workers)]
+        serial = serial_reference["report"]
+        assert outcome.report.response_times_ms.keys() == serial.response_times_ms.keys()
+        if workers == 1:
+            for query_id, expected in serial.response_times_ms.items():
+                assert outcome.report.response_times_ms[query_id] == pytest.approx(
+                    expected, rel=1e-9
+                )
+
+
+class TestRecoveryThroughSimulator:
+    """`run_parallel(reliability=...)` end to end, including parity fields."""
+
+    def test_simulator_parity_fields(self, timed_queries, sim_config):
+        simulator = Simulator(sim_config)
+        clean = simulator.run_parallel(
+            timed_queries, "liferaft", workers=2, enable_stealing=False
+        )
+        crashed = simulator.run_parallel(
+            timed_queries,
+            "liferaft",
+            workers=2,
+            enable_stealing=False,
+            reliability=reliability_config(2, tb_ms=sim_config.cost.tb_ms),
+        )
+        assert crashed.reliability is not None
+        assert crashed.reliability.crashes_injected > 0
+        for field in VIRTUAL_CLOCK_PARITY_FIELDS:
+            assert getattr(crashed, field) == getattr(clean, field), field
+
+    def test_sparse_cadence_loses_then_replays_work(self, timed_queries, sim_config):
+        simulator = Simulator(sim_config)
+        clean = simulator.run_parallel(
+            timed_queries, "liferaft", workers=2, enable_stealing=False
+        )
+        crashed = simulator.run_parallel(
+            timed_queries,
+            "liferaft",
+            workers=2,
+            enable_stealing=False,
+            reliability=reliability_config(
+                2, cadence="windows:4", plan="1@3", tb_ms=sim_config.cost.tb_ms
+            ),
+        )
+        report = crashed.reliability
+        assert report is not None
+        assert report.services_replayed > 0  # the sparse cadence lost work
+        for field in VIRTUAL_CLOCK_PARITY_FIELDS:
+            assert getattr(crashed, field) == getattr(clean, field), field
+
+    def test_cold_restart_before_any_checkpoint(self, timed_queries, sim_config):
+        simulator = Simulator(sim_config)
+        clean = simulator.run_parallel(
+            timed_queries, "liferaft", workers=2, enable_stealing=False
+        )
+        crashed = simulator.run_parallel(
+            timed_queries,
+            "liferaft",
+            workers=2,
+            enable_stealing=False,
+            reliability=reliability_config(
+                2, cadence="windows:2", plan="0@0", tb_ms=sim_config.cost.tb_ms
+            ),
+        )
+        report = crashed.reliability
+        assert report is not None
+        assert report.recoveries[0].checkpoint_window == -1  # no checkpoint yet
+        for field in VIRTUAL_CLOCK_PARITY_FIELDS:
+            assert getattr(crashed, field) == getattr(clean, field), field
+
+    def test_stealing_with_every_window_cadence_is_bit_identical(
+        self, layout, sim_config, engine_config, timed_queries
+    ):
+        """Regression: a checkpoint at window w already contains window
+        w's steals (the steal round runs before the checkpoint round), so
+        re-settlement must not replay them — double adoption inflated
+        busy time and serviced duplicated entries.  With an every-window
+        cadence the restored state equals the barrier state exactly, so a
+        crash-injected stealing run must be bit-identical to a clean
+        reliability run."""
+
+        def run(faults):
+            spec = ParallelRunSpec(
+                layout=layout,
+                store=build_store(layout, sim_config),
+                queries=timed_queries,
+                policy=LifeRaftScheduler(SchedulerConfig(cost=sim_config.cost)),
+                config=engine_config,
+                workers=4,
+                shard_strategy="zone",
+                index=SpatialIndex([], rows=None, disk=None),
+                enable_stealing=True,
+                reliability=ReliabilityConfig(
+                    cadence="windows:1",
+                    faults=faults,
+                    window_quantum_ms=sim_config.cost.tb_ms * 2,
+                ),
+            )
+            return make_backend("virtual").execute(spec)
+
+        clean = run(None)
+        crashed = run(FaultPlan.parse("0@1,2@3"))
+        assert clean.steal_records, "the scenario must actually steal"
+        assert crashed.reliability.crashes_injected == 2
+
+        def timeline(outcome):
+            return sorted(
+                (
+                    r.worker_id,
+                    r.seq,
+                    r.bucket_index,
+                    r.queries_served,
+                    round(r.started_at_ms, 6),
+                    round(r.finished_at_ms, 6),
+                )
+                for r in outcome.services
+            )
+
+        assert crashed.report.busy_time_ms == pytest.approx(
+            clean.report.busy_time_ms, rel=1e-12
+        )
+        assert crashed.report.bucket_services == clean.report.bucket_services
+        assert timeline(crashed) == timeline(clean)
+
+    def test_stealing_on_preserves_completion_set(self, timed_queries, sim_config):
+        """With stealing the windowed schedules differ, but recovery must
+        still complete every query exactly once."""
+        simulator = Simulator(sim_config)
+        clean = simulator.run_parallel(
+            timed_queries, "liferaft", workers=4, enable_stealing=False
+        )
+        crashed = simulator.run_parallel(
+            timed_queries,
+            "liferaft",
+            workers=4,
+            enable_stealing=True,
+            reliability=reliability_config(4, tb_ms=sim_config.cost.tb_ms),
+        )
+        assert crashed.completed_queries == clean.completed_queries
+        assert crashed.reliability is not None
+        assert crashed.reliability.crashes_injected > 0
+
+
+class TestRecoveryGuards:
+    def test_checkpoint_dir_retains_lrcp_files(self, timed_queries, sim_config, tmp_path):
+        simulator = Simulator(sim_config)
+        target = tmp_path / "checkpoints"
+        simulator.run_parallel(
+            timed_queries,
+            "liferaft",
+            workers=2,
+            enable_stealing=False,
+            reliability=ReliabilityConfig(
+                checkpoint_dir=str(target),
+                cadence="windows:2",
+                window_quantum_ms=sim_config.cost.tb_ms * WINDOW_BUCKET_READS,
+            ),
+        )
+        shard_files = sorted(p.name for p in target.glob("shard*.lrcp"))
+        run_files = sorted(p.name for p in target.glob("run*.lrcp"))
+        assert shard_files, "explicit checkpoint dirs must retain shard checkpoints"
+        assert run_files, "run-level checkpoints ride alongside shard ones"
+
+    def test_run_checkpoint_round_trips_tracker_state(
+        self, timed_queries, sim_config, tmp_path
+    ):
+        from repro.reliability.checkpoint import RunCheckpoint, read_checkpoint
+
+        simulator = Simulator(sim_config)
+        target = tmp_path / "checkpoints"
+        result = simulator.run_parallel(
+            timed_queries,
+            "liferaft",
+            workers=2,
+            enable_stealing=False,
+            reliability=ReliabilityConfig(
+                checkpoint_dir=str(target),
+                cadence="windows:1",
+                window_quantum_ms=sim_config.cost.tb_ms * WINDOW_BUCKET_READS,
+            ),
+        )
+        latest = sorted(target.glob("run*.lrcp"))[-1]
+        payload, info = read_checkpoint(latest)
+        assert isinstance(payload, RunCheckpoint)
+        assert info.worker_id == -1
+        # The durable tracker resumed from disk is usable coordinator state:
+        # its completion order is a consistent prefix of the finished run.
+        tracker = payload.tracker
+        assert len(tracker.completed_order) == len(set(tracker.completed_order))
+        assert set(payload.accepted_seq) == {0, 1}
+        assert result.completed_queries >= len(tracker.completed_order)
