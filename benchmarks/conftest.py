@@ -8,8 +8,16 @@ paper-vs-measured comparison appears directly in the benchmark output.
 Benchmarks default to the "small" experiment scale so the whole suite runs
 in a couple of minutes; set ``LIFERAFT_BENCH_SCALE=default`` (or ``full``)
 to rerun them closer to the paper's trace size.
+
+Passing ``--bench-json PATH`` (registered in the repository-root conftest)
+writes a compact snapshot of the run — one entry per benchmark with its
+best round timing and every ``extra_info`` headline metric.  The committed
+``BENCH_storage.json`` / ``BENCH_parallel.json`` baselines are such
+snapshots; ``python -m benchmarks.ratchet`` compares a candidate snapshot
+against a baseline and fails on regression.
 """
 
+import json
 import os
 
 import pytest
@@ -44,3 +52,22 @@ def record_headline(benchmark, result) -> None:
     for key, value in result.headline.items():
         benchmark.extra_info[key] = round(float(value), 6)
     benchmark.extra_info["experiment"] = result.name
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the ``--bench-json`` snapshot once the benchmark run is over."""
+    path = session.config.getoption("--bench-json", default=None)
+    if not path:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = {}
+    if bench_session is not None:
+        for meta in bench_session.benchmarks:
+            entry = {"extra_info": dict(sorted(meta.extra_info.items()))}
+            if meta.stats.rounds:
+                entry["min_s"] = round(meta.stats.min, 6)
+            benchmarks[meta.name] = entry
+    snapshot = {"scale": bench_scale(), "benchmarks": benchmarks}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,144 @@
+"""Benchmark ratchet: compare two ``--bench-json`` snapshots, fail on regression.
+
+The committed baselines (``BENCH_storage.json``, ``BENCH_parallel.json`` at
+the repository root) pin the performance the storage and parallel subsystems
+have already demonstrated.  CI reruns the same benchmarks, writes a candidate
+snapshot with ``--bench-json``, and this module compares the two::
+
+    python -m benchmarks.ratchet BENCH_storage.json candidate.json
+
+A candidate fails when any ratcheted metric falls more than ``--tolerance``
+(default 15%) below the baseline, or when a baselined benchmark disappears
+from the candidate run.  Only metrics named in :data:`RATCHETED_METRICS` are
+compared: virtual-clock speedups are deterministic and must never drift;
+the wall-clock throughput rates are the numbers the zero-copy columnar read
+path exists for, and the tolerance absorbs machine-to-machine noise.
+Metrics absent from the baseline entry are ignored, so new measurements can
+be introduced without invalidating old snapshots.
+
+To advance the ratchet after a real improvement, regenerate the baseline::
+
+    pytest benchmarks/test_bench_storage.py --bench-json BENCH_storage.json
+
+and commit the result.  Never regenerate it to paper over a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+#: Metric name -> direction.  ``higher`` means the candidate must not fall
+#: more than the tolerance below the baseline; ``lower`` the reverse.
+RATCHETED_METRICS: Dict[str, str] = {
+    # storage: zero-copy read path and ingest
+    "read_decode_mb_per_s": "higher",
+    "columnar_decode_mb_per_s": "higher",
+    "columnar_rows_per_s": "higher",
+    "ingest_rows_per_s": "higher",
+    # parallel: virtual-clock scaling quality (deterministic)
+    "speedup_2x": "higher",
+    "speedup_4x": "higher",
+}
+
+#: Default allowed relative regression before the ratchet fails.
+DEFAULT_TOLERANCE = 0.15
+
+
+def load_snapshot(path: str) -> dict:
+    """Read one ``--bench-json`` snapshot, validating its shape."""
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict) or "benchmarks" not in snapshot:
+        raise SystemExit(f"{path}: not a bench snapshot (missing 'benchmarks' key)")
+    return snapshot
+
+
+def compare(
+    baseline: dict, candidate: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> Tuple[List[str], List[str]]:
+    """Compare *candidate* against *baseline*.
+
+    Returns ``(failures, report)``: human-readable failure lines (empty when
+    the ratchet holds) and a line-per-metric comparison report.
+    """
+    failures: List[str] = []
+    report: List[str] = []
+    base_scale = baseline.get("scale")
+    cand_scale = candidate.get("scale")
+    if base_scale != cand_scale:
+        failures.append(
+            f"scale mismatch: baseline ran at {base_scale!r}, candidate at "
+            f"{cand_scale!r} — the comparison is meaningless"
+        )
+        return failures, report
+    for name, base_entry in sorted(baseline["benchmarks"].items()):
+        cand_entry = candidate["benchmarks"].get(name)
+        if cand_entry is None:
+            failures.append(f"{name}: present in baseline but missing from candidate run")
+            continue
+        base_info = base_entry.get("extra_info", {})
+        cand_info = cand_entry.get("extra_info", {})
+        for metric, direction in RATCHETED_METRICS.items():
+            if metric not in base_info:
+                continue
+            base_value = float(base_info[metric])
+            if metric not in cand_info:
+                failures.append(f"{name}: candidate no longer records {metric}")
+                continue
+            cand_value = float(cand_info[metric])
+            if base_value == 0.0:
+                continue
+            if direction == "higher":
+                ratio = cand_value / base_value
+                regressed = ratio < 1.0 - tolerance
+            else:
+                ratio = base_value / cand_value if cand_value else 0.0
+                regressed = ratio < 1.0 - tolerance
+            verdict = "REGRESSED" if regressed else "ok"
+            report.append(
+                f"{name}.{metric}: baseline {base_value:g}, candidate "
+                f"{cand_value:g} ({ratio:.2f}x) {verdict}"
+            )
+            if regressed:
+                failures.append(
+                    f"{name}: {metric} regressed beyond {tolerance:.0%} — "
+                    f"baseline {base_value:g}, candidate {cand_value:g}"
+                )
+    return failures, report
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.ratchet",
+        description="Fail when a candidate bench snapshot regresses past the baseline.",
+    )
+    parser.add_argument("baseline", help="committed baseline snapshot (BENCH_*.json)")
+    parser.add_argument("candidate", help="candidate snapshot from --bench-json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative regression before failing (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+    failures, report = compare(
+        load_snapshot(args.baseline), load_snapshot(args.candidate), args.tolerance
+    )
+    for line in report:
+        print(line)
+    if failures:
+        print()
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print(f"ratchet holds (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

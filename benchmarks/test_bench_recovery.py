@@ -16,6 +16,7 @@ from benchmarks.conftest import record_headline
 from repro.experiments import recovery
 from repro.experiments.common import build_simulator, build_trace
 from repro.reliability import FaultPlan, ReliabilityConfig
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import VIRTUAL_CLOCK_PARITY_FIELDS, Simulator
 from repro.storage.ingest import materialize_layout
 
@@ -41,18 +42,21 @@ def test_bench_checkpoint_overhead(benchmark, bench_setup):
     """Every-window checkpointing vs no reliability: the price of durability."""
     simulator, trace = bench_setup
     quantum_ms = simulator.config.cost.tb_ms * WINDOW_BUCKET_READS
-    baseline = simulator.run_parallel(
-        trace.queries, "liferaft", workers=WORKERS, enable_stealing=False
+    baseline = simulator.execute(
+        trace.queries,
+        RunSpec(policy="liferaft", workers=WORKERS, enable_stealing=False),
     )
 
     def reliable_run():
-        return simulator.run_parallel(
+        return simulator.execute(
             trace.queries,
-            "liferaft",
-            workers=WORKERS,
-            enable_stealing=False,
-            reliability=ReliabilityConfig(
-                cadence="windows:1", window_quantum_ms=quantum_ms
+            RunSpec(
+                policy="liferaft",
+                workers=WORKERS,
+                enable_stealing=False,
+                reliability=ReliabilityConfig(
+                    cadence="windows:1", window_quantum_ms=quantum_ms
+                ),
             ),
         )
 
@@ -77,20 +81,23 @@ def test_bench_crash_recovery_latency(benchmark, bench_setup):
     """A crash-injected run: real recovery latency on the file-backed path."""
     simulator, trace = bench_setup
     quantum_ms = simulator.config.cost.tb_ms * WINDOW_BUCKET_READS
-    baseline = simulator.run_parallel(
-        trace.queries, "liferaft", workers=WORKERS, enable_stealing=False
+    baseline = simulator.execute(
+        trace.queries,
+        RunSpec(policy="liferaft", workers=WORKERS, enable_stealing=False),
     )
 
     def crashed_run():
-        return simulator.run_parallel(
+        return simulator.execute(
             trace.queries,
-            "liferaft",
-            workers=WORKERS,
-            enable_stealing=False,
-            reliability=ReliabilityConfig(
-                cadence="windows:2",
-                faults=FaultPlan.parse("1@2"),
-                window_quantum_ms=quantum_ms,
+            RunSpec(
+                policy="liferaft",
+                workers=WORKERS,
+                enable_stealing=False,
+                reliability=ReliabilityConfig(
+                    cadence="windows:2",
+                    faults=FaultPlan.parse("1@2"),
+                    window_quantum_ms=quantum_ms,
+                ),
             ),
         )
 

@@ -13,3 +13,21 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    # Registered here (options must live in the rootdir conftest); the
+    # snapshot itself is written by benchmarks/conftest.py, so the flag
+    # only has an effect when the benchmark suite is part of the run.
+    group = parser.getgroup("liferaft-bench")
+    group.addoption(
+        "--bench-json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a compact benchmark snapshot (per-benchmark best timing "
+            "plus headline metrics) to PATH; compare two snapshots with "
+            "`python -m benchmarks.ratchet`"
+        ),
+    )

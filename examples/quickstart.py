@@ -25,6 +25,7 @@ worker for real hardware parallelism)::
 import argparse
 
 from repro.experiments.common import render_table
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workload.generator import TraceConfig, TraceGenerator
 
@@ -62,16 +63,14 @@ def main() -> None:
         print(f"executing on the {args.backend} backend with {args.workers} shard workers")
 
     def replay(policy, alpha, label):
-        if args.backend == "serial":
-            return simulator.run(queries, policy, alpha=alpha, label=label)
-        return simulator.run_parallel(
-            queries,
-            policy,
-            workers=args.workers,
+        spec = RunSpec(
+            policy=policy,
             alpha=alpha,
-            backend=args.backend,
             label=label,
+            workers=args.workers if args.backend != "serial" else 1,
+            backend=None if args.backend == "serial" else args.backend,
         )
+        return simulator.execute(queries, spec)
 
     rows = []
     for label, policy, alpha in [

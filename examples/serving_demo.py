@@ -20,6 +20,7 @@ import argparse
 from repro.experiments.common import build_simulator, build_trace
 from repro.service.frontend import ServiceConfig
 from repro.service.streams import ResultChunk
+from repro.sim.runspec import RunSpec
 
 #: How many chunk lines to print before eliding the rest.
 MAX_PRINTED_CHUNKS = 40
@@ -77,16 +78,16 @@ def main() -> None:
         # Parallel serving: chunks are derived from the backends' service
         # records (on the process backend they rode the IPC channel from
         # the shard children), in global finish-time order.
-        result = simulator.run_parallel(
-            queries,
-            "liferaft",
+        spec = RunSpec(
+            policy="liferaft",
             workers=args.workers,
             alpha=args.alpha,
             backend=args.backend,
             service=service,
         )
     else:
-        result = simulator.run(queries, "liferaft", alpha=args.alpha, service=service)
+        spec = RunSpec(policy="liferaft", alpha=args.alpha, service=service)
+    result = simulator.execute(queries, spec)
 
     serving = result.serving
     assert serving is not None

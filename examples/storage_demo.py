@@ -22,6 +22,7 @@ import os
 import tempfile
 
 from repro.experiments.common import build_trace, render_table
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import (
     VIRTUAL_CLOCK_PARITY_FIELDS,
     SimulationConfig,
@@ -52,8 +53,9 @@ def main() -> None:
     simulator = Simulator(SimulationConfig(bucket_count=BUCKETS), store_path=store_path)
     trace = build_trace("small", bucket_count=BUCKETS).with_saturation(1.0)
 
-    memory = simulator.run(trace.queries, "liferaft", store_path=None)
-    file_backed = simulator.run(trace.queries, "liferaft")
+    spec = RunSpec(policy="liferaft")
+    memory = simulator.execute(trace.queries, spec.with_store(None))
+    file_backed = simulator.execute(trace.queries, spec)
 
     rows = []
     for metric in VIRTUAL_CLOCK_PARITY_FIELDS:

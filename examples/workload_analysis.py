@@ -14,6 +14,7 @@ Run with::
 """
 
 from repro.experiments.common import render_table
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workload.generator import TraceConfig, TraceGenerator
 from repro.workload.stats import TraceStatistics
@@ -57,8 +58,8 @@ def main() -> None:
     # ---- why this matters: shared vs unshared bucket reads ---------------
     simulator = Simulator(SimulationConfig(bucket_count=trace_config.bucket_count))
     queries = trace.with_saturation(1.0).queries
-    shared = simulator.run(queries, "liferaft", alpha=0.0)
-    unshared = simulator.run(queries, "noshare")
+    shared = simulator.execute(queries, RunSpec(policy="liferaft", alpha=0.0))
+    unshared = simulator.execute(queries, RunSpec(policy="noshare"))
     print("consequence for I/O (same trace, high saturation):")
     print(render_table(
         ("policy", "bucket reads", "busy time (s)", "throughput (q/s)"),

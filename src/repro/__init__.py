@@ -29,22 +29,31 @@ The package is organised as a set of substrates plus the core scheduler:
     One module per figure/table of the paper's evaluation.
 """
 
-from repro.core.engine import LifeRaftEngine, EngineConfig
-from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
-from repro.core.metrics import CostModel, workload_throughput, aged_workload_throughput
 from repro.core.baselines import (
-    NoShareScheduler,
-    RoundRobinScheduler,
     IndexOnlyScheduler,
     LeastSharableFirstScheduler,
+    NoShareScheduler,
+    RoundRobinScheduler,
 )
-from repro.workload.query import CrossMatchQuery, CrossMatchObject
+from repro.core.engine import EngineConfig, LifeRaftEngine
+from repro.core.metrics import CostModel, aged_workload_throughput, workload_throughput
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
+from repro.reliability.config import ReliabilityConfig
+from repro.service.frontend import ServiceConfig
+from repro.sim.runspec import RunSpec
+from repro.sim.simulator import SimulationConfig, SimulationResult, Simulator
+from repro.storage.bucket_store import BucketStore
+from repro.storage.disk_store import DiskBucketStore, open_disk_store
 from repro.workload.generator import TraceConfig, TraceGenerator
-from repro.sim.simulator import SimulationConfig, Simulator, SimulationResult
+from repro.workload.query import CrossMatchObject, CrossMatchQuery
 
 __version__ = "1.0.0"
 
+#: The supported public API.  ``Simulator.execute(queries, RunSpec(...))``
+#: is the one entry point for running simulations; everything else here
+#: is configuration, result types and the storage tiers.
 __all__ = [
+    # engine & scheduling
     "LifeRaftEngine",
     "EngineConfig",
     "LifeRaftScheduler",
@@ -56,12 +65,21 @@ __all__ = [
     "RoundRobinScheduler",
     "IndexOnlyScheduler",
     "LeastSharableFirstScheduler",
+    # workload model
     "CrossMatchQuery",
     "CrossMatchObject",
     "TraceConfig",
     "TraceGenerator",
+    # simulation surface
+    "RunSpec",
     "SimulationConfig",
     "Simulator",
     "SimulationResult",
+    "ServiceConfig",
+    "ReliabilityConfig",
+    # storage tiers
+    "BucketStore",
+    "DiskBucketStore",
+    "open_disk_store",
     "__version__",
 ]

@@ -16,7 +16,7 @@ from typing import Dict, Optional
 from repro.catalog.generator import SkyGenerator, SkyGeneratorConfig
 from repro.catalog.objects import CatalogTable
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import DiskModel, DiskParameters, calibrated_disk_for_bucket_read
+from repro.storage.disk_model import DiskModel, DiskParameters, calibrated_disk_for_bucket_read
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import (
     BucketPartitioner,

@@ -236,11 +236,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help=(
-            "physical rows materialised per bucket (default 256; cost-model "
+            "physical rows materialised per bucket (default 512; cost-model "
             "numbers always come from the layout's full object counts)"
         ),
     )
     ingest.add_argument("--seed", type=int, default=8675309)
+    ingest.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help=(
+            "processes synthesising and encoding bucket pages in parallel "
+            "(single-writer assembly keeps the file byte-identical to a "
+            "serial ingest; density ingests only)"
+        ),
+    )
     ingest.add_argument(
         "--sky-objects",
         type=_positive_int,
@@ -429,11 +440,12 @@ def _run_ingest(args: argparse.Namespace) -> int:
     if args.sky_objects is not None:
         from repro.catalog.generator import SkyGenerator, SkyGeneratorConfig
 
-        if args.rows_per_bucket is not None or args.bucket_count is not None:
+        if args.rows_per_bucket is not None or args.bucket_count is not None or args.workers > 1:
             raise SystemExit(
-                "--rows-per-bucket/--bucket-count apply to density ingests only; "
-                "a --sky-objects ingest writes the generated catalog exactly "
-                "(size it with --sky-objects and --objects-per-bucket)"
+                "--rows-per-bucket/--bucket-count/--workers apply to density "
+                "ingests only; a --sky-objects ingest writes the generated "
+                "catalog exactly (size it with --sky-objects and "
+                "--objects-per-bucket)"
             )
         generator = SkyGenerator(SkyGeneratorConfig(object_count=args.sky_objects, seed=args.seed))
         table = generator.generate("sdss")
@@ -454,6 +466,7 @@ def _run_ingest(args: argparse.Namespace) -> int:
             layout,
             rows_per_bucket=args.rows_per_bucket or DEFAULT_ROWS_PER_BUCKET,
             seed=args.seed,
+            workers=args.workers,
         )
         mode = f"density layout ({args.scale} scale)"
     print(f"ingested {mode} -> {manifest.path}")
@@ -511,21 +524,25 @@ def _single_run(
     reliability=None,
     enable_stealing: bool = True,
 ):
-    # Reliability runs always go through the parallel path: checkpoints
-    # live at its window barriers (a 1-worker parallel run reproduces the
-    # serial engine exactly — the parity tests pin that down).
-    if args.workers > 1 or reliability is not None:
-        return simulator.run_parallel(
-            queries,
-            args.policy,
-            workers=args.workers,
+    from repro.sim.runspec import RunSpec
+
+    # Reliability runs always go through the parallel path: RunSpec's
+    # dispatch sends any spec with a reliability config (or workers > 1)
+    # to the parallel engine, whose window barriers host the checkpoints
+    # (a 1-worker parallel run reproduces the serial engine exactly —
+    # the parity tests pin that down).
+    return simulator.execute(
+        queries,
+        RunSpec(
+            policy=args.policy,
             alpha=args.alpha,
-            backend=args.backend or "virtual",
-            store_path=store_path,
+            workers=args.workers,
+            backend=args.backend if args.workers > 1 or reliability is not None else None,
             enable_stealing=enable_stealing,
             reliability=reliability,
-        )
-    return simulator.run(queries, args.policy, alpha=args.alpha, store_path=store_path)
+            store_path=store_path,
+        ),
+    )
 
 
 def _run_single(args: argparse.Namespace) -> int:
@@ -676,21 +693,23 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.deadline_mix:
         config_kwargs["deadline_mix"] = parse_deadline_mix(args.deadline_mix)
     service = ServiceConfig(**config_kwargs)
-    if args.workers > 1:
-        result = simulator.run_parallel(
-            trace.queries,
-            "liferaft",
-            workers=args.workers,
+    from repro.sim.runspec import RunSpec
+
+    if args.workers <= 1 and args.backend is not None:
+        raise SystemExit("--backend requires --workers > 1 (the serial engine has no backend)")
+    result = simulator.execute(
+        trace.queries,
+        RunSpec(
+            policy="liferaft",
             alpha=args.alpha,
-            backend=args.backend or "virtual",
+            workers=args.workers,
+            backend=args.backend,
             service=service,
-        )
-        engine_label = f"{result.backend} backend x{args.workers}"
-    else:
-        if args.backend is not None:
-            raise SystemExit("--backend requires --workers > 1 (the serial engine has no backend)")
-        result = simulator.run(trace.queries, "liferaft", alpha=args.alpha, service=service)
-        engine_label = "serial engine"
+        ),
+    )
+    engine_label = (
+        f"{result.backend} backend x{args.workers}" if args.workers > 1 else "serial engine"
+    )
     serving = result.serving
     assert serving is not None
     print(

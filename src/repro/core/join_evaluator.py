@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.bucket_cache import BucketCacheManager
+from repro.core.kernels import MatchedPair, crossmatch_block
 from repro.core.metrics import CostModel
 from repro.core.workload_manager import WorkloadEntry
 from repro.htm.geometry import angular_separation
@@ -41,16 +42,6 @@ class JoinStrategy(enum.Enum):
 
     SEQUENTIAL_SCAN = "sequential_scan"
     INDEXED_JOIN = "indexed_join"
-
-
-@dataclass(frozen=True)
-class MatchedPair:
-    """One successful cross-match: a workload object and a catalog row."""
-
-    query_id: int
-    workload_object: CrossMatchObject
-    catalog_object: object
-    separation_arcsec: float
 
 
 @dataclass
@@ -281,7 +272,13 @@ class HybridJoinEvaluator:
         """
         matches: List[MatchedPair] = []
         per_query: Dict[int, int] = {}
-        if bucket.is_virtual or not bucket.objects:
+        if bucket.is_virtual:
+            return matches, per_query
+        if bucket.columns is not None:
+            # Columnar fast path: whole-column kernel over the decoded
+            # block; row objects are built only for matches.
+            return crossmatch_block(bucket.columns, entries)
+        if not bucket.objects:
             return matches, per_query
         # Sort the workload side by the start of each object's HTM window.
         flattened: List[Tuple[int, CrossMatchObject]] = []

@@ -1,0 +1,96 @@
+"""Whole-column crossmatch kernels over decoded bucket pages.
+
+The row-at-a-time join in :mod:`repro.core.join_evaluator` rebuilds one
+Python object per catalog row before it can test a single candidate.
+OLA-RAW's lesson (and the point of the ``.lrbs`` columnar layout) is
+that in-situ evaluation should run column-at-a-time over the stored
+representation: these kernels take a zero-copy
+:class:`~repro.storage.format.ColumnBlock` — memoryview casts straight
+over the reader's mmap — and only materialise a
+:class:`~repro.catalog.objects.CelestialObject` for rows that actually
+match, i.e. at the result boundary.
+
+The kernels are exact replicas of the row path's arithmetic (same
+binary-searched candidate window, same ``angular_separation * 3600``
+refinement, same ordering of appends), so their output is
+object-for-object identical — the property tests in
+``tests/core/test_kernels.py`` pin that equivalence.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.workload_manager import WorkloadEntry
+from repro.htm.geometry import angular_separation
+from repro.storage.format import ColumnBlock
+from repro.workload.query import CrossMatchObject
+
+
+@dataclass(frozen=True)
+class MatchedPair:
+    """One successful cross-match: a workload object and a catalog row."""
+
+    query_id: int
+    workload_object: CrossMatchObject
+    catalog_object: object
+    separation_arcsec: float
+
+
+def refine_block(
+    query_id: int,
+    obj: CrossMatchObject,
+    block: ColumnBlock,
+    matches: List[MatchedPair],
+) -> int:
+    """Refine one workload object against a block's candidate window.
+
+    The candidate window is located by binary search over the HTM
+    column; refinement touches only the ``ra``/``dec`` columns, and a
+    row object is built only when the separation test passes.
+    """
+    if obj.ra is None or obj.dec is None:
+        return 0
+    ids = block.htm_ids
+    low = bisect_left(ids, obj.htm_range.low)
+    high = bisect_right(ids, obj.htm_range.high)
+    if low >= high:
+        return 0
+    ra0, dec0, radius = obj.ra, obj.dec, obj.match_radius_arcsec
+    ras, decs = block.ra, block.dec
+    found = 0
+    for i in range(low, high):
+        separation = angular_separation(ra0, dec0, ras[i], decs[i]) * 3600.0
+        if separation <= radius:
+            matches.append(MatchedPair(query_id, obj, block.row(i), separation))
+            found += 1
+    return found
+
+
+def crossmatch_block(
+    block: ColumnBlock, entries: Sequence[WorkloadEntry]
+) -> Tuple[List[MatchedPair], Dict[int, int]]:
+    """Plane-sweep merge of a workload queue against one column block.
+
+    Mirrors the row-at-a-time merge join exactly: the workload side is
+    sorted by the start of each object's HTM window, then every object
+    is refined against its binary-searched candidate window, in order.
+    """
+    matches: List[MatchedPair] = []
+    per_query: Dict[int, int] = {}
+    if len(block) == 0:
+        return matches, per_query
+    flattened: List[Tuple[int, CrossMatchObject]] = []
+    for entry in entries:
+        for obj in entry.objects:
+            flattened.append((entry.query_id, obj))
+    flattened.sort(key=lambda pair: pair[1].htm_range.low)
+    for query_id, obj in flattened:
+        per_query.setdefault(query_id, 0)
+        per_query[query_id] += refine_block(query_id, obj, block, matches)
+    return matches, per_query
+
+
+__all__ = ["MatchedPair", "crossmatch_block", "refine_block"]

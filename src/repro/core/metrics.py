@@ -91,7 +91,7 @@ class CostModel:
         tm_ms: float = PAPER_TM_MS,
         probe_pages: int = 2,
     ) -> "CostModel":
-        """Derive the constants from a :class:`~repro.storage.disk.DiskModel`.
+        """Derive the constants from a :class:`~repro.storage.disk_model.DiskModel`.
 
         ``probe_pages`` is the number of random pages one indexed match
         touches (index descent amortised plus the data page).

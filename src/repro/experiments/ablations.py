@@ -26,6 +26,7 @@ from repro.experiments.common import (
     build_trace,
     estimate_capacity_qps,
 )
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workload.generator import QueryTrace
 
@@ -52,7 +53,7 @@ def run(
         simulator = Simulator(
             SimulationConfig(bucket_count=bucket_count, cache_buckets=cache_buckets)
         )
-        result = simulator.run(replayed.queries, "liferaft", alpha=0.0)
+        result = simulator.execute(replayed.queries, RunSpec(policy="liferaft", alpha=0.0))
         rows.append(
             (
                 f"cache={cache_buckets}",
@@ -69,7 +70,7 @@ def run(
         simulator = Simulator(
             SimulationConfig(bucket_count=bucket_count, enable_hybrid=enable_hybrid)
         )
-        result = simulator.run(replayed.queries, "liferaft", alpha=0.5)
+        result = simulator.execute(replayed.queries, RunSpec(policy="liferaft", alpha=0.5))
         label = "hybrid=on" if enable_hybrid else "hybrid=off"
         rows.append(
             (
@@ -84,7 +85,7 @@ def run(
 
     # -- most-contentious-first vs least-sharable-first ----------------------
     for policy in ("liferaft", "least_sharable_first"):
-        result = base_simulator.run(replayed.queries, policy, alpha=0.0)
+        result = base_simulator.execute(replayed.queries, RunSpec(policy=policy, alpha=0.0))
         rows.append(
             (
                 policy,
@@ -101,7 +102,7 @@ def run(
         scheduler = LifeRaftScheduler(
             SchedulerConfig(alpha=0.5, cost=CostModel.paper_defaults(), normalize_metric=normalize)
         )
-        result = base_simulator.run(replayed.queries, scheduler)
+        result = base_simulator.execute(replayed.queries, RunSpec(policy=scheduler))
         label = "metric=normalised" if normalize else "metric=raw"
         rows.append(
             (

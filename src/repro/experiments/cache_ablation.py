@@ -19,6 +19,7 @@ import tempfile
 from typing import Optional
 
 from repro.experiments.common import ExperimentResult, build_trace, scale_preset
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import (
     VIRTUAL_CLOCK_PARITY_FIELDS,
     SimulationConfig,
@@ -67,7 +68,12 @@ def run(
                 ),
             )
             results.append(
-                (capacity, simulator.run(trace.queries, "liferaft", label=f"tier2={capacity}"))
+                (
+                    capacity,
+                    simulator.execute(
+                        trace.queries, RunSpec(policy="liferaft", label=f"tier2={capacity}")
+                    ),
+                )
             )
     finally:
         if temp_dir is not None:

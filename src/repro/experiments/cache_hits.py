@@ -18,6 +18,7 @@ from repro.experiments.common import (
     build_trace,
     estimate_capacity_qps,
 )
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import Simulator
 from repro.workload.generator import QueryTrace
 
@@ -35,8 +36,12 @@ def run(
         saturation_qps = estimate_capacity_qps(trace, simulator)
     replayed = trace.with_saturation(saturation_qps)
 
-    greedy = simulator.run(replayed.queries, "liferaft", alpha=0.0, label="alpha=0")
-    aged = simulator.run(replayed.queries, "liferaft", alpha=1.0, label="alpha=1")
+    greedy = simulator.execute(
+        replayed.queries, RunSpec(policy="liferaft", alpha=0.0, label="alpha=0")
+    )
+    aged = simulator.execute(
+        replayed.queries, RunSpec(policy="liferaft", alpha=1.0, label="alpha=1")
+    )
     rows = [
         (result.label, result.cache_hit_rate, result.bucket_reads, result.bucket_services)
         for result in (greedy, aged)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationConfig, SimulationResult, Simulator
 from repro.workload.generator import QueryTrace, TraceConfig, TraceGenerator
 
@@ -90,7 +91,9 @@ def estimate_capacity_qps(
     # Always probe capacity in memory: the number is store-invariant (the
     # file-backed parity tests pin this), so a physical replay of the
     # flooded trace would be pure wasted I/O on store-backed simulators.
-    result = simulator.run(flooded.queries, "liferaft", alpha=alpha, store_path=None)
+    result = simulator.execute(
+        flooded.queries, RunSpec(policy="liferaft", alpha=alpha, store_path=None)
+    )
     if result.busy_time_s <= 0:
         return 1.0
     return result.completed_queries / result.busy_time_s

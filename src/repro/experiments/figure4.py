@@ -20,6 +20,7 @@ from repro.experiments.common import (
     build_trace,
     estimate_capacity_qps,
 )
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import Simulator
 from repro.workload.generator import QueryTrace
 
@@ -44,8 +45,9 @@ def build_tradeoff_curves(
         curve = TradeoffCurve(saturation_qps=saturation)
         replayed = trace.with_saturation(saturation)
         for alpha in alphas:
-            result = simulator.run(
-                replayed.queries, "liferaft", alpha=alpha, saturation_qps=saturation
+            result = simulator.execute(
+                replayed.queries,
+                RunSpec(policy="liferaft", alpha=alpha, saturation_qps=saturation),
             )
             curve.add(
                 TradeoffPoint(

@@ -23,6 +23,7 @@ from repro.experiments.common import (
     estimate_capacity_qps,
     result_rows,
 )
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.workload.generator import QueryTrace
 
@@ -44,16 +45,19 @@ def run(
     replayed = trace.with_saturation(saturation_qps)
 
     results: Dict[str, SimulationResult] = {}
-    results["NoShare"] = simulator.run(
-        replayed.queries, "noshare", label="NoShare", saturation_qps=saturation_qps
+    results["NoShare"] = simulator.execute(
+        replayed.queries,
+        RunSpec(policy="noshare", label="NoShare", saturation_qps=saturation_qps),
     )
     for alpha in ALPHA_SWEEP:
         label = f"alpha={alpha:g}"
-        results[label] = simulator.run(
-            replayed.queries, "liferaft", alpha=alpha, label=label, saturation_qps=saturation_qps
+        results[label] = simulator.execute(
+            replayed.queries,
+            RunSpec(policy="liferaft", alpha=alpha, label=label, saturation_qps=saturation_qps),
         )
-    results["RR"] = simulator.run(
-        replayed.queries, "round_robin", label="RR", saturation_qps=saturation_qps
+    results["RR"] = simulator.execute(
+        replayed.queries,
+        RunSpec(policy="round_robin", label="RR", saturation_qps=saturation_qps),
     )
 
     noshare_tp = results["NoShare"].throughput_qps

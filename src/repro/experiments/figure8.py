@@ -23,6 +23,7 @@ from repro.experiments.common import (
     build_trace,
     estimate_capacity_qps,
 )
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import Simulator
 from repro.workload.generator import QueryTrace
 
@@ -54,12 +55,14 @@ def run(
         replayed = trace.with_saturation(saturation)
         per_alpha = {}
         for alpha in alphas:
-            result = simulator.run(
+            result = simulator.execute(
                 replayed.queries,
-                "liferaft",
-                alpha=alpha,
-                label=f"sat={saturation:.3f},alpha={alpha:g}",
-                saturation_qps=saturation,
+                RunSpec(
+                    policy="liferaft",
+                    alpha=alpha,
+                    label=f"sat={saturation:.3f},alpha={alpha:g}",
+                    saturation_qps=saturation,
+                ),
             )
             per_alpha[alpha] = result
             rows.append(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.experiments.common import ExperimentResult, build_simulator, build_trace
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import Simulator
 from repro.workload.generator import QueryTrace
 
@@ -37,8 +38,10 @@ def run(
     simulator = simulator or build_simulator(scale)
     replayed = trace.with_saturation(trace.config.default_saturation_qps)
 
-    noshare = simulator.run(replayed.queries, "noshare", label="NoShare")
-    index_only = simulator.run(replayed.queries, "index_only", label="IndexOnly")
+    noshare = simulator.execute(replayed.queries, RunSpec(policy="noshare", label="NoShare"))
+    index_only = simulator.execute(
+        replayed.queries, RunSpec(policy="index_only", label="IndexOnly")
+    )
 
     slowdown_busy = (
         index_only.busy_time_s / noshare.busy_time_s if noshare.busy_time_s else float("inf")

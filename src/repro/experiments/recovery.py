@@ -28,6 +28,7 @@ from repro.experiments.common import (
     estimate_capacity_qps,
 )
 from repro.reliability import FaultPlan, ReliabilityConfig
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import VIRTUAL_CLOCK_PARITY_FIELDS, Simulator
 from repro.workload.generator import QueryTrace
 
@@ -60,13 +61,15 @@ def run(
     replayed = trace.with_saturation(saturation)
     quantum_ms = simulator.config.cost.tb_ms * WINDOW_BUCKET_READS
 
-    clean = simulator.run_parallel(
+    clean = simulator.execute(
         replayed.queries,
-        "liferaft",
-        workers=WORKERS,
-        enable_stealing=False,
-        label="clean",
-        backend=backend,
+        RunSpec(
+            policy="liferaft",
+            workers=WORKERS,
+            enable_stealing=False,
+            label="clean",
+            backend=backend,
+        ),
     )
 
     rows = []
@@ -80,14 +83,16 @@ def run(
             faults=FaultPlan.parse(CRASH_PLAN),
             window_quantum_ms=quantum_ms,
         )
-        result = simulator.run_parallel(
+        result = simulator.execute(
             replayed.queries,
-            "liferaft",
-            workers=WORKERS,
-            enable_stealing=False,
-            label=f"cadence={cadence}",
-            backend=backend,
-            reliability=config,
+            RunSpec(
+                policy="liferaft",
+                workers=WORKERS,
+                enable_stealing=False,
+                label=f"cadence={cadence}",
+                backend=backend,
+                reliability=config,
+            ),
         )
         report = result.reliability
         assert report is not None

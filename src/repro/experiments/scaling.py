@@ -31,6 +31,7 @@ from repro.experiments.common import (
     build_trace,
     estimate_capacity_qps,
 )
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.workload.generator import QueryTrace
 
@@ -81,15 +82,17 @@ def run(
     results: List[SimulationResult] = []
     for count in sweep:
         results.append(
-            simulator.run_parallel(
+            simulator.execute(
                 replayed.queries,
-                "liferaft",
-                workers=count,
-                alpha=alpha,
-                shard_strategy=shard_strategy,
-                label=f"workers={count}",
-                saturation_qps=saturation,
-                backend=backend,
+                RunSpec(
+                    policy="liferaft",
+                    workers=count,
+                    alpha=alpha,
+                    shard_strategy=shard_strategy,
+                    label=f"workers={count}",
+                    saturation_qps=saturation,
+                    backend=backend,
+                ),
             )
         )
 

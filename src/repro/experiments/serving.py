@@ -30,6 +30,7 @@ from repro.experiments.common import (
     estimate_capacity_qps,
 )
 from repro.service.frontend import ServiceConfig
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationResult, Simulator
 from repro.workload.generator import QueryTrace
 
@@ -70,24 +71,28 @@ def run(
     results: List[Tuple[float, SimulationResult]] = []
     for alpha in alphas:
         if worker_count > 1:
-            result = simulator.run_parallel(
+            result = simulator.execute(
                 replayed.queries,
-                "liferaft",
-                workers=worker_count,
-                alpha=alpha,
-                backend=backend,
-                label=f"serve(alpha={alpha:g})",
-                saturation_qps=saturation,
-                service=service,
+                RunSpec(
+                    policy="liferaft",
+                    workers=worker_count,
+                    alpha=alpha,
+                    backend=backend,
+                    label=f"serve(alpha={alpha:g})",
+                    saturation_qps=saturation,
+                    service=service,
+                ),
             )
         else:
-            result = simulator.run(
+            result = simulator.execute(
                 replayed.queries,
-                "liferaft",
-                alpha=alpha,
-                label=f"serve(alpha={alpha:g})",
-                saturation_qps=saturation,
-                service=service,
+                RunSpec(
+                    policy="liferaft",
+                    alpha=alpha,
+                    label=f"serve(alpha={alpha:g})",
+                    saturation_qps=saturation,
+                    service=service,
+                ),
             )
         results.append((alpha, result))
 

@@ -15,6 +15,7 @@ the figures actually compare.
 
 from repro.sim.clock import VirtualClock
 from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.runspec import DEFAULT_STORE, RunSpec
 from repro.sim.stats import ResponseTimeStats, summarize_response_times
 from repro.sim.simulator import SimulationConfig, SimulationResult, Simulator, run_policy_comparison
 
@@ -25,6 +26,8 @@ __all__ = [
     "EventQueue",
     "ResponseTimeStats",
     "summarize_response_times",
+    "DEFAULT_STORE",
+    "RunSpec",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",

@@ -1,0 +1,114 @@
+"""RunSpec: the one declarative description of a simulated run.
+
+``Simulator.run`` and ``Simulator.run_parallel`` grew more than ten
+ad-hoc keyword parameters across PRs 1–5 (policy, alpha, workers, shard
+strategy, execution backend, serving config, reliability config, store
+overrides, …).  :class:`RunSpec` collapses that sprawl into a single
+frozen dataclass consumed by :meth:`repro.sim.simulator.Simulator.
+execute` — the one public entry point; the old methods survive as thin
+deprecated shims that build a ``RunSpec`` themselves.
+
+Dispatch rule: a spec runs on the sharded parallel engine when it names
+an execution ``backend``, asks for more than one worker, or configures
+``reliability`` (checkpoint/recovery is a parallel-engine feature);
+otherwise the serial discrete-event engine runs it.  ``workers=1`` on
+the parallel engine reproduces the serial engine's numbers exactly —
+the backend-parity tests pin that down — so the dispatch seam is not
+observable in virtual-clock results.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.core.scheduler import SchedulingPolicy
+
+if TYPE_CHECKING:
+    from repro.parallel.backend import ExecutionBackend
+    from repro.reliability.config import ReliabilityConfig
+    from repro.service.frontend import ServiceConfig
+
+#: Sentinel for "use the simulator's default store" on per-run overrides
+#: (``store_path=None`` explicitly forces an in-memory run).
+DEFAULT_STORE = object()
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything that varies between two runs on one :class:`Simulator`.
+
+    Site-level knobs (bucket count, cache sizes, cost constants) stay on
+    :class:`~repro.sim.simulator.SimulationConfig`; a ``RunSpec`` only
+    describes *one run*: what to schedule, where to execute it, and
+    which storage tier to read.
+    """
+
+    #: Scheduling policy: a registry name (``"liferaft"``, ``"noshare"``,
+    #: ``"round_robin"``, …) or a constructed policy object.
+    policy: Union[str, SchedulingPolicy] = "liferaft"
+    #: LifeRaft age bias (only consulted when *policy* is a name).
+    alpha: float = 0.25
+    #: Shard count; ``> 1`` runs the sharded parallel engine.
+    workers: int = 1
+    #: How queries map to shards (parallel runs).
+    shard_strategy: str = "round_robin"
+    #: Execution backend: ``"virtual"`` (deterministic in-process
+    #: interleaving), ``"process"`` (one OS process per shard) or a
+    #: constructed backend.  ``None`` selects the serial engine unless
+    #: ``workers`` or ``reliability`` force the parallel one (then
+    #: ``"virtual"`` is used).
+    backend: Optional[Union[str, "ExecutionBackend"]] = None
+    #: Allow idle shards to steal work (parallel runs).
+    enable_stealing: bool = True
+    #: Override the steal check cadence (parallel runs).
+    steal_quantum_ms: Optional[float] = None
+    #: Serving front-end configuration; ``None`` bypasses admission
+    #: control and result streaming.
+    service: Optional["ServiceConfig"] = None
+    #: Checkpoint/crash-injection/recovery configuration (parallel runs).
+    reliability: Optional["ReliabilityConfig"] = None
+    #: Storage tier override: :data:`DEFAULT_STORE` uses the simulator's
+    #: default, ``None`` forces in-memory, a path replays against that
+    #: on-disk columnar store.
+    store_path: object = DEFAULT_STORE
+    #: Label stamped on the result (defaults to the policy name).
+    label: str = ""
+    #: Arrival rate the trace was flooded at (recorded, not enforced).
+    saturation_qps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether this spec runs on the sharded parallel engine."""
+        return (
+            self.backend is not None
+            or self.workers > 1
+            or self.reliability is not None
+        )
+
+    @property
+    def effective_backend(self) -> Union[str, "ExecutionBackend"]:
+        """The execution backend a parallel run will use."""
+        return self.backend if self.backend is not None else "virtual"
+
+    def with_store(self, store_path) -> "RunSpec":
+        """A copy of this spec replaying against *store_path*.
+
+        Parity checks sweep one spec across storage tiers; this keeps
+        the sweep literal at call sites (``spec.with_store(None)`` vs
+        ``spec.with_store(path)``).
+        """
+        resolved = (
+            store_path
+            if store_path is None or store_path is DEFAULT_STORE
+            else os.fspath(store_path)
+        )
+        return replace(self, store_path=resolved)
+
+
+__all__ = ["DEFAULT_STORE", "RunSpec"]

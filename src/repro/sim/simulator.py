@@ -15,6 +15,7 @@ variance, cache hit rate, and per-strategy service counts.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
@@ -23,9 +24,10 @@ from repro.core.bucket_cache import PAPER_CACHE_BUCKETS
 from repro.core.engine import EngineConfig, LifeRaftEngine
 from repro.core.metrics import CostModel
 from repro.core.scheduler import SchedulingPolicy
+from repro.sim.runspec import DEFAULT_STORE, RunSpec
 from repro.sim.stats import ResponseTimeStats, summarize_response_times
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 from repro.storage.disk_store import DiskBucketStore, open_disk_store
 from repro.storage.format import read_layout
 from repro.storage.index import SpatialIndex
@@ -39,6 +41,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "POLICY_NAMES",
+    "RunSpec",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
@@ -172,9 +175,8 @@ class SimulationResult:
         }
 
 
-#: Sentinel for "use the simulator's default store" on per-run overrides
-#: (``store_path=None`` explicitly forces an in-memory run).
-_DEFAULT_STORE = object()
+#: Backwards-compatible alias of :data:`repro.sim.runspec.DEFAULT_STORE`.
+_DEFAULT_STORE = DEFAULT_STORE
 
 
 class Simulator:
@@ -299,6 +301,28 @@ class Simulator:
     # running
     # ------------------------------------------------------------------ #
 
+    def execute(
+        self, queries: Sequence[CrossMatchQuery], spec: Optional[RunSpec] = None
+    ) -> SimulationResult:
+        """Simulate one trace under one :class:`RunSpec` — the public entry point.
+
+        The spec decides everything that varies per run: scheduling
+        policy, execution engine (serial vs sharded, and which backend),
+        serving front-end, reliability plan, and storage-tier override.
+        ``execute(queries)`` runs the defaults: serial LifeRaft at
+        α = 0.25 against the simulator's default store.
+
+        Dispatch follows :attr:`RunSpec.is_parallel`: a named backend,
+        ``workers > 1`` or a reliability config selects the sharded
+        parallel engine; everything else runs the serial discrete-event
+        loop.  Virtual-clock results are dispatch-invariant (the parity
+        tests pin ``workers=1`` parallel runs to the serial numbers).
+        """
+        spec = spec if spec is not None else RunSpec()
+        if spec.is_parallel:
+            return self._execute_parallel(queries, spec)
+        return self._execute_serial(queries, spec)
+
     def run(
         self,
         queries: Sequence[CrossMatchQuery],
@@ -309,27 +333,43 @@ class Simulator:
         service: Optional["ServiceConfig"] = None,
         store_path=_DEFAULT_STORE,
     ) -> SimulationResult:
-        """Simulate one policy over one trace and summarise the outcome.
+        """Deprecated: build a :class:`RunSpec` and call :meth:`execute`.
 
-        With *service* set, arrivals are routed through the serving
-        front-end first: admission control decides what the engine sees,
-        bucket drains feed per-query result streams live, and the
-        returned result carries a :class:`ServingReport` in
-        :attr:`SimulationResult.serving`.
-
-        *store_path* overrides the simulator's default storage tier for
-        this run: a path replays against that on-disk store, ``None``
-        forces an in-memory store (identical virtual-clock numbers either
-        way — the file-backed parity tests pin this down).
+        Kept as a thin shim for callers written against PRs 1–5; it
+        forwards to :meth:`execute` with a serial spec and will be
+        removed once external callers have migrated.
         """
+        warnings.warn(
+            "Simulator.run is deprecated; build a RunSpec and call "
+            "Simulator.execute(queries, spec)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute(
+            queries,
+            RunSpec(
+                policy=policy,
+                alpha=alpha,
+                label=label,
+                saturation_qps=saturation_qps,
+                service=service,
+                store_path=store_path,
+            ),
+        )
+
+    def _execute_serial(
+        self, queries: Sequence[CrossMatchQuery], spec: RunSpec
+    ) -> SimulationResult:
+        """The serial discrete-event loop (arrivals in virtual time)."""
+        policy = spec.policy
         if isinstance(policy, str):
-            policy = make_policy(policy, alpha=alpha, cost=self.config.cost)
-        frontend = self._build_frontend(service)
+            policy = make_policy(policy, alpha=spec.alpha, cost=self.config.cost)
+        frontend = self._build_frontend(spec.service)
         if frontend is not None:
             queries = frontend.admit(queries).admitted_queries()
         # Every store is a context manager (a no-op close for the in-memory
         # store), so a failed run can never leak an open store fd.
-        with self._build_store(store_path) as store:
+        with self._build_store(spec.store_path) as store:
             engine = self._build_engine(policy, store=store)
             ordered = sorted(queries, key=lambda q: (q.arrival_time_s, q.query_id))
             arrivals_ms = [q.arrival_time_s * 1000.0 for q in ordered]
@@ -351,7 +391,9 @@ class Simulator:
                 if frontend is not None:
                     frontend.on_batch(result)
                 now_ms = result.finished_at_ms
-            summary = self._summarise(engine, policy, alpha, label, saturation_qps)
+            summary = self._summarise(
+                engine, policy, spec.alpha, spec.label, spec.saturation_qps
+            )
             if frontend is not None:
                 summary.serving = frontend.report()
             if isinstance(store, DiskBucketStore):
@@ -416,61 +458,99 @@ class Simulator:
         store_path=_DEFAULT_STORE,
         reliability: Optional["ReliabilityConfig"] = None,
     ) -> SimulationResult:
+        """Deprecated: build a :class:`RunSpec` and call :meth:`execute`.
+
+        Kept as a thin shim for callers written against PRs 1–5; it
+        forwards to :meth:`execute` with the backend named explicitly
+        (so ``workers=1`` still replays on the parallel engine, exactly
+        as before) and will be removed once external callers have
+        migrated.
+        """
+        warnings.warn(
+            "Simulator.run_parallel is deprecated; build a RunSpec and call "
+            "Simulator.execute(queries, spec)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.execute(
+            queries,
+            RunSpec(
+                policy=policy,
+                alpha=alpha,
+                workers=workers,
+                shard_strategy=shard_strategy,
+                backend=backend,
+                enable_stealing=enable_stealing,
+                steal_quantum_ms=steal_quantum_ms,
+                service=service,
+                reliability=reliability,
+                store_path=store_path,
+                label=label,
+                saturation_qps=saturation_qps,
+            ),
+        )
+
+    def _execute_parallel(
+        self, queries: Sequence[CrossMatchQuery], spec: RunSpec
+    ) -> SimulationResult:
         """Replay a trace against a sharded engine on an execution backend.
 
-        *backend* selects where the shard workers run: ``"virtual"`` (the
-        default) interleaves them deterministically inside this process in
-        virtual time; ``"process"`` runs each shard in its own OS process
-        for real hardware parallelism.  Virtual-clock results are
-        backend-invariant (the parity tests pin this down); only
+        :attr:`RunSpec.effective_backend` selects where the shard workers
+        run: ``"virtual"`` interleaves them deterministically inside this
+        process in virtual time; ``"process"`` runs each shard in its own
+        OS process for real hardware parallelism.  Virtual-clock results
+        are backend-invariant (the parity tests pin this down); only
         :attr:`SimulationResult.real_elapsed_s` differs.  ``workers=1``
-        reproduces :meth:`run` exactly on either backend.
+        reproduces the serial engine exactly on either backend.
 
-        With *service* set, the same serving front-end as :meth:`run`
-        gates the trace first; the backends replay the admitted schedule
-        and their service records — which rode the IPC channel on the
-        process backend — feed the result streams.  Because admission is
-        a pure function of the arrival stream, the admitted schedule (and
-        therefore every chunk) is identical across backends.
+        With :attr:`RunSpec.service` set, the same serving front-end as
+        the serial path gates the trace first; the backends replay the
+        admitted schedule and their service records — which rode the IPC
+        channel on the process backend — feed the result streams.
+        Because admission is a pure function of the arrival stream, the
+        admitted schedule (and therefore every chunk) is identical
+        across backends.
 
-        *store_path* behaves as in :meth:`run`.  On the process backend a
-        file-backed store ships as a small path-based snapshot: each
-        worker child reopens the file read-only and performs its own
-        physical I/O instead of unpickling the catalog.
+        :attr:`RunSpec.store_path` behaves as in the serial path.  On the
+        process backend a file-backed store ships as a small path-based
+        snapshot: each worker child reopens the file read-only and
+        performs its own physical I/O instead of unpickling the catalog.
 
-        With *reliability* set, the run checkpoints per-shard state at
-        window barriers under the configured cadence, injects the
-        configured crash plan (really killing worker processes on the
-        process backend), and recovers dead shards from their latest
-        checkpoint.  Virtual-clock results of a crash-injected run are
-        identical to an uninterrupted one (the reliability parity tests
-        pin this down with stealing off); the returned result carries the
+        With :attr:`RunSpec.reliability` set, the run checkpoints
+        per-shard state at window barriers under the configured cadence,
+        injects the configured crash plan (really killing worker
+        processes on the process backend), and recovers dead shards from
+        their latest checkpoint.  Virtual-clock results of a
+        crash-injected run are identical to an uninterrupted one (the
+        reliability parity tests pin this down with stealing off); the
+        returned result carries the
         :class:`~repro.reliability.config.ReliabilityReport` in
         :attr:`SimulationResult.reliability`.
         """
         from repro.parallel.backend import ParallelRunSpec, make_backend
 
+        policy = spec.policy
         if isinstance(policy, str):
-            policy = make_policy(policy, alpha=alpha, cost=self.config.cost)
-        frontend = self._build_frontend(service)
+            policy = make_policy(policy, alpha=spec.alpha, cost=self.config.cost)
+        frontend = self._build_frontend(spec.service)
         if frontend is not None:
             queries = frontend.admit(queries).admitted_queries()
-        execution = make_backend(backend)
-        with self._build_store(store_path) as store:
-            spec = ParallelRunSpec(
+        execution = make_backend(spec.effective_backend)
+        with self._build_store(spec.store_path) as store:
+            plan = ParallelRunSpec(
                 layout=self._layout,
                 store=store,
                 queries=tuple(queries),
                 policy=policy,
                 config=self._engine_config(),
-                workers=workers,
-                shard_strategy=shard_strategy,
+                workers=spec.workers,
+                shard_strategy=spec.shard_strategy,
                 index=SpatialIndex([], rows=None, disk=None),
-                enable_stealing=enable_stealing,
-                steal_quantum_ms=steal_quantum_ms,
-                reliability=reliability,
+                enable_stealing=spec.enable_stealing,
+                steal_quantum_ms=spec.steal_quantum_ms,
+                reliability=spec.reliability,
             )
-            outcome = execution.execute(spec)
+            outcome = execution.execute(plan)
         if frontend is not None:
             frontend.ingest_records(outcome.services)
         report = outcome.report
@@ -492,9 +572,9 @@ class Simulator:
             strategy_counts=report.strategy_counts,
             total_io_s=report.total_io_ms / 1000.0,
             total_match_s=report.total_match_ms / 1000.0,
-            saturation_qps=saturation_qps,
-            label=label or f"{policy.name} x{workers}",
-            workers=workers,
+            saturation_qps=spec.saturation_qps,
+            label=spec.label or f"{policy.name} x{spec.workers}",
+            workers=spec.workers,
             steals=outcome.parallel.steals,
             wall_clock_s=outcome.parallel.wall_clock_ms / 1000.0,
             backend=outcome.backend,
@@ -515,12 +595,14 @@ class Simulator:
         results = []
         for alpha in alphas:
             results.append(
-                self.run(
+                self.execute(
                     queries,
-                    "liferaft",
-                    alpha=alpha,
-                    label=f"liferaft(alpha={alpha:g})",
-                    saturation_qps=saturation_qps,
+                    RunSpec(
+                        policy="liferaft",
+                        alpha=alpha,
+                        label=f"liferaft(alpha={alpha:g})",
+                        saturation_qps=saturation_qps,
+                    ),
                 )
             )
         return results
@@ -541,28 +623,24 @@ def run_policy_comparison(
     simulator = Simulator(config)
     results: Dict[str, SimulationResult] = {}
     baselines = list(include_baselines)
-    if "noshare" in baselines:
-        results["NoShare"] = simulator.run(
-            queries, "noshare", label="NoShare", saturation_qps=saturation_qps
+
+    def comparison_run(policy: str, label: str, alpha: float = 0.25) -> SimulationResult:
+        return simulator.execute(
+            queries,
+            RunSpec(policy=policy, alpha=alpha, label=label, saturation_qps=saturation_qps),
         )
+
+    if "noshare" in baselines:
+        results["NoShare"] = comparison_run("noshare", "NoShare")
     for alpha in alphas:
         label = f"alpha={alpha:g}"
-        results[label] = simulator.run(
-            queries, "liferaft", alpha=alpha, label=label, saturation_qps=saturation_qps
-        )
+        results[label] = comparison_run("liferaft", label, alpha=alpha)
     if "round_robin" in baselines:
-        results["RR"] = simulator.run(
-            queries, "round_robin", label="RR", saturation_qps=saturation_qps
-        )
+        results["RR"] = comparison_run("round_robin", "RR")
     if "index_only" in baselines:
-        results["IndexOnly"] = simulator.run(
-            queries, "index_only", label="IndexOnly", saturation_qps=saturation_qps
-        )
+        results["IndexOnly"] = comparison_run("index_only", "IndexOnly")
     if "least_sharable_first" in baselines:
-        results["LeastSharableFirst"] = simulator.run(
-            queries,
-            "least_sharable_first",
-            label="LeastSharableFirst",
-            saturation_qps=saturation_qps,
+        results["LeastSharableFirst"] = comparison_run(
+            "least_sharable_first", "LeastSharableFirst"
         )
     return results

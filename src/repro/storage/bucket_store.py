@@ -24,19 +24,68 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.storage.disk import DiskModel, DiskParameters
+from repro.storage.disk_model import DiskModel, DiskParameters
 from repro.storage.partitioner import BucketSpec, PartitionLayout
 
 
-@dataclass
 class Bucket:
-    """An in-memory image of one bucket, as handed to the join evaluator."""
+    """An in-memory image of one bucket, as handed to the join evaluator.
 
-    spec: BucketSpec
-    #: Objects sorted by HTM ID; empty in virtual mode.
-    objects: Tuple[object, ...] = ()
-    #: HTM IDs aligned with ``objects`` (kept separately for cheap merging).
-    htm_ids: Tuple[int, ...] = ()
+    Full-fidelity buckets carry their rows in one of two forms:
+
+    * eager tuples (``objects`` / ``htm_ids``) — the in-memory store's
+      native shape;
+    * a zero-copy :class:`~repro.storage.format.ColumnBlock`
+      (``columns``) — the file-backed store's shape, where the columns
+      are casts over the reader's mmap.
+
+    With columns attached, ``objects`` and ``htm_ids`` still work — they
+    materialise lazily on first access — so every row-at-a-time consumer
+    is unchanged while the columnar kernels never pay for row objects.
+    """
+
+    __slots__ = ("spec", "columns", "_objects", "_htm_ids")
+
+    def __init__(
+        self,
+        spec: BucketSpec,
+        objects: Tuple[object, ...] = (),
+        htm_ids: Tuple[int, ...] = (),
+        columns: Optional[object] = None,
+    ) -> None:
+        if columns is not None and (objects or htm_ids):
+            raise ValueError("pass either columns or materialised rows, not both")
+        self.spec = spec
+        #: Decoded :class:`~repro.storage.format.ColumnBlock`; ``None``
+        #: for eager (in-memory) and virtual buckets.
+        self.columns = columns
+        self._objects: Optional[Tuple[object, ...]] = (
+            None if columns is not None else tuple(objects)
+        )
+        self._htm_ids: Optional[Sequence[int]] = (
+            None if columns is not None else tuple(htm_ids)
+        )
+
+    @property
+    def objects(self) -> Tuple[object, ...]:
+        """Objects sorted by HTM ID; empty in virtual mode (lazy when columnar)."""
+        if self._objects is None:
+            self._objects = self.columns.rows()
+        return self._objects
+
+    @property
+    def htm_ids(self) -> Sequence[int]:
+        """HTM IDs aligned with ``objects`` (kept separately for cheap merging)."""
+        if self._htm_ids is None:
+            self._htm_ids = self.columns.htm_ids
+        return self._htm_ids
+
+    @property
+    def row_count(self) -> int:
+        """Number of materialised rows (without materialising them)."""
+        if self.columns is not None:
+            return len(self.columns)
+        return len(self._objects)
 
     @property
     def index(self) -> int:
@@ -51,7 +100,11 @@ class Bucket:
     @property
     def is_virtual(self) -> bool:
         """``True`` when the bucket carries counts but no materialised rows."""
-        return not self.objects and self.spec.object_count > 0
+        return self.row_count == 0 and self.spec.object_count > 0
+
+    def __repr__(self) -> str:
+        shape = "columnar" if self.columns is not None else "eager"
+        return f"Bucket(index={self.spec.index}, rows={self.row_count}, {shape})"
 
 
 @dataclass

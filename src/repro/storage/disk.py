@@ -1,227 +1,36 @@
-"""Analytical disk model.
+"""Deprecated alias of :mod:`repro.storage.disk_model`.
 
-The paper's cost constants — ``Tb`` = 1.2 s to read one 40 MB bucket and
-``Tm`` = 0.13 ms to cross-match one object in memory — were measured on a
-15-spindle mirrored array.  We reproduce them with a simple first-order
-disk model (seek + rotational latency + sequential transfer) so that the
-same constants fall out of physically plausible parameters, and so that the
-experiments can vary bucket size, index probe cost or sequential bandwidth
-and still obtain consistent costs.
-
-The model also keeps an optional I/O trace, which the tests and the cache
-ablation use to verify that the scheduler issues the sequential/random I/O
-pattern the paper claims (one sequential bucket read shared by a whole
-batch, instead of per-query random reads).
+This module was renamed to end the confusion with
+:mod:`repro.storage.disk_store` (the file-backed bucket store): ``disk``
+held the *analytical cost model*, not a disk.  Import from
+:mod:`repro.storage.disk_model` instead; this shim re-exports the full
+public surface and will be removed in a future release.
 """
 
 from __future__ import annotations
 
-import enum
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional
+import warnings
 
+from repro.storage.disk_model import (  # noqa: F401
+    DiskModel,
+    DiskParameters,
+    IOKind,
+    IORecord,
+    IOTrace,
+    calibrated_disk_for_bucket_read,
+)
 
-class IOKind(enum.Enum):
-    """Category of a simulated I/O request."""
+warnings.warn(
+    "repro.storage.disk is deprecated; import from repro.storage.disk_model",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-    SEQUENTIAL_BUCKET_READ = "sequential_bucket_read"
-    RANDOM_INDEX_PROBE = "random_index_probe"
-    RANDOM_PAGE_READ = "random_page_read"
-
-
-@dataclass(frozen=True)
-class DiskParameters:
-    """Physical parameters of the simulated disk subsystem.
-
-    Defaults approximate the paper's testbed: an array whose aggregate
-    sequential bandwidth delivers a 40 MB bucket in about 1.2 seconds and
-    whose random reads cost a few milliseconds each.
-    """
-
-    average_seek_ms: float = 8.0
-    rotational_latency_ms: float = 4.0
-    sequential_bandwidth_mb_per_s: float = 34.0
-    page_size_kb: float = 8.0
-
-    def __post_init__(self) -> None:
-        if self.sequential_bandwidth_mb_per_s <= 0:
-            raise ValueError("sequential bandwidth must be positive")
-        if self.average_seek_ms < 0 or self.rotational_latency_ms < 0:
-            raise ValueError("latencies must be non-negative")
-        if self.page_size_kb <= 0:
-            raise ValueError("page size must be positive")
-
-    @property
-    def positioning_ms(self) -> float:
-        """Cost of positioning the head before a transfer, in milliseconds."""
-        return self.average_seek_ms + self.rotational_latency_ms
-
-    def transfer_ms(self, megabytes: float) -> float:
-        """Time to stream *megabytes* sequentially, in milliseconds."""
-        if megabytes < 0:
-            raise ValueError("cannot transfer a negative amount of data")
-        return 1000.0 * megabytes / self.sequential_bandwidth_mb_per_s
-
-
-@dataclass
-class IORecord:
-    """One entry of the I/O trace."""
-
-    kind: IOKind
-    megabytes: float
-    cost_ms: float
-    label: str = ""
-
-
-class IOTrace:
-    """A bounded I/O trace: a ring buffer of records plus exact aggregates.
-
-    Long serving runs issue millions of I/O requests; an unbounded trace
-    would grow without limit.  Detailed :class:`IORecord` entries therefore
-    live in a ring buffer of ``max_records`` (the *newest* entries win —
-    the tail of a run is what failure analysis wants), while the
-    per-kind counters behind :meth:`count`, :meth:`total_ms` and
-    :meth:`total_megabytes` are maintained incrementally and stay exact no
-    matter how many detailed entries the ring has dropped.  The cache
-    ablation's sequential-vs-random assertions run on those aggregates,
-    so they keep working on runs of any length.
-    """
-
-    def __init__(
-        self,
-        records: Iterable[IORecord] = (),
-        enabled: bool = True,
-        max_records: int = 65_536,
-    ) -> None:
-        if max_records <= 0:
-            raise ValueError("max_records must be positive")
-        self.enabled = enabled
-        self.max_records = max_records
-        self._records: Deque[IORecord] = deque(maxlen=max_records)
-        self._counts: Dict[IOKind, int] = {}
-        self._cost_ms: Dict[IOKind, float] = {}
-        self._megabytes: Dict[IOKind, float] = {}
-        #: Detailed entries evicted by the ring buffer (aggregates kept).
-        self.dropped = 0
-        for record in records:
-            self.record(record)
-
-    @property
-    def records(self) -> List[IORecord]:
-        """The retained detailed entries, oldest first (a bounded window)."""
-        return list(self._records)
-
-    def record(self, record: IORecord) -> None:
-        """Fold *record* into the aggregates and the ring buffer."""
-        if not self.enabled:
-            return
-        self._counts[record.kind] = self._counts.get(record.kind, 0) + 1
-        self._cost_ms[record.kind] = self._cost_ms.get(record.kind, 0.0) + record.cost_ms
-        self._megabytes[record.kind] = self._megabytes.get(record.kind, 0.0) + record.megabytes
-        if len(self._records) == self.max_records:
-            self.dropped += 1
-        self._records.append(record)
-
-    def count(self, kind: IOKind) -> int:
-        """Number of recorded requests of *kind* (exact, never truncated)."""
-        return self._counts.get(kind, 0)
-
-    def total_ms(self, kind: Optional[IOKind] = None) -> float:
-        """Total recorded I/O time, optionally restricted to one kind."""
-        if kind is not None:
-            return self._cost_ms.get(kind, 0.0)
-        return sum(self._cost_ms.values())
-
-    def total_megabytes(self, kind: Optional[IOKind] = None) -> float:
-        """Total bytes moved, optionally restricted to one kind."""
-        if kind is not None:
-            return self._megabytes.get(kind, 0.0)
-        return sum(self._megabytes.values())
-
-    def clear(self) -> None:
-        """Drop all recorded entries and reset the aggregates."""
-        self._records.clear()
-        self._counts.clear()
-        self._cost_ms.clear()
-        self._megabytes.clear()
-        self.dropped = 0
-
-
-class DiskModel:
-    """Charges I/O costs and optionally records an I/O trace.
-
-    All costs are returned in **milliseconds of simulated time**; callers
-    (the join evaluator and the simulator) advance the virtual clock by the
-    returned amount rather than sleeping.
-    """
-
-    def __init__(
-        self,
-        parameters: Optional[DiskParameters] = None,
-        trace: Optional[IOTrace] = None,
-    ) -> None:
-        self.parameters = parameters or DiskParameters()
-        self.trace = trace or IOTrace(enabled=False)
-
-    def bucket_read_ms(self, bucket_megabytes: float, label: str = "") -> float:
-        """Cost of reading one bucket with a single sequential pass.
-
-        This is the model behind the paper's ``Tb``: one positioning delay
-        amortised over a large sequential transfer, which is exactly why
-        buckets are sized at tens of megabytes (§3.1).
-        """
-        cost = self.parameters.positioning_ms + self.parameters.transfer_ms(bucket_megabytes)
-        self.trace.record(
-            IORecord(IOKind.SEQUENTIAL_BUCKET_READ, bucket_megabytes, cost, label)
-        )
-        return cost
-
-    def index_probe_ms(self, pages: int = 1, label: str = "") -> float:
-        """Cost of one index lookup touching *pages* random leaf pages.
-
-        Each page read pays a positioning delay plus a page transfer; this
-        is what makes the index join lose to a sequential scan once the
-        workload queue covers more than a few percent of a bucket (Fig. 2).
-        """
-        if pages <= 0:
-            raise ValueError("an index probe touches at least one page")
-        megabytes = pages * self.parameters.page_size_kb / 1024.0
-        cost = pages * (
-            self.parameters.positioning_ms
-            + self.parameters.transfer_ms(self.parameters.page_size_kb / 1024.0)
-        )
-        self.trace.record(IORecord(IOKind.RANDOM_INDEX_PROBE, megabytes, cost, label))
-        return cost
-
-    def random_page_read_ms(self, pages: int = 1, label: str = "") -> float:
-        """Cost of reading *pages* random data pages (used by the index-only baseline)."""
-        if pages <= 0:
-            raise ValueError("must read at least one page")
-        megabytes = pages * self.parameters.page_size_kb / 1024.0
-        cost = pages * (
-            self.parameters.positioning_ms
-            + self.parameters.transfer_ms(self.parameters.page_size_kb / 1024.0)
-        )
-        self.trace.record(IORecord(IOKind.RANDOM_PAGE_READ, megabytes, cost, label))
-        return cost
-
-
-def calibrated_disk_for_bucket_read(
-    bucket_megabytes: float = 40.0, target_bucket_read_s: float = 1.2
-) -> DiskModel:
-    """Build a disk model whose bucket read time matches a target.
-
-    The paper derives ``Tb`` = 1.2 s empirically for 40 MB buckets; this
-    helper solves for the sequential bandwidth that reproduces the same
-    constant with the default positioning overhead, so experiments can be
-    run with the paper's numbers without hand-tuning.
-    """
-    if target_bucket_read_s <= 0:
-        raise ValueError("target bucket read time must be positive")
-    positioning_ms = DiskParameters().positioning_ms
-    transfer_ms = target_bucket_read_s * 1000.0 - positioning_ms
-    if transfer_ms <= 0:
-        raise ValueError("target time is smaller than the positioning overhead")
-    bandwidth = bucket_megabytes / (transfer_ms / 1000.0)
-    return DiskModel(DiskParameters(sequential_bandwidth_mb_per_s=bandwidth))
+__all__ = [
+    "DiskModel",
+    "DiskParameters",
+    "IOKind",
+    "IORecord",
+    "IOTrace",
+    "calibrated_disk_for_bucket_read",
+]

@@ -30,7 +30,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.storage.bucket_store import Bucket, BucketStore, StoreSnapshot
 from repro.storage.cache import LRUCache
-from repro.storage.disk import DiskModel
+from repro.storage.disk_model import DiskModel
 from repro.storage.format import BucketFileReader, StoreManifest
 from repro.storage.partitioner import BucketSpec
 
@@ -140,8 +140,9 @@ class DiskBucketStore(BucketStore):
             if cached is not None:
                 return cached
         started = time.perf_counter()
-        htm_ids, rows = self._reader.read_bucket(spec.index)
-        bucket = Bucket(spec, objects=rows, htm_ids=htm_ids)
+        # Zero-copy decode: the bucket carries column casts over the mmap
+        # and never materialises row objects unless a consumer asks.
+        bucket = Bucket(spec, columns=self._reader.read_bucket_block(spec.index))
         self.real_read_s += time.perf_counter() - started
         self.page_reads += 1
         if self.page_cache.capacity > 0:

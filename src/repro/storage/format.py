@@ -54,9 +54,11 @@ from __future__ import annotations
 
 import hashlib
 import io
+import mmap
 import os
 import struct
-from dataclasses import dataclass
+import sys
+from dataclasses import dataclass, field
 from typing import BinaryIO, Dict, List, Sequence, Tuple
 
 from repro.catalog.objects import CelestialObject
@@ -87,6 +89,119 @@ class StoreFormatError(RuntimeError):
     """Raised when a bucket store file is malformed, corrupt or truncated."""
 
 
+#: Column casts are zero-copy only when the machine's byte order matches the
+#: file's little-endian layout; big-endian hosts fall back to a bulk
+#: ``struct.unpack`` (still column-at-a-time, just one copy per column).
+_NATIVE_LITTLE_ENDIAN = sys.byteorder == "little"
+
+
+@dataclass(frozen=True)
+class ColumnBlock:
+    """One decoded bucket page as typed, whole-column sequences.
+
+    This is the zero-copy evaluation currency of the storage subsystem:
+    each attribute is a ``memoryview`` cast directly over the page bytes
+    (on little-endian hosts) rather than a tuple of per-row objects, so
+    decoding a page costs six buffer casts instead of one Python object
+    per row.  Kernels in :mod:`repro.core.kernels` evaluate crossmatch
+    work directly against these columns; :class:`~repro.catalog.objects.
+    CelestialObject` rows are only materialised at the result boundary
+    via :meth:`row` / :meth:`rows`.
+
+    The columns keep the backing buffer (usually the reader's mmap)
+    alive for as long as the block is referenced, so cached blocks stay
+    valid even after the store that decoded them is closed.
+    """
+
+    #: HTM IDs, ascending (the on-disk order is the merge-join order).
+    htm_ids: Sequence[int]
+    object_ids: Sequence[int]
+    ra: Sequence[float]
+    dec: Sequence[float]
+    magnitude: Sequence[float]
+    survey_codes: Sequence[int]
+    #: The file's survey dictionary (shared by every block of one store).
+    surveys: Tuple[str, ...]
+    _rows: List[Tuple["CelestialObject", ...]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+
+    def __len__(self) -> int:
+        return len(self.htm_ids)
+
+    def row(self, index: int) -> "CelestialObject":
+        """Materialise one row object (the result-boundary escape hatch)."""
+        return CelestialObject(
+            object_id=self.object_ids[index],
+            ra=self.ra[index],
+            dec=self.dec[index],
+            htm_id=self.htm_ids[index],
+            magnitude=self.magnitude[index],
+            survey=self.surveys[self.survey_codes[index]],
+        )
+
+    def rows(self) -> Tuple["CelestialObject", ...]:
+        """Materialise every row (memoised: full scans share one tuple)."""
+        if not self._rows:
+            self._rows.append(tuple(self.row(i) for i in range(len(self))))
+        return self._rows[0]
+
+
+def decode_column_block(payload, surveys: Sequence[str]) -> ColumnBlock:
+    """Decode one bucket page into a :class:`ColumnBlock` without copying.
+
+    *payload* may be any buffer (a ``memoryview`` over the reader's mmap
+    in the hot path).  Structural validation matches
+    :func:`decode_bucket_page`: a malformed length or an out-of-range
+    survey code raises :class:`StoreFormatError`.  Row order is enforced
+    at encode time and page content is CRC-covered, so this fast path
+    does not re-verify sortedness row by row — the strict
+    :func:`decode_bucket_page` still does.
+    """
+    view = memoryview(payload)
+    if len(view) < _PAGE_HEADER.size:
+        raise StoreFormatError("bucket page shorter than its row-count header")
+    (count,) = _PAGE_HEADER.unpack_from(view, 0)
+    offset = _PAGE_HEADER.size
+    expected = offset + count * (8 + 8 + 8 + 8 + 8 + 1)
+    if len(view) != expected:
+        raise StoreFormatError(
+            f"bucket page length mismatch: {len(view)} bytes for {count} rows "
+            f"(expected {expected})"
+        )
+
+    def column(fmt: str, width: int) -> Sequence:
+        nonlocal offset
+        end = offset + count * width
+        chunk = view[offset:end]
+        offset = end
+        if _NATIVE_LITTLE_ENDIAN:
+            return chunk.cast(fmt)
+        return struct.unpack(f"<{count}{fmt}", chunk)  # pragma: no cover
+
+    ids = column("Q", 8)
+    object_ids = column("q", 8)
+    ras = column("d", 8)
+    decs = column("d", 8)
+    magnitudes = column("d", 8)
+    codes = column("B", 1)
+    # bytes() of a 1-byte column is a C-speed copy; max() over it is the
+    # cheap way to validate every survey code in one pass.
+    if count and max(bytes(codes)) >= len(surveys):
+        raise StoreFormatError(
+            f"bucket page references unknown survey code {max(bytes(codes))}"
+        )
+    return ColumnBlock(
+        htm_ids=ids,
+        object_ids=object_ids,
+        ra=ras,
+        dec=decs,
+        magnitude=magnitudes,
+        survey_codes=codes,
+        surveys=tuple(surveys),
+    )
+
+
 @dataclass(frozen=True)
 class StoreManifest:
     """Summary of one written (or opened) bucket store file."""
@@ -102,15 +217,6 @@ class StoreManifest:
 
 def _crc(payload: bytes) -> int:
     return crc32(payload) & 0xFFFFFFFF
-
-
-def _read_exact(handle: BinaryIO, size: int, what: str) -> bytes:
-    data = handle.read(size)
-    if len(data) != size:
-        raise StoreFormatError(
-            f"truncated bucket store: expected {size} bytes of {what}, got {len(data)}"
-        )
-    return data
 
 
 def encode_bucket_page(
@@ -153,50 +259,15 @@ def decode_bucket_page(
     """Decode one bucket page back into ``(htm_ids, rows)``.
 
     The inverse of :func:`encode_bucket_page`; raises
-    :class:`StoreFormatError` on any structural mismatch.
+    :class:`StoreFormatError` on any structural mismatch.  This is the
+    strict path: unlike :func:`decode_column_block` it re-verifies row
+    order, and it always materialises the row objects.
     """
-    view = memoryview(payload)
-    if len(view) < _PAGE_HEADER.size:
-        raise StoreFormatError("bucket page shorter than its row-count header")
-    (count,) = _PAGE_HEADER.unpack_from(view, 0)
-    offset = _PAGE_HEADER.size
-    expected = offset + count * (8 + 8 + 8 + 8 + 8 + 1)
-    if len(view) != expected:
-        raise StoreFormatError(
-            f"bucket page length mismatch: {len(view)} bytes for {count} rows "
-            f"(expected {expected})"
-        )
-
-    def column(fmt: str, width: int) -> Tuple:
-        nonlocal offset
-        values = struct.unpack_from(f"<{count}{fmt}", view, offset)
-        offset += count * width
-        return values
-
-    ids = column("Q", 8)
-    object_ids = column("q", 8)
-    ras = column("d", 8)
-    decs = column("d", 8)
-    magnitudes = column("d", 8)
-    codes = column("B", 1)
-    rows = []
-    for i in range(count):
-        code = codes[i]
-        if code >= len(surveys):
-            raise StoreFormatError(f"bucket page references unknown survey code {code}")
-        rows.append(
-            CelestialObject(
-                object_id=object_ids[i],
-                ra=ras[i],
-                dec=decs[i],
-                htm_id=ids[i],
-                magnitude=magnitudes[i],
-                survey=surveys[code],
-            )
-        )
-    if any(ids[i] > ids[i + 1] for i in range(count - 1)):
+    block = decode_column_block(payload, surveys)
+    ids = tuple(block.htm_ids)
+    if any(ids[i] > ids[i + 1] for i in range(len(ids) - 1)):
         raise StoreFormatError("bucket page is not HTM-sorted")
-    return ids, tuple(rows)
+    return ids, block.rows()
 
 
 class BucketFileWriter:
@@ -248,11 +319,41 @@ class BucketFileWriter:
                         f"row HTM ID {htm_id} falls outside bucket {spec.index}'s range"
                     )
         page = encode_bucket_page(htm_ids_sorted, rows, self._survey_codes)
+        self._append_page(spec, page, len(rows))
+
+    def append_encoded(
+        self, page: bytes, row_count: int, surveys: Sequence[str]
+    ) -> None:
+        """Write the next bucket's pre-encoded page (the parallel-ingest path).
+
+        *surveys* is the code-ordered survey dictionary the encoder used
+        (code *i* is ``surveys[i]``).  Encoders must assign codes the way
+        this writer would have — first-seen order starting at an empty
+        dictionary — so pages produced by independent workers assemble
+        into a file byte-identical to a serial ingest; a disagreement
+        raises rather than silently mislabelling rows.
+        """
+        if self._next_index >= len(self.layout):
+            raise ValueError("more bucket pages than layout buckets")
+        for survey in surveys:
+            if survey not in self._survey_codes:
+                if len(self._survey_codes) >= 255:
+                    raise ValueError("a store file supports at most 255 distinct surveys")
+                self._survey_codes[survey] = len(self._survey_codes)
+        for code, survey in enumerate(surveys):
+            if self._survey_codes[survey] != code:
+                raise ValueError(
+                    f"pre-encoded page assigns survey {survey!r} code {code}, "
+                    f"but the store's dictionary says {self._survey_codes[survey]}"
+                )
+        self._append_page(self.layout[self._next_index], page, row_count)
+
+    def _append_page(self, spec: BucketSpec, page: bytes, row_count: int) -> None:
         offset = self._handle.tell()
         self._handle.write(page)
-        self._entries.append((spec, len(rows), offset, len(page), _crc(page)))
+        self._entries.append((spec, row_count, offset, len(page), _crc(page)))
         self._next_index += 1
-        self._total_rows += len(rows)
+        self._total_rows += row_count
 
     def finish(self) -> StoreManifest:
         """Write the directory, patch the header, and close the file."""
@@ -322,29 +423,58 @@ def generation_of(directory_payload: bytes) -> str:
 
 
 class BucketFileReader:
-    """Random-access reader over one bucket store file.
+    """Random-access reader over one memory-mapped bucket store file.
 
-    Opening validates the magic, version, header CRC and directory CRC and
-    reconstructs the partition layout; :meth:`read_bucket` then performs
-    one seek + one sequential read + one CRC check + one columnar decode
-    per call.  Readers are cheap enough to open per process — worker
-    children of the multiprocessing backend each own one.
+    Opening maps the whole file read-only and validates the magic,
+    version, header CRC and directory CRC, reconstructing the partition
+    layout; :meth:`read_bucket_block` then performs one CRC pass over the
+    mapped page plus six zero-copy column casts — no ``seek``/``read``
+    syscalls and no per-row decoding.  Readers are cheap enough to open
+    per process — worker children of the multiprocessing backend each
+    own one.
+
+    Decoded :class:`ColumnBlock`\\ s reference the map directly, so
+    :meth:`close` only unmaps once the last cached block is gone (the
+    mapping is held alive by the blocks' buffer exports until then).
     """
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = os.fspath(path)
         try:
-            self._handle: BinaryIO = open(self.path, "rb")
+            handle: BinaryIO = open(self.path, "rb")
         except OSError as error:
             raise StoreFormatError(f"cannot open bucket store {self.path!r}: {error}") from error
         try:
+            self.file_bytes = os.fstat(handle.fileno()).st_size
+            if self.file_bytes == 0:
+                raise StoreFormatError(
+                    f"truncated bucket store: expected {_HEADER.size} bytes of "
+                    "file header, got 0"
+                )
+            # The map survives the descriptor: close the handle immediately.
+            self._mmap = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        finally:
+            handle.close()
+        self._view = memoryview(self._mmap)
+        self._closed = False
+        try:
             self._load_metadata()
         except Exception:
-            self._handle.close()
+            self.close()
             raise
 
+    def _slice(self, offset: int, size: int, what: str) -> memoryview:
+        """A bounds-checked window into the map (zero-copy)."""
+        if offset + size > self.file_bytes:
+            available = max(0, self.file_bytes - offset)
+            raise StoreFormatError(
+                f"truncated bucket store: expected {size} bytes of {what}, "
+                f"got {available}"
+            )
+        return self._view[offset : offset + size]
+
     def _load_metadata(self) -> None:
-        header = _read_exact(self._handle, _HEADER.size, "file header")
+        header = bytes(self._slice(0, _HEADER.size, "file header"))
         magic, version, _flags, leaf_level, bucket_count, directory_offset, header_crc = (
             _HEADER.unpack(header)
         )
@@ -362,14 +492,15 @@ class BucketFileReader:
             raise StoreFormatError(
                 f"{self.path!r} has no directory (ingest did not finish)"
             )
-        file_size = os.fstat(self._handle.fileno()).st_size
+        file_size = self.file_bytes
         if directory_offset + _CRC.size > file_size:
             raise StoreFormatError(f"directory offset past end of file in {self.path!r}")
-        self._handle.seek(directory_offset)
-        payload = _read_exact(
-            self._handle, file_size - directory_offset - _CRC.size, "page directory"
+        payload = self._slice(
+            directory_offset, file_size - directory_offset - _CRC.size, "page directory"
         )
-        (directory_crc,) = _CRC.unpack(_read_exact(self._handle, _CRC.size, "directory CRC"))
+        (directory_crc,) = _CRC.unpack(
+            bytes(self._slice(file_size - _CRC.size, _CRC.size, "directory CRC"))
+        )
         if _crc(payload) != directory_crc:
             raise StoreFormatError(f"directory checksum mismatch in {self.path!r}")
         self.generation = generation_of(payload)
@@ -402,7 +533,7 @@ class BucketFileReader:
             offset += 2
             if offset + name_length > len(payload):
                 raise StoreFormatError("survey dictionary truncated")
-            surveys.append(payload[offset : offset + name_length].decode("utf-8"))
+            surveys.append(bytes(payload[offset : offset + name_length]).decode("utf-8"))
             offset += name_length
         self.surveys: Tuple[str, ...] = tuple(surveys)
         try:
@@ -418,20 +549,31 @@ class BucketFileReader:
         """Number of physical rows materialised for bucket *bucket_index*."""
         return self._pages[bucket_index][0]
 
-    def read_bucket(
-        self, bucket_index: int
-    ) -> Tuple[Tuple[int, ...], Tuple[CelestialObject, ...]]:
-        """Seek to, read, CRC-check and decode one bucket page."""
+    def _page_payload(self, bucket_index: int) -> memoryview:
+        """CRC-checked zero-copy window over one bucket page."""
         if not 0 <= bucket_index < len(self._pages):
             raise IndexError(f"bucket {bucket_index} outside the store's layout")
         _row_count, page_offset, page_length, page_crc = self._pages[bucket_index]
-        self._handle.seek(page_offset)
-        payload = _read_exact(self._handle, page_length, f"bucket {bucket_index} page")
+        payload = self._slice(page_offset, page_length, f"bucket {bucket_index} page")
         if _crc(payload) != page_crc:
             raise StoreFormatError(
                 f"bucket {bucket_index} page checksum mismatch in {self.path!r}"
             )
-        return decode_bucket_page(payload, self.surveys)
+        return payload
+
+    def read_bucket_block(self, bucket_index: int) -> ColumnBlock:
+        """CRC-check and decode one bucket page into a zero-copy block.
+
+        This is the hot path: the block's columns are casts over the mmap,
+        so no bytes are copied and no row objects are built.
+        """
+        return decode_column_block(self._page_payload(bucket_index), self.surveys)
+
+    def read_bucket(
+        self, bucket_index: int
+    ) -> Tuple[Tuple[int, ...], Tuple[CelestialObject, ...]]:
+        """CRC-check and strictly decode one bucket page into row objects."""
+        return decode_bucket_page(self._page_payload(bucket_index), self.surveys)
 
     def manifest(self) -> StoreManifest:
         """Describe the opened file (mirrors the writer's return value)."""
@@ -442,12 +584,25 @@ class BucketFileReader:
             bucket_count=len(self.layout),
             total_objects=self.layout.total_objects(),
             total_rows=self.total_rows,
-            file_bytes=os.fstat(self._handle.fileno()).st_size,
+            file_bytes=self.file_bytes,
         )
 
     def close(self) -> None:
-        """Release the file handle."""
-        self._handle.close()
+        """Release the mapping (deferred while decoded blocks still use it).
+
+        Column casts handed out by :meth:`read_bucket_block` export the
+        map's buffer; closing the map under them would invalidate cached
+        blocks, so when exports exist the unmap is left to garbage
+        collection of the last block.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._view.release()
+            self._mmap.close()
+        except (BufferError, ValueError):
+            pass
 
     def __enter__(self) -> "BucketFileReader":
         return self
@@ -468,10 +623,12 @@ __all__ = [
     "STORE_SUFFIX",
     "StoreFormatError",
     "StoreManifest",
+    "ColumnBlock",
     "BucketFileWriter",
     "BucketFileReader",
     "encode_bucket_page",
     "decode_bucket_page",
+    "decode_column_block",
     "generation_of",
     "read_layout",
 ]

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.htm.curve import HTMRange, HTMRangeSet
-from repro.storage.disk import DiskModel
+from repro.storage.disk_model import DiskModel
 
 #: Rows per 8 KB leaf page; an SDSS photo object row is a few hundred bytes.
 DEFAULT_ROWS_PER_PAGE = 32

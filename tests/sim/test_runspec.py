@@ -1,0 +1,97 @@
+"""Tests for the RunSpec API: dispatch, defaults, and the deprecated shims."""
+
+import warnings
+
+import pytest
+
+from repro.sim.runspec import DEFAULT_STORE, RunSpec
+from repro.sim.simulator import (
+    VIRTUAL_CLOCK_PARITY_FIELDS,
+    SimulationConfig,
+    Simulator,
+)
+from repro.workload.generator import TraceConfig, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return TraceGenerator(TraceConfig(query_count=60, bucket_count=128, seed=17)).generate()
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return Simulator(SimulationConfig(bucket_count=128))
+
+
+class TestRunSpec:
+    def test_defaults_describe_a_serial_run(self):
+        spec = RunSpec()
+        assert spec.policy == "liferaft"
+        assert spec.workers == 1
+        assert not spec.is_parallel
+        assert spec.store_path is DEFAULT_STORE
+
+    def test_workers_imply_parallel_execution(self):
+        assert RunSpec(workers=2).is_parallel
+        assert RunSpec(workers=2).effective_backend == "virtual"
+        assert RunSpec(backend="process").is_parallel
+        assert RunSpec(backend="process").effective_backend == "process"
+
+    def test_non_positive_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers must be positive"):
+            RunSpec(workers=0)
+
+    def test_with_store_replaces_only_the_store(self):
+        spec = RunSpec(alpha=0.5, workers=2)
+        in_memory = spec.with_store(None)
+        assert in_memory.store_path is None
+        assert in_memory.alpha == 0.5
+        assert in_memory.workers == 2
+        assert spec.store_path is DEFAULT_STORE  # the original is untouched
+
+    def test_specs_are_immutable(self):
+        with pytest.raises(AttributeError):
+            RunSpec().alpha = 0.9
+
+
+class TestExecute:
+    def test_execute_equals_deprecated_run(self, small_trace, simulator):
+        queries = small_trace.with_saturation(0.5).queries
+        via_execute = simulator.execute(queries, RunSpec(alpha=0.25))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_run = simulator.run(queries, "liferaft", alpha=0.25)
+        for field in VIRTUAL_CLOCK_PARITY_FIELDS:
+            assert getattr(via_execute, field) == getattr(via_run, field), field
+
+    def test_execute_without_spec_uses_defaults(self, small_trace, simulator):
+        result = simulator.execute(small_trace.with_saturation(0.5).queries)
+        assert result.completed_queries == len(small_trace)
+        assert result.policy_name.startswith("liferaft")
+
+    def test_execute_dispatches_workers_to_parallel_engine(self, small_trace, simulator):
+        queries = small_trace.with_saturation(0.5).queries
+        serial = simulator.execute(queries, RunSpec(alpha=0.0))
+        parallel = simulator.execute(queries, RunSpec(alpha=0.0, workers=2))
+        assert parallel.workers == 2
+        # The virtual-clock totals are backend-invariant by construction.
+        assert parallel.completed_queries == serial.completed_queries
+
+    def test_execute_parallel_equals_deprecated_run_parallel(self, small_trace, simulator):
+        queries = small_trace.with_saturation(0.5).queries
+        via_execute = simulator.execute(queries, RunSpec(alpha=0.0, workers=2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_shim = simulator.run_parallel(queries, "liferaft", workers=2, alpha=0.0)
+        for field in VIRTUAL_CLOCK_PARITY_FIELDS:
+            assert getattr(via_execute, field) == getattr(via_shim, field), field
+
+
+class TestDeprecatedShims:
+    def test_run_warns(self, small_trace, simulator):
+        with pytest.warns(DeprecationWarning, match="Simulator.run is deprecated"):
+            simulator.run(small_trace.with_saturation(0.5).queries, "liferaft")
+
+    def test_run_parallel_warns(self, small_trace, simulator):
+        with pytest.warns(DeprecationWarning, match="Simulator.run_parallel is deprecated"):
+            simulator.run_parallel(small_trace.with_saturation(0.5).queries, "liferaft", workers=2)

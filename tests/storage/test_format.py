@@ -261,3 +261,85 @@ class TestCorruptionDetection:
     def test_missing_file_is_a_clean_error(self, tmp_path):
         with pytest.raises(StoreFormatError, match="cannot open"):
             BucketFileReader(tmp_path / "missing.lrbs")
+
+
+class TestColumnarBlocks:
+    """Zero-copy ColumnBlock reads: parity with the strict row path."""
+
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_block_decode_matches_row_decode(self, tmp_path_factory, count, per_bucket, seed):
+        """Every mmap window decodes to the same rows the strict path yields.
+
+        Random catalogs over random bucket widths exercise empty buckets,
+        single-row pages, and pages at both ends of the mmap (first page
+        right after the header, last page right before the directory).
+        """
+        tmp_path = tmp_path_factory.mktemp("blocks")
+        table = build_catalog(count, seed)
+        path = tmp_path / "catalog.lrbs"
+        ingest_catalog(path, table, objects_per_bucket=per_bucket, leaf_level=LEAF_LEVEL)
+        with BucketFileReader(path) as reader:
+            for index in range(len(reader)):
+                block = reader.read_bucket_block(index)
+                ids, rows = reader.read_bucket(index)
+                assert list(block.htm_ids) == list(ids)
+                assert list(block.rows()) == list(rows)
+                assert len(block) == reader.row_count(index)
+                for position, row in enumerate(rows):
+                    assert block.row(position) == row
+                    assert block.object_ids[position] == row.object_id
+                    assert block.ra[position] == row.ra
+                    assert block.dec[position] == row.dec
+                    assert block.magnitude[position] == row.magnitude
+                    assert block.surveys[block.survey_codes[position]] == row.survey
+
+    def test_blocks_survive_reader_close(self, tmp_path):
+        """Unmapping is deferred while blocks still hold column views."""
+        layout = BucketPartitioner(objects_per_bucket=16).partition_density(4, total_objects=64)
+        materialize_layout(tmp_path / "site.lrbs", layout, rows_per_bucket=8)
+        reader = BucketFileReader(tmp_path / "site.lrbs")
+        block = reader.read_bucket_block(0)
+        reader.close()
+        assert list(block.htm_ids) == sorted(block.htm_ids)
+        assert len(block.rows()) == 8
+
+    def test_empty_bucket_block(self, tmp_path):
+        """Zero-row pages decode to empty, zero-length blocks."""
+        layout = BucketPartitioner().partition_density(4)
+        writer = BucketFileWriter(tmp_path / "sparse.lrbs", layout)
+        populated = synthesize_bucket_rows(layout[1], 6)
+        for spec in layout:
+            if spec.index == 1:
+                writer.append_bucket([r.htm_id for r in populated], populated)
+            else:
+                writer.append_bucket([], [])
+        writer.finish()
+        with BucketFileReader(tmp_path / "sparse.lrbs") as reader:
+            for index in range(len(reader)):
+                block = reader.read_bucket_block(index)
+                if index == 1:
+                    assert len(block) == 6
+                else:
+                    assert len(block) == 0
+                    assert block.rows() == ()
+
+
+class TestParallelIngest:
+    def test_parallel_ingest_is_byte_identical(self, tmp_path):
+        layout = BucketPartitioner(objects_per_bucket=16).partition_density(4, total_objects=256)
+        serial = materialize_layout(tmp_path / "serial.lrbs", layout, rows_per_bucket=12)
+        parallel = materialize_layout(
+            tmp_path / "parallel.lrbs", layout, rows_per_bucket=12, workers=2
+        )
+        assert parallel.generation == serial.generation
+        assert (tmp_path / "parallel.lrbs").read_bytes() == (tmp_path / "serial.lrbs").read_bytes()
+
+    def test_workers_validated(self, tmp_path):
+        layout = BucketPartitioner(objects_per_bucket=16).partition_density(4, total_objects=64)
+        with pytest.raises(ValueError, match="workers must be positive"):
+            materialize_layout(tmp_path / "w.lrbs", layout, rows_per_bucket=4, workers=0)
