@@ -40,6 +40,23 @@ crash-injected run is bit-identical to an uninterrupted one::
         --backend process --inject-crash 1@1 --checkpoint-every windows:2 \
         --verify-recovery
 
+Shrink a three-worker run to two mid-run, then grow back to three — the
+departing shard's queues migrate over the stealing seam and the run's
+completion set is unchanged::
+
+    liferaft run --scale small --workers 3 --scale-down 1@2 --scale-up 4
+
+Record a run as a ``.lrtr`` trace, then replay it elsewhere and verify
+the result digest is bit-identical::
+
+    liferaft run --scale small --record-trace /tmp/run.lrtr
+    liferaft replay /tmp/run.lrtr --backend virtual
+
+List the adversarial scenario library, record one as a trace fixture::
+
+    liferaft scenarios
+    liferaft scenarios --record hotspot_zone_skew --out /tmp/hotspot.lrtr
+
 Print the workload characterisation of a freshly generated trace::
 
     liferaft trace --scale small
@@ -379,6 +396,105 @@ def build_parser() -> argparse.ArgumentParser:
             "(requires --inject-crash)"
         ),
     )
+    run.add_argument(
+        "--scale-down",
+        action="append",
+        default=None,
+        metavar="W@N",
+        help=(
+            "planned departure: shard worker W leaves at window barrier N, "
+            "migrating every queue to the survivors (repeatable, or a "
+            "comma list; enables the reliability subsystem)"
+        ),
+    )
+    run.add_argument(
+        "--scale-up",
+        action="append",
+        default=None,
+        metavar="N",
+        help=(
+            "planned join: one cold shard worker spawns at window barrier "
+            "N and acquires work through steal rounds (repeatable, or a "
+            "comma list; requires stealing, so it cannot be combined with "
+            "--inject-crash)"
+        ),
+    )
+    run.add_argument(
+        "--record-trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record the run's arrival stream and result digest as a .lrtr "
+            "trace FILE for 'liferaft replay'"
+        ),
+    )
+
+    replay = subparsers.add_parser(
+        "replay",
+        help=(
+            "re-run a recorded .lrtr trace and verify the result digest is "
+            "bit-identical to the recording"
+        ),
+    )
+    replay.add_argument("trace", metavar="FILE", help=".lrtr trace file to replay")
+    replay.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="shard workers (default: the recorded worker count)",
+    )
+    replay.add_argument(
+        "--backend",
+        default=None,
+        choices=("virtual", "process"),
+        help="execution backend when replaying with multiple workers",
+    )
+    replay.add_argument(
+        "--store-path",
+        default=None,
+        metavar="FILE",
+        help="replay against an ingested .lrbs bucket store",
+    )
+    replay.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the digest comparison (report-only replay)",
+    )
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help=(
+            "list the adversarial scenario library, or record one scenario "
+            "as a .lrtr trace fixture"
+        ),
+    )
+    scenarios.add_argument(
+        "--record",
+        default=None,
+        metavar="NAME",
+        help="scenario to run serially and record (see the bare listing)",
+    )
+    scenarios.add_argument(
+        "--out", default=None, metavar="FILE", help=".lrtr file to write"
+    )
+    scenarios.add_argument(
+        "--queries",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="override the scenario's default query count",
+    )
+    scenarios.add_argument(
+        "--buckets",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="override the scenario's default bucket count",
+    )
+    scenarios.add_argument(
+        "--seed", type=int, default=None, help="override the scenario's default seed"
+    )
 
     subparsers.add_parser("list", help="list available experiments")
     return parser
@@ -485,31 +601,50 @@ def _build_reliability(args: argparse.Namespace):
         args.checkpoint_dir is None
         and args.checkpoint_every is None
         and args.inject_crash is None
+        and args.scale_down is None
+        and args.scale_up is None
     ):
         if args.checkpoint_window_ms is not None:
             # A bare tuning knob must not silently turn the subsystem on.
             raise SystemExit(
                 "--checkpoint-window-ms tunes the reliability window and "
-                "requires --checkpoint-dir, --checkpoint-every or "
-                "--inject-crash"
+                "requires --checkpoint-dir, --checkpoint-every, "
+                "--inject-crash, --scale-down or --scale-up"
             )
         return None
-    from repro.reliability import FaultPlan, ReliabilityConfig
+    from repro.reliability import FaultPlan, ReliabilityConfig, ScalePlan
 
+    if args.inject_crash and args.scale_up:
+        # Crash injection disables stealing (bit-comparability), but a
+        # joining worker can only acquire work through steal rounds.
+        raise SystemExit(
+            "--inject-crash cannot be combined with --scale-up: crash "
+            "injection disables work stealing, and a joining worker "
+            "acquires work only through steal rounds"
+        )
     try:
         faults = FaultPlan.parse(args.inject_crash) if args.inject_crash else None
+        scale = (
+            ScalePlan.parse(args.scale_down or (), args.scale_up or ())
+            if args.scale_down or args.scale_up
+            else None
+        )
+        if scale:
+            scale.validate(args.workers)
+        total_workers = args.workers + (scale.total_ups() if scale else 0)
         if faults:
             for point in faults.crashes:
-                if point.worker_id >= args.workers:
+                if point.worker_id >= total_workers:
                     raise ValueError(
                         f"--inject-crash {point.spec} targets worker "
-                        f"{point.worker_id}, but --workers {args.workers} runs "
-                        f"workers 0..{args.workers - 1} (worker ids are 0-based)"
+                        f"{point.worker_id}, but the run has workers "
+                        f"0..{total_workers - 1} (worker ids are 0-based)"
                     )
         return ReliabilityConfig(
             checkpoint_dir=args.checkpoint_dir,
             cadence=args.checkpoint_every or "windows:1",
             faults=faults,
+            scale=scale,
             window_quantum_ms=args.checkpoint_window_ms,
         )
     except ValueError as error:
@@ -523,6 +658,7 @@ def _single_run(
     store_path,
     reliability=None,
     enable_stealing: bool = True,
+    record_trace=None,
 ):
     from repro.sim.runspec import RunSpec
 
@@ -541,6 +677,7 @@ def _single_run(
             enable_stealing=enable_stealing,
             reliability=reliability,
             store_path=store_path,
+            record_trace=record_trace,
         ),
     )
 
@@ -580,7 +717,10 @@ def _run_single(args: argparse.Namespace) -> int:
         store_path=args.store_path,
         reliability=reliability,
         enable_stealing=stealing,
+        record_trace=args.record_trace,
     )
+    if args.record_trace:
+        print(f"recorded trace -> {args.record_trace}")
     engine = (
         "serial engine"
         if args.workers == 1 and reliability is None
@@ -667,6 +807,89 @@ def _run_single(args: argparse.Namespace) -> int:
         "across file-backed and in-memory stores"
     )
     return status
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    from repro.workload.replay import replay_recorded
+
+    try:
+        outcome = replay_recorded(
+            args.trace,
+            workers=args.workers,
+            backend=args.backend,
+            store_path=args.store_path,
+        )
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error)) from error
+    trace = outcome.trace
+    result = outcome.result
+    meta = trace.meta
+    print(
+        f"replayed {args.trace}: {len(trace)} queries "
+        f"(recorded on {meta.get('backend', '?')} x{meta.get('workers', '?')}, "
+        f"policy {meta.get('policy', '?')})"
+    )
+    print(
+        f"  completed {result.completed_queries} | "
+        f"makespan {result.makespan_s:.2f}s | "
+        f"throughput {result.throughput_qps:.3f} qps"
+    )
+    if args.no_verify:
+        print("  digest check skipped (--no-verify)")
+        return 0
+    if not trace.expected_digest:
+        print("  trace carries no expected digest; nothing to verify")
+        return 0
+    if not outcome.digest_checked:
+        print(
+            "  digest not comparable: replay configuration (workers/stealing) "
+            "differs from the recording — completion sets still match, but "
+            "per-query timings legitimately shift"
+        )
+        return 0
+    if outcome.digest_matches:
+        print(f"  digest OK: {result.result_digest}")
+        return 0
+    print(
+        "  DIGEST MISMATCH:\n"
+        f"    expected {trace.expected_digest}\n"
+        f"    got      {result.result_digest}"
+    )
+    return 1
+
+
+def _run_scenarios(args: argparse.Namespace) -> int:
+    from repro.workload.scenarios import SCENARIOS, record_scenario
+
+    if args.record is None:
+        if args.out is not None:
+            raise SystemExit("--out requires --record NAME")
+        width = max(len(name) for name in SCENARIOS)
+        for name, scenario in SCENARIOS.items():
+            print(
+                f"{name:<{width}}  {scenario.description} "
+                f"(defaults: {scenario.default_query_count} queries, "
+                f"{scenario.default_bucket_count} buckets, "
+                f"seed {scenario.default_seed})"
+            )
+        return 0
+    if args.out is None:
+        raise SystemExit("--record requires --out FILE")
+    try:
+        info = record_scenario(
+            args.record,
+            args.out,
+            query_count=args.queries,
+            bucket_count=args.buckets,
+            seed=args.seed,
+        )
+    except KeyError as error:
+        raise SystemExit(error.args[0]) from error
+    print(
+        f"recorded scenario {args.record!r} -> {info.path} "
+        f"({info.query_count} queries, {info.byte_size / 1024:.1f} KiB)"
+    )
+    return 0
 
 
 def _run_serve(args: argparse.Namespace) -> int:
@@ -769,6 +992,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_ingest(args)
     if args.command == "run":
         return _run_single(args)
+    if args.command == "replay":
+        return _run_replay(args)
+    if args.command == "scenarios":
+        return _run_scenarios(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

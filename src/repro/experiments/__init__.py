@@ -22,6 +22,7 @@ from repro.experiments import (
     cache_hits,
     cache_ablation,
     ablations,
+    elasticity,
     recovery,
     scaling,
     serving,
@@ -39,6 +40,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "cache_hits": cache_hits.run,
     "cache_ablation": cache_ablation.run,
     "ablations": ablations.run,
+    "elasticity": elasticity.run,
     "recovery": recovery.run,
     "scaling": scaling.run,
     "serving": serving.run,

@@ -92,6 +92,16 @@ class AdoptBucket:
 
 
 @dataclass(frozen=True)
+class ReleaseAllBuckets:
+    """Hand *every* queue (pending and staged) to the coordinator.
+
+    The planned scale-down message: a departing shard evacuates its whole
+    remaining workload through the same release seam stealing uses, one
+    :class:`ReleasedBucket` per queue.
+    """
+
+
+@dataclass(frozen=True)
 class CaptureCheckpoint:
     """Capture the shard's state at the current barrier into *path*.
 
@@ -177,6 +187,14 @@ class ReleasedBucket:
     #: The victim's next staged arrival *after* the extraction (``None``
     #: when its stage is empty); keeps the coordinator's view current.
     next_staged_ms: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ReleasedAll:
+    """Reply to :class:`ReleaseAllBuckets`: the shard's evacuated queues."""
+
+    worker_id: int
+    buckets: Tuple[ReleasedBucket, ...]
 
 
 @dataclass(frozen=True)
@@ -324,6 +342,20 @@ class ShardReplayer:
             next_staged_ms=worker.next_staged_ms(),
         )
 
+    def release_all(self) -> ReleasedAll:
+        """Evacuate every queue — pending *and* staged — for scale-down.
+
+        Buckets are released in index order so the migration schedule is
+        deterministic regardless of internal dict ordering.
+        """
+        worker = self.worker
+        buckets = sorted(
+            set(worker.pending_buckets())
+            | {share.bucket_index for share in worker.staged_shares()}
+        )
+        released = tuple(self.release(bucket_index) for bucket_index in buckets)
+        return ReleasedAll(worker_id=worker.worker_id, buckets=released)
+
     def adopt(self, message: AdoptBucket) -> None:
         """Take ownership of a migrated queue, starting it at the steal time."""
         worker = self.worker
@@ -409,6 +441,8 @@ def shard_worker_main(conn, task: ShardTask) -> None:
                 conn.send(replayer.window_report(batches))
             elif isinstance(message, ReleaseBucket):
                 conn.send(replayer.release(message.bucket_index))
+            elif isinstance(message, ReleaseAllBuckets):
+                conn.send(replayer.release_all())
             elif isinstance(message, AdoptBucket):
                 replayer.adopt(message)
                 conn.send(Ack(task.worker_id))

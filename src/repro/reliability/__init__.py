@@ -9,6 +9,8 @@ at window barriers and replaying schedule tails.  This package provides:
 * :mod:`repro.reliability.policy` — pluggable checkpoint cadences
   (every-K-windows, virtual-time interval);
 * :mod:`repro.reliability.faults` — deterministic, seedable crash plans;
+* :mod:`repro.reliability.elastic` — planned scale-down/scale-up events
+  executed at window barriers (elasticity as generalised recovery);
 * :mod:`repro.reliability.runtime` — the recovery coordinator that kills,
   detects, respawns and re-settles shards on both execution backends;
 * :mod:`repro.reliability.config` — :class:`ReliabilityConfig`, the knob
@@ -30,6 +32,7 @@ from repro.reliability.checkpoint import (
     write_checkpoint,
 )
 from repro.reliability.config import RecoveryEvent, ReliabilityConfig, ReliabilityReport
+from repro.reliability.elastic import ScaleDown, ScalePlan, ScaleRecord, ScaleUp
 from repro.reliability.faults import CrashPoint, FaultPlan
 from repro.reliability.policy import (
     CheckpointPolicy,
@@ -50,6 +53,10 @@ __all__ = [
     "ReliabilityConfig",
     "ReliabilityReport",
     "RunCheckpoint",
+    "ScaleDown",
+    "ScalePlan",
+    "ScaleRecord",
+    "ScaleUp",
     "ShardCheckpoint",
     "VirtualInterval",
     "capture_shard",

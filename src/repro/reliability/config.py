@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.reliability.elastic import ScalePlan, ScaleRecord
 from repro.reliability.faults import FaultPlan
 from repro.reliability.policy import CheckpointPolicy, parse_cadence
 
@@ -27,6 +28,10 @@ class ReliabilityConfig:
         Deterministic crash plan; ``None`` injects nothing (checkpoints
         are still written — the steady-state overhead the recovery
         benchmark measures).
+    scale:
+        Planned elasticity: :class:`~repro.reliability.elastic.ScalePlan`
+        scale-down/scale-up events executed at window barriers; ``None``
+        keeps the worker pool static.
     max_recoveries_per_worker:
         Hard cap on recoveries of one shard before the run is declared
         lost (guards against a crash loop in a broken environment).
@@ -35,6 +40,7 @@ class ReliabilityConfig:
     checkpoint_dir: Optional[str] = None
     cadence: str = "windows:1"
     faults: Optional[FaultPlan] = None
+    scale: Optional[ScalePlan] = None
     max_recoveries_per_worker: int = 8
     #: Virtual-time window between barriers of a reliable run.  ``None``
     #: inherits the run's steal quantum (64 bucket reads by default); a
@@ -57,6 +63,10 @@ class ReliabilityConfig:
     def fault_plan(self) -> FaultPlan:
         """The crash plan (empty when no faults are configured)."""
         return self.faults if self.faults is not None else FaultPlan()
+
+    def scale_plan(self) -> ScalePlan:
+        """The elasticity plan (empty when the pool is static)."""
+        return self.scale if self.scale is not None else ScalePlan()
 
 
 @dataclass
@@ -86,6 +96,8 @@ class ReliabilityReport:
     checkpoint_real_s: float = 0.0
     crashes_injected: int = 0
     recoveries: List[RecoveryEvent] = field(default_factory=list)
+    #: Executed scale-down/scale-up events, in barrier order.
+    scale_events: List[ScaleRecord] = field(default_factory=list)
 
     @property
     def recovery_count(self) -> int:
@@ -102,6 +114,16 @@ class ReliabilityReport:
         """Total real seconds spent detecting crashes and restoring shards."""
         return sum(event.real_latency_s for event in self.recoveries)
 
+    @property
+    def scale_downs(self) -> int:
+        """Number of executed planned departures."""
+        return sum(1 for event in self.scale_events if event.kind == "down")
+
+    @property
+    def scale_ups(self) -> int:
+        """Number of executed planned joins."""
+        return sum(1 for event in self.scale_events if event.kind == "up")
+
     def describe(self) -> Dict[str, float]:
         """Flat summary for tables and the CLI."""
         return {
@@ -113,6 +135,8 @@ class ReliabilityReport:
             "recoveries": float(self.recovery_count),
             "services_replayed": float(self.services_replayed),
             "recovery_real_s": self.recovery_real_s,
+            "scale_downs": float(self.scale_downs),
+            "scale_ups": float(self.scale_ups),
         }
 
 

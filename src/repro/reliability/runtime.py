@@ -56,10 +56,13 @@ from repro.parallel.engine import CompletionTracker, StealRecord
 from repro.parallel.ipc import (
     AdoptBucket,
     BatchRecord,
+    BucketQueueMeta,
     CaptureCheckpoint,
     CheckpointWritten,
     Finalize,
+    ReleaseAllBuckets,
     ReleaseBucket,
+    ReleasedAll,
     ReleasedBucket,
     RunWindow,
     ShardReplayer,
@@ -80,6 +83,7 @@ from repro.reliability.checkpoint import (
     write_checkpoint,
 )
 from repro.reliability.config import RecoveryEvent, ReliabilityReport
+from repro.reliability.elastic import ScaleRecord
 from repro.sim.events import WorkerEventLog
 
 #: Poll granularity while waiting on a child reply (liveness checks run
@@ -143,6 +147,10 @@ class ShardChannel(ABC):
         """Extract one whole workload queue (steal source / re-settlement)."""
 
     @abstractmethod
+    def release_all(self) -> ReleasedAll:
+        """Evacuate every queue, pending and staged (planned scale-down)."""
+
+    @abstractmethod
     def adopt(self, message: AdoptBucket) -> None:
         """Deliver a migrated queue (steal target / re-settlement)."""
 
@@ -199,6 +207,9 @@ class InlineChannel(ShardChannel):
 
     def release(self, bucket_index: int) -> ReleasedBucket:
         return self._live().release(bucket_index)
+
+    def release_all(self) -> ReleasedAll:
+        return self._live().release_all()
 
     def adopt(self, message: AdoptBucket) -> None:
         self._live().adopt(message)
@@ -328,6 +339,9 @@ class ProcessChannel(ShardChannel):
     def release(self, bucket_index: int) -> ReleasedBucket:
         return self._request(ReleaseBucket(bucket_index))
 
+    def release_all(self) -> ReleasedAll:
+        return self._request(ReleaseAllBuckets())
+
     def adopt(self, message: AdoptBucket) -> None:
         self._request(message)
 
@@ -404,12 +418,21 @@ class RecoveryCoordinator:
         self.tracker = CompletionTracker()
         self.events = WorkerEventLog()
         self.faults = self.rel.fault_plan()
+        self.scale = self.rel.scale_plan()
+        self.scale.validate(spec.workers)
+        if self.scale.total_ups() and not spec.enable_stealing:
+            raise ValueError(
+                "scale-up events need work stealing enabled: a joining "
+                "worker has an empty arrival schedule and acquires work "
+                "only through steal rounds"
+            )
+        max_worker = spec.workers + self.scale.total_ups()
         for point in self.faults.crashes:
-            if point.worker_id >= spec.workers:
+            if point.worker_id >= max_worker:
                 raise ValueError(
                     f"crash point {point.spec} targets worker {point.worker_id}, "
-                    f"but the run has workers 0..{spec.workers - 1} "
-                    "(worker ids are 0-based)"
+                    f"but the run has workers 0..{max_worker - 1} "
+                    "(worker ids are 0-based; scale-ups take sequential ids)"
                 )
         self.quantum_ms = (
             self.rel.window_quantum_ms
@@ -430,31 +453,40 @@ class RecoveryCoordinator:
         self.recovery_budget = {
             w: self.rel.max_recoveries_per_worker for w in range(spec.workers)
         }
+        #: Workers that have executed a planned departure, and their
+        #: finalized accounting (collected at departure time, not run end).
+        self.departed: set = set()
+        self.final_results: Dict[int, WorkerResult] = {}
         self.report = ReliabilityReport(checkpoint_dir="", cadence=self.rel.cadence)
 
     # -- setup / teardown -------------------------------------------------- #
 
     def _build_channels(self, checkpoint_dir: str) -> None:
-        snapshot = self.spec.store.snapshot()
+        # Kept for scale-ups: a joining shard boots from the same store
+        # snapshot as the initial pool.
+        self._snapshot = self.spec.store.snapshot()
         for worker_id in range(self.spec.workers):
             policy = (
                 self.spec.policy if worker_id == 0 else self._clone(self.spec.policy)
             )
-            task = ShardTask(
-                worker_id=worker_id,
-                config=self.spec.config,
-                policy=policy,
-                snapshot=snapshot,
-                index=self.spec.index,
-                arrivals=tuple(self.arrivals[worker_id]),
-            )
-            if self.backend_name == "process":
-                channel: ShardChannel = ProcessChannel(task, self.start_method)
-            else:
-                channel = InlineChannel(task)
-            self.channels.append(channel)
-            self.views.append(ShardView(worker_id, self.arrivals[worker_id]))
+            self._spawn_shard(worker_id, policy, self.arrivals[worker_id])
         self.report.checkpoint_dir = checkpoint_dir
+
+    def _spawn_shard(self, worker_id: int, policy, arrivals) -> None:
+        task = ShardTask(
+            worker_id=worker_id,
+            config=self.spec.config,
+            policy=policy,
+            snapshot=self._snapshot,
+            index=self.spec.index,
+            arrivals=tuple(arrivals),
+        )
+        if self.backend_name == "process":
+            channel: ShardChannel = ProcessChannel(task, self.start_method)
+        else:
+            channel = InlineChannel(task)
+        self.channels.append(channel)
+        self.views.append(ShardView(worker_id, arrivals))
 
     @staticmethod
     def _clone(policy):
@@ -479,8 +511,13 @@ class RecoveryCoordinator:
             self._build_channels(checkpoint_dir)
             try:
                 self._window_loop(checkpoint_dir)
+                # Departed shards were finalized at their barrier; the
+                # survivors are finalized now.
                 results = [
-                    self._finalize_with_recovery(channel) for channel in self.channels
+                    self.final_results[channel.worker_id]
+                    if channel.worker_id in self.departed
+                    else self._finalize_with_recovery(channel)
+                    for channel in self.channels
                 ]
             finally:
                 for channel in self.channels:
@@ -504,7 +541,9 @@ class RecoveryCoordinator:
 
     def _window_loop(self, checkpoint_dir: str) -> None:
         window_index = 0
-        stealing = self.spec.enable_stealing and self.spec.workers > 1
+        stealing = self.spec.enable_stealing and (
+            self.spec.workers > 1 or self.scale.total_ups() > 0
+        )
         while True:
             candidates = [
                 candidate
@@ -549,6 +588,8 @@ class RecoveryCoordinator:
                 report = self._advance_with_recovery(channel, view, boundary, window_index)
                 self._accept(report)
                 view.apply_window(report)
+            if self.scale:
+                self._scale_round(window_index)
             if all(view.drained for view in self.views):
                 self.report.windows = window_index + 1
                 break
@@ -700,6 +741,143 @@ class RecoveryCoordinator:
                 owner = steal.record.thief_id
         return owner
 
+    # -- planned elasticity (window-barrier scale events) ------------------- #
+
+    def _scale_round(self, window_index: int) -> None:
+        """Execute this barrier's planned membership changes.
+
+        Joins run before departures (a newcomer is immediately eligible
+        to adopt a leaver's queues, and the pool can never empty at a
+        barrier that has both).
+        """
+        for _ in range(self.scale.ups_due(window_index)):
+            self._scale_up(window_index)
+        for worker_id in self.scale.downs_due(window_index):
+            self._scale_down(worker_id, window_index)
+
+    def _scale_up(self, window_index: int) -> None:
+        """One worker joins: a cold shard with an empty arrival schedule.
+
+        The new shard's view starts drained, so it costs nothing until
+        the next steal round hands it a starving queue — the same seam
+        ordinary stealing uses.
+        """
+        worker_id = len(self.channels)
+        self.arrivals.append([])
+        self._spawn_shard(worker_id, self._clone(self.spec.policy), ())
+        self.policies.append(self.rel.build_policy())
+        self.accepted_seq[worker_id] = 0
+        self.recovery_budget[worker_id] = self.rel.max_recoveries_per_worker
+        self.report.scale_events.append(
+            ScaleRecord(kind="up", worker_id=worker_id, window_index=window_index)
+        )
+
+    def _scale_down(self, worker_id: int, window_index: int) -> None:
+        """One worker departs: evacuate, finalize, shut down.
+
+        Every queue (pending entries *and* not-yet-ingested staged
+        shares) migrates to the surviving shards through the same
+        ``ReleaseBucket``/``AdoptBucket`` seam stealing uses, journaled
+        like steals so later crash recoveries re-settle ownership
+        correctly.  The departing shard's accounting is captured now and
+        merged at run end.
+        """
+        channel = self.channels[worker_id]
+        view = self.views[worker_id]
+        released_all = self._release_all_with_recovery(channel, view, window_index)
+        targets = sorted(
+            (
+                target
+                for target in self.views
+                if target.worker_id != worker_id
+                and target.worker_id not in self.departed
+            ),
+            key=lambda target: (target.clock_ms, target.worker_id),
+        )
+        buckets = [
+            released
+            for released in released_all.buckets
+            if released.entries or released.staged
+        ]
+        entries_migrated = 0
+        for position, released in enumerate(buckets):
+            target = targets[position % len(targets)]
+            enqueues = [entry.enqueue_time_ms for entry in released.entries]
+            start_ms = max(target.clock_ms, max(enqueues, default=0.0))
+            message = AdoptBucket(
+                bucket_index=released.bucket_index,
+                entries=released.entries,
+                staged=released.staged,
+                clock_ms=start_ms,
+            )
+            self._adopt_with_recovery(target, message, window_index)
+            entries_migrated += len(released.entries)
+            # Journaled like a steal (ownership tracking / re-settlement)
+            # but NOT appended to steal_records: a planned departure is
+            # not a steal in the run's workload accounting.
+            self.journal.append(
+                _JournaledSteal(
+                    window_index=window_index,
+                    record=StealRecord(
+                        time_ms=start_ms,
+                        bucket_index=released.bucket_index,
+                        victim_id=worker_id,
+                        thief_id=target.worker_id,
+                        entry_count=len(released.entries),
+                    ),
+                    released=released,
+                    adopt=message,
+                )
+            )
+            if released.entries:
+                target.pending[released.bucket_index] = BucketQueueMeta(
+                    bucket_index=released.bucket_index,
+                    entry_count=len(released.entries),
+                    oldest_enqueue_ms=min(enqueues),
+                    newest_enqueue_ms=max(enqueues),
+                )
+            if released.staged:
+                staged_first = min(share.arrival_ms for share in released.staged)
+                if target.next_staged_ms is None or staged_first < target.next_staged_ms:
+                    target.next_staged_ms = staged_first
+            target.clock_ms = max(target.clock_ms, start_ms)
+            target.drained = not target.pending and target.next_staged_ms is None
+        self.final_results[worker_id] = self._finalize_with_recovery(channel)
+        channel.shutdown()
+        self.departed.add(worker_id)
+        view.pending = {}
+        view.next_staged_ms = None
+        view.drained = True
+        self.report.scale_events.append(
+            ScaleRecord(
+                kind="down",
+                worker_id=worker_id,
+                window_index=window_index,
+                buckets_migrated=len(buckets),
+                entries_migrated=entries_migrated,
+            )
+        )
+
+    def _release_all_with_recovery(
+        self, channel: ShardChannel, view: ShardView, window_index: int
+    ) -> ReleasedAll:
+        while True:
+            try:
+                return channel.release_all()
+            except ChannelCrashed:
+                self._recover(channel, view, window_index)
+
+    def _adopt_with_recovery(
+        self, target: ShardView, message: AdoptBucket, window_index: int
+    ) -> None:
+        channel = self.channels[target.worker_id]
+        while True:
+            try:
+                channel.adopt(message)
+                return
+            except ChannelCrashed:
+                self._recover(channel, target, window_index)
+
     # -- stealing (window-barrier, journaled) ------------------------------- #
 
     def _steal_round(self, window_index: int) -> None:
@@ -708,7 +886,7 @@ class RecoveryCoordinator:
         crash-recovering channel calls, with every migration journaled so
         recovery can re-settle bucket ownership after a crash."""
         migrations = run_steal_round(
-            self.views,
+            [view for view in self.views if view.worker_id not in self.departed],
             self.steal_records,
             self.events,
             release=lambda victim, bucket: self._release_with_recovery(

@@ -281,12 +281,23 @@ class ServingFrontEnd:
             session = self.sessions.session_for(query)
             if attempt == 0:
                 session.observe_offer(now_ms)
-                self.deadlines.assign(
-                    query.query_id,
-                    assign_deadline_class(
+                # A class recorded on the query itself (scenario traces)
+                # wins over the configured mix draw; both are pure
+                # functions of the arrival stream, so admission stays
+                # backend-invariant either way.
+                if query.deadline_class is not None:
+                    if query.deadline_class not in DEADLINE_CLASSES:
+                        raise ValueError(
+                            f"query {query.query_id} carries unknown deadline "
+                            f"class {query.deadline_class!r}; available: "
+                            f"{sorted(DEADLINE_CLASSES)}"
+                        )
+                    class_name = query.deadline_class
+                else:
+                    class_name = assign_deadline_class(
                         query.query_id, self.config.deadline_mix, self.config.seed
-                    ),
-                )
+                    )
+                self.deadlines.assign(query.query_id, class_name)
             snapshot = self.model.snapshot(now_ms, session.offered_rate_qps(now_ms))
             decision = self.policy.decide(snapshot, self.limits)
             if decision is AdmissionDecision.DEFER and attempt >= self.config.max_defers:

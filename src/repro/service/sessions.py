@@ -5,9 +5,10 @@ The serving front-end multiplexes many clients over one archive.  A
 of it (admitted / deferred / rejected) plus a sliding-window measurement
 of the client's offered rate in virtual time — the quantity per-client
 admission limits gate on.  The :class:`SessionRegistry` owns the sessions
-and the client-assignment rule (by default queries hash onto a fixed pool
-of synthetic clients; traces with real client ids can inject their own
-assignment function).
+and the client-assignment rule: a query carrying a recorded
+:attr:`~repro.workload.query.CrossMatchQuery.client_id` keeps it,
+anything else hashes onto a fixed pool of synthetic clients, and callers
+can still inject their own assignment function.
 """
 
 from __future__ import annotations
@@ -68,8 +69,14 @@ class SessionRegistry:
             raise ValueError("clients must be positive")
         self.clients = clients
         self.window_ms = window_ms
-        self._client_of = client_of or (lambda query: query.query_id % self.clients)
+        self._client_of = client_of or self._default_client_of
         self._sessions: Dict[int, ClientSession] = {}
+
+    def _default_client_of(self, query: CrossMatchQuery) -> int:
+        """Recorded client id when the trace carries one, else a hash."""
+        if query.client_id is not None:
+            return query.client_id
+        return query.query_id % self.clients
 
     def client_of(self, query: CrossMatchQuery) -> int:
         """The client a query belongs to."""

@@ -77,6 +77,9 @@ class RunSpec:
     label: str = ""
     #: Arrival rate the trace was flooded at (recorded, not enforced).
     saturation_qps: Optional[float] = None
+    #: Record the run's arrival stream (and result digest) into this
+    #: ``.lrtr`` trace file for later ``liferaft replay``.
+    record_trace: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:

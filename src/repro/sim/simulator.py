@@ -33,6 +33,7 @@ from repro.storage.format import read_layout
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner, PartitionLayout
 from repro.workload.query import CrossMatchQuery
+from repro.workload.trace_io import run_digest, write_trace
 
 if TYPE_CHECKING:
     from repro.parallel.backend import ExecutionBackend
@@ -139,6 +140,10 @@ class SimulationResult:
     page_reads: int = 0
     #: Reliability runs only: checkpoints written, crashes, recoveries.
     reliability: Optional["ReliabilityReport"] = None
+    #: SHA-256 over the per-query completion timeline plus every
+    #: :data:`VIRTUAL_CLOCK_PARITY_FIELDS` value — equal digests mean
+    #: bit-identical virtual-clock outcomes (``liferaft replay`` pins it).
+    result_digest: str = ""
 
     @property
     def avg_response_time_s(self) -> float:
@@ -173,6 +178,14 @@ class SimulationResult:
             "bucket_services": self.bucket_services,
             "bucket_reads": self.bucket_reads,
         }
+
+
+def _stamp_digest(result: SimulationResult, response_times_ms: Dict[int, float]) -> None:
+    """Stamp the run's :attr:`SimulationResult.result_digest` in place."""
+    result.result_digest = run_digest(
+        response_times_ms,
+        [float(getattr(result, name)) for name in VIRTUAL_CLOCK_PARITY_FIELDS],
+    )
 
 
 #: Backwards-compatible alias of :data:`repro.sim.runspec.DEFAULT_STORE`.
@@ -320,8 +333,40 @@ class Simulator:
         """
         spec = spec if spec is not None else RunSpec()
         if spec.is_parallel:
-            return self._execute_parallel(queries, spec)
-        return self._execute_serial(queries, spec)
+            result = self._execute_parallel(queries, spec)
+        else:
+            result = self._execute_serial(queries, spec)
+        if spec.record_trace:
+            # Record the *original* (pre-admission) arrival stream:
+            # admission is a pure function of it, so a replay reproduces
+            # the recorded run end to end, shed queries included.
+            self._record_trace(spec.record_trace, queries, spec, result)
+        return result
+
+    def _record_trace(
+        self,
+        path: str,
+        queries: Sequence[CrossMatchQuery],
+        spec: RunSpec,
+        result: SimulationResult,
+    ) -> None:
+        """Write the run's arrival stream + digest as a ``.lrtr`` trace."""
+        meta = {
+            # The registry name (replayable); constructed policy objects
+            # fall back to their display name.
+            "policy": spec.policy if isinstance(spec.policy, str) else result.policy_name,
+            "alpha": result.alpha,
+            "workers": spec.workers,
+            "backend": result.backend,
+            "shard_strategy": spec.shard_strategy,
+            "enable_stealing": spec.enable_stealing,
+            "saturation_qps": spec.saturation_qps,
+            "label": spec.label,
+            "bucket_count": self.config.bucket_count,
+            "store_backend": result.store_backend,
+            "served_with_admission": spec.service is not None,
+        }
+        write_trace(path, queries, meta=meta, expected_digest=result.result_digest)
 
     def run(
         self,
@@ -423,7 +468,7 @@ class Simulator:
         report = engine.report()
         response_s = [ms / 1000.0 for ms in report.response_times_ms.values()]
         effective_alpha = getattr(policy, "alpha", None)
-        return SimulationResult(
+        summary = SimulationResult(
             policy_name=policy.name,
             alpha=effective_alpha,
             submitted_queries=report.submitted_queries,
@@ -441,6 +486,8 @@ class Simulator:
             saturation_qps=saturation_qps,
             label=label or policy.name,
         )
+        _stamp_digest(summary, report.response_times_ms)
+        return summary
 
     def run_parallel(
         self,
@@ -557,7 +604,7 @@ class Simulator:
         response_s = [ms / 1000.0 for ms in report.response_times_ms.values()]
         effective_alpha = getattr(policy, "alpha", None)
         serving_report = frontend.report() if frontend is not None else None
-        return SimulationResult(
+        summary = SimulationResult(
             policy_name=report.scheduler_name,
             alpha=effective_alpha,
             submitted_queries=report.submitted_queries,
@@ -584,6 +631,8 @@ class Simulator:
             real_read_s=outcome.store_real_read_s,
             reliability=outcome.reliability,
         )
+        _stamp_digest(summary, report.response_times_ms)
+        return summary
 
     def run_alpha_sweep(
         self,

@@ -18,7 +18,9 @@ Modules
 ``generator``   the synthetic trace generator (skew + temporal locality)
 ``arrival``     arrival processes used to impose a saturation level
 ``stats``       trace statistics (drives Figures 5 and 6)
-``replay``      helpers to stream a trace into an engine or simulator
+``replay``      replay helpers (``replay_recorded`` re-runs ``.lrtr`` traces)
+``trace_io``    the versioned, CRC-checked ``.lrtr`` recorded-trace codec
+``scenarios``   named, seeded adversarial scenario builders
 """
 
 from repro.workload.query import CrossMatchObject, CrossMatchQuery, QueryStatus
@@ -30,6 +32,20 @@ from repro.workload.arrival import (
     apply_arrival_times,
 )
 from repro.workload.stats import TraceStatistics
+from repro.workload.trace_io import (
+    TRACE_SUFFIX,
+    RecordedTrace,
+    TraceFormatError,
+    read_trace,
+    run_digest,
+    write_trace,
+)
+from repro.workload.scenarios import (
+    SCENARIOS,
+    DiurnalFlashCrowdProcess,
+    Scenario,
+    build_scenario,
+)
 
 __all__ = [
     "CrossMatchObject",
@@ -43,4 +59,14 @@ __all__ = [
     "BurstyArrivalProcess",
     "apply_arrival_times",
     "TraceStatistics",
+    "TRACE_SUFFIX",
+    "RecordedTrace",
+    "TraceFormatError",
+    "read_trace",
+    "run_digest",
+    "write_trace",
+    "SCENARIOS",
+    "DiurnalFlashCrowdProcess",
+    "Scenario",
+    "build_scenario",
 ]

@@ -100,6 +100,14 @@ class CrossMatchQuery:
     region:
         Optional ``(center, radius_deg)`` describing the sky region the
         query explores.
+    client_id:
+        Submitting client, when the trace knows it (recorded traces and
+        the serving scenarios).  ``None`` lets the serving front-end fall
+        back to its hash-based client assignment.
+    deadline_class:
+        SLA class name carried by the trace (``"interactive"``,
+        ``"standard"``, ``"batch"``); ``None`` lets the front-end draw one
+        from its configured deadline mix.
     """
 
     query_id: int
@@ -109,6 +117,8 @@ class CrossMatchQuery:
     archives: Tuple[str, ...] = ("twomass", "sdss")
     predicate: Optional[Callable[[object], bool]] = None
     region: Optional[Tuple[SkyPoint, float]] = None
+    client_id: Optional[int] = None
+    deadline_class: Optional[str] = None
     status: QueryStatus = QueryStatus.PENDING
 
     def __post_init__(self) -> None:
@@ -144,6 +154,8 @@ class CrossMatchQuery:
             archives=self.archives,
             predicate=self.predicate,
             region=self.region,
+            client_id=self.client_id,
+            deadline_class=self.deadline_class,
         )
 
     def footprint_or_none(self) -> Optional[Mapping[int, int]]:

@@ -1,17 +1,24 @@
-"""Helpers to stream a trace into an engine or simulator.
+"""Helpers to replay a trace — recorded or in-memory — through the simulator.
 
 The paper replays "for each cross-match query, only the work that is
 performed at SDSS" (§5.1): queries are pre-processed offline and their
 per-site object lists submitted according to the trace's arrival times.
-These helpers provide the same replay loop for both the online engine
-(examples) and the discrete-event simulator (experiments).
+:func:`replay_recorded` is the canonical replay loop: it re-runs a
+``.lrtr`` trace through :meth:`~repro.sim.simulator.Simulator.execute`
+under the recorded run description (or caller overrides) and reports
+whether the result digest reproduced bit-for-bit.  The old
+:func:`replay_into_engine` online-engine loop survives only as a
+deprecation shim over the same path the simulator uses.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.workload.query import CrossMatchQuery
+from repro.workload.trace_io import RecordedTrace, read_trace
 
 
 def in_arrival_order(queries: Iterable[CrossMatchQuery]) -> List[CrossMatchQuery]:
@@ -28,15 +35,106 @@ def arrival_schedule(
 
 
 def replay_into_engine(engine, queries: Sequence[CrossMatchQuery], drain: bool = True):
-    """Submit every query to an online engine and optionally drain it.
+    """Deprecated: drive a bare online engine directly.
 
-    The engine is driven in "as fast as possible" mode: queries are
-    submitted at their arrival timestamps (the engine uses them for aging)
-    and the engine is stepped until no work remains.  Returns the engine's
-    completion report.
+    Kept as a shim for callers written before ``Simulator.execute``
+    became the single entry point; new code should build a
+    :class:`~repro.sim.runspec.RunSpec` (or call :func:`replay_recorded`
+    for ``.lrtr`` traces) so replays flow through the same dispatch,
+    storage and parity machinery as every other run.
     """
+    warnings.warn(
+        "replay_into_engine is deprecated; replay traces through "
+        "Simulator.execute(queries, RunSpec(...)) or replay_recorded(path)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     for query in in_arrival_order(queries):
         engine.submit(query, now_ms=query.arrival_time_s * 1000.0)
     if drain:
         engine.run_until_idle()
     return engine.report()
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """Result of replaying one recorded trace.
+
+    ``digest_checked`` is ``False`` when the replay ran under a different
+    execution shape than the recording (worker count or stealing
+    changed), where only completion-set equality — not a bit-identical
+    timeline — is guaranteed.
+    """
+
+    trace: RecordedTrace
+    result: object  # SimulationResult (typed loosely: workload must not import sim)
+    expected_digest: str
+    digest_checked: bool
+
+    @property
+    def digest_matches(self) -> bool:
+        """Whether the replay reproduced the recorded digest bit-for-bit."""
+        return bool(
+            self.expected_digest
+            and getattr(self.result, "result_digest", "") == self.expected_digest
+        )
+
+
+def replay_recorded(
+    path: str,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    store_path: Optional[str] = None,
+    enable_stealing: Optional[bool] = None,
+) -> ReplayOutcome:
+    """Re-run a ``.lrtr`` trace through ``Simulator.execute``.
+
+    The run description (policy, alpha, worker count, stealing) comes
+    from the trace's metadata; *workers*, *backend* and
+    *enable_stealing* override it.  The site is rebuilt from the
+    recorded bucket count, or from *store_path* when the replay should
+    read a real on-disk store.
+
+    Digest verification is meaningful only when the execution shape
+    matches the recording: each shard is a pure function of its admitted
+    arrival schedule, so the timeline is bit-identical across backends
+    at the same worker count (the scenario-parity suite pins this), but
+    a different worker count or stealing toggle legitimately changes
+    per-query finish times.  In that case ``digest_checked`` is False.
+    """
+    # Imported lazily: ``sim`` imports ``workload.trace_io`` at module
+    # level, so a module-level import here would be circular.
+    from repro.sim.runspec import RunSpec
+    from repro.sim.simulator import SimulationConfig, Simulator
+
+    trace = read_trace(path)
+    meta = trace.meta
+    recorded_workers = int(meta.get("workers", 1))
+    recorded_stealing = bool(meta.get("enable_stealing", True))
+    run_workers = recorded_workers if workers is None else workers
+    run_stealing = recorded_stealing if enable_stealing is None else enable_stealing
+    if store_path is not None:
+        simulator = Simulator.from_store(store_path)
+    else:
+        simulator = Simulator(SimulationConfig(bucket_count=int(meta.get("bucket_count", 2048))))
+    spec = RunSpec(
+        policy=str(meta.get("policy", "liferaft")).partition("(")[0] or "liferaft",
+        alpha=float(meta.get("alpha") or 0.25),
+        workers=run_workers,
+        backend=backend,
+        enable_stealing=run_stealing,
+        saturation_qps=meta.get("saturation_qps"),
+        label=str(meta.get("label", "")),
+    )
+    result = simulator.execute(trace.queries, spec)
+    digest_checked = (
+        bool(trace.expected_digest)
+        and run_workers == recorded_workers
+        and (run_workers == 1 or run_stealing == recorded_stealing)
+    )
+    return ReplayOutcome(
+        trace=trace,
+        result=result,
+        expected_digest=trace.expected_digest,
+        digest_checked=digest_checked,
+    )

@@ -1,0 +1,321 @@
+"""Named, seeded adversarial scenarios: recorded traces that stress the system.
+
+The paper's trace is real SkyQuery traffic; the sweeps elsewhere in this
+repo are statistically faithful but *friendly* — smooth Poisson arrivals,
+one skew profile.  Real traffic misbehaves, so this module ships a small
+library of adversarial scenario builders, each a pure function of
+``(query_count, bucket_count, seed)``:
+
+``diurnal_flash_crowd``
+    Sinusoidal day/night load with superimposed flash crowds; queries
+    arriving inside a flash carry an ``"interactive"`` deadline class.
+``hotspot_zone_skew``
+    Popularity skew cranked far beyond the paper's Figure 6 — a handful
+    of buckets absorb most of the workload, with strong temporal locality.
+``slow_client_backpressure``
+    A fixed client pool where one client dumps a clustered burst far above
+    the per-client rate limit; queries carry real ``client_id``s so the
+    serving front-end's per-client gate is what gets exercised.
+``heavy_tail``
+    Heavy-tailed query sizes (wide bounded-Pareto spans, fat log-normal
+    per-bucket workloads) under bursty ON/OFF arrivals.
+
+Scenarios become regression fixtures through :func:`record_scenario`,
+which runs the scenario once on the serial engine and writes a ``.lrtr``
+trace (queries + result digest) for ``liferaft replay`` to pin forever.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.workload.arrival import (
+    BurstyArrivalProcess,
+    PoissonArrivalProcess,
+    apply_arrival_times,
+)
+from repro.workload.generator import TraceConfig, TraceGenerator
+from repro.workload.query import CrossMatchQuery
+from repro.workload.trace_io import TraceInfo, write_trace
+
+__all__ = [
+    "SCENARIOS",
+    "DiurnalFlashCrowdProcess",
+    "Scenario",
+    "build_scenario",
+    "record_scenario",
+]
+
+
+@dataclass
+class DiurnalFlashCrowdProcess:
+    """Non-homogeneous Poisson arrivals: diurnal rate plus flash crowds.
+
+    The instantaneous rate follows a raised cosine between
+    ``base_rate_qps`` (midnight) and ``peak_rate_qps`` (midday) with
+    period ``period_s``; inside each flash window the rate is multiplied
+    by ``flash_multiplier``.  Sampling uses thinning against the maximum
+    rate, so the stream is exact, deterministic per seed, and
+    non-decreasing like every other :class:`ArrivalProcess`.
+    """
+
+    base_rate_qps: float
+    peak_rate_qps: float
+    period_s: float
+    flash_starts_s: Tuple[float, ...] = ()
+    flash_duration_s: float = 30.0
+    flash_multiplier: float = 6.0
+    seed: int = 0
+    start_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate_qps <= 0:
+            raise ValueError("base rate must be positive")
+        if self.peak_rate_qps < self.base_rate_qps:
+            raise ValueError("peak rate cannot be below the base rate")
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if self.flash_duration_s <= 0:
+            raise ValueError("flash duration must be positive")
+        if self.flash_multiplier < 1.0:
+            raise ValueError("flash multiplier must be >= 1")
+
+    def in_flash(self, time_s: float) -> bool:
+        """Whether *time_s* falls inside a flash-crowd window."""
+        return any(
+            start <= time_s < start + self.flash_duration_s
+            for start in self.flash_starts_s
+        )
+
+    def rate_at(self, time_s: float) -> float:
+        """Instantaneous arrival rate at *time_s* (queries per second)."""
+        phase = (1.0 - math.cos(2.0 * math.pi * time_s / self.period_s)) / 2.0
+        rate = self.base_rate_qps + (self.peak_rate_qps - self.base_rate_qps) * phase
+        if self.in_flash(time_s):
+            rate *= self.flash_multiplier
+        return rate
+
+    def arrival_times(self, count: int) -> List[float]:
+        rng = random.Random(self.seed)
+        ceiling = self.peak_rate_qps * (
+            self.flash_multiplier if self.flash_starts_s else 1.0
+        )
+        times: List[float] = []
+        now = self.start_time_s
+        while len(times) < count:
+            now += rng.expovariate(ceiling)
+            if rng.random() < self.rate_at(now) / ceiling:
+                times.append(now)
+        return times
+
+
+def _base_trace(query_count: int, bucket_count: int, seed: int, **overrides):
+    """A scale-clamped synthetic trace without arrival times."""
+    if "max_span" not in overrides:
+        default_span = TraceConfig.__dataclass_fields__["max_span"].default
+        overrides["max_span"] = min(default_span, bucket_count)
+    config = TraceConfig(
+        query_count=query_count, bucket_count=bucket_count, seed=seed, **overrides
+    )
+    return TraceGenerator(config).generate(attach_arrivals=False)
+
+
+def diurnal_flash_crowd(
+    query_count: int, bucket_count: int, seed: int
+) -> List[CrossMatchQuery]:
+    """Diurnal load with flash crowds; flash arrivals are interactive-class."""
+    trace = _base_trace(query_count, bucket_count, seed)
+    process = DiurnalFlashCrowdProcess(
+        base_rate_qps=0.4,
+        peak_rate_qps=1.6,
+        period_s=240.0,
+        flash_starts_s=(90.0, 300.0),
+        flash_duration_s=40.0,
+        flash_multiplier=6.0,
+        seed=seed,
+    )
+    queries = apply_arrival_times(trace.queries, process)
+    for query in queries:
+        query.deadline_class = (
+            "interactive" if process.in_flash(query.arrival_time_s) else "standard"
+        )
+    return queries
+
+
+def hotspot_zone_skew(
+    query_count: int, bucket_count: int, seed: int
+) -> List[CrossMatchQuery]:
+    """Extreme hot-spot skew: a few buckets absorb most of the workload."""
+    trace = _base_trace(
+        query_count,
+        bucket_count,
+        seed,
+        zipf_exponent=2.4,
+        temporal_locality=0.85,
+        locality_window=40,
+        focus_boost=8.0,
+        max_span=min(12, bucket_count),
+    )
+    process = PoissonArrivalProcess(rate_qps=0.5, seed=seed)
+    return apply_arrival_times(trace.queries, process)
+
+
+def slow_client_backpressure(
+    query_count: int, bucket_count: int, seed: int
+) -> List[CrossMatchQuery]:
+    """One misbehaving client floods the intake while three behave.
+
+    Three well-behaved clients offer steady Poisson traffic; a fourth
+    dumps its whole share as one clustered burst far above any sane
+    per-client rate limit.  Queries carry their real ``client_id``, so a
+    serving replay exercises the per-client admission gate rather than
+    the hash-assignment fallback.
+    """
+    trace = _base_trace(query_count, bucket_count, seed)
+    burst_share = max(1, query_count // 4)
+    steady = trace.queries[: query_count - burst_share]
+    flood = trace.queries[query_count - burst_share :]
+    steady_times = PoissonArrivalProcess(rate_qps=0.6, seed=seed).arrival_times(
+        len(steady)
+    )
+    # The flood lands mid-run as a near-instantaneous clump.
+    flood_start = steady_times[len(steady_times) // 2] if steady_times else 0.0
+    flood_times = BurstyArrivalProcess(
+        burst_rate_qps=50.0,
+        burst_length=burst_share,
+        gap_seconds=0.0,
+        seed=seed + 1,
+        start_time_s=flood_start,
+    ).arrival_times(len(flood))
+    queries: List[CrossMatchQuery] = []
+    for position, (query, time_s) in enumerate(zip(steady, steady_times)):
+        stamped = query.with_arrival_time(time_s)
+        stamped.client_id = position % 3
+        queries.append(stamped)
+    for query, time_s in zip(flood, flood_times):
+        stamped = query.with_arrival_time(time_s)
+        stamped.client_id = 3
+        queries.append(stamped)
+    queries.sort(key=lambda q: (q.arrival_time_s, q.query_id))
+    return queries
+
+
+def heavy_tail(
+    query_count: int, bucket_count: int, seed: int
+) -> List[CrossMatchQuery]:
+    """Heavy-tailed query sizes under bursty ON/OFF arrivals."""
+    trace = _base_trace(
+        query_count,
+        bucket_count,
+        seed,
+        max_span=min(128, bucket_count),
+        span_pareto_alpha=0.7,
+        objects_per_query_bucket_sigma=1.6,
+    )
+    process = BurstyArrivalProcess(
+        burst_rate_qps=3.0, burst_length=12, gap_seconds=45.0, seed=seed
+    )
+    return apply_arrival_times(trace.queries, process)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One catalog entry: a named, seeded adversarial workload builder."""
+
+    name: str
+    description: str
+    build: Callable[[int, int, int], List[CrossMatchQuery]]
+    default_query_count: int = 120
+    default_bucket_count: int = 256
+    default_seed: int = 1841
+
+
+#: The scenario catalog, in documentation order.
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "diurnal_flash_crowd",
+            "sinusoidal day/night load with interactive-class flash crowds",
+            diurnal_flash_crowd,
+        ),
+        Scenario(
+            "hotspot_zone_skew",
+            "extreme bucket-popularity skew with strong temporal locality",
+            hotspot_zone_skew,
+        ),
+        Scenario(
+            "slow_client_backpressure",
+            "one client floods the intake; per-client admission must hold",
+            slow_client_backpressure,
+        ),
+        Scenario(
+            "heavy_tail",
+            "heavy-tailed query spans and workloads under bursty arrivals",
+            heavy_tail,
+        ),
+    )
+}
+
+
+def build_scenario(
+    name: str,
+    query_count: int | None = None,
+    bucket_count: int | None = None,
+    seed: int | None = None,
+) -> List[CrossMatchQuery]:
+    """Build the named scenario's query stream (defaults from the catalog)."""
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
+    scenario = SCENARIOS[name]
+    return scenario.build(
+        query_count if query_count is not None else scenario.default_query_count,
+        bucket_count if bucket_count is not None else scenario.default_bucket_count,
+        seed if seed is not None else scenario.default_seed,
+    )
+
+
+def record_scenario(
+    name: str,
+    path: str,
+    query_count: int | None = None,
+    bucket_count: int | None = None,
+    seed: int | None = None,
+) -> TraceInfo:
+    """Run the named scenario serially and record it as a ``.lrtr`` fixture.
+
+    The recorded trace carries the serial run's result digest, so a
+    replay on any backend can assert bit-identical reproduction.
+    """
+    # Imported lazily: ``sim`` imports this package at module level.
+    from repro.sim.runspec import RunSpec
+    from repro.sim.simulator import SimulationConfig, Simulator
+
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}")
+    scenario = SCENARIOS[name]
+    resolved_buckets = (
+        bucket_count if bucket_count is not None else scenario.default_bucket_count
+    )
+    resolved_seed = seed if seed is not None else scenario.default_seed
+    queries = build_scenario(name, query_count, resolved_buckets, resolved_seed)
+    simulator = Simulator(SimulationConfig(bucket_count=resolved_buckets))
+    result = simulator.execute(queries, RunSpec(label=name))
+    meta = {
+        "scenario": name,
+        "policy": "liferaft",
+        "alpha": 0.25,
+        "workers": 1,
+        "backend": "serial",
+        "shard_strategy": "round_robin",
+        "enable_stealing": True,
+        "saturation_qps": None,
+        "label": name,
+        "bucket_count": resolved_buckets,
+        "seed": resolved_seed,
+        "store_backend": "memory",
+    }
+    return write_trace(path, queries, meta=meta, expected_digest=result.result_digest)

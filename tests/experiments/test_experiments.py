@@ -70,6 +70,7 @@ class TestCommon:
             "cache_hits",
             "cache_ablation",
             "ablations",
+            "elasticity",
             "recovery",
             "scaling",
             "serving",

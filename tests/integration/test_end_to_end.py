@@ -14,6 +14,7 @@ from repro.core.engine import EngineConfig, LifeRaftEngine
 from repro.core.metrics import CostModel
 from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
 from repro.federation.crossmatch import to_crossmatch_objects
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workload.generator import TraceConfig, TraceGenerator
 from repro.workload.query import CrossMatchQuery
@@ -71,12 +72,21 @@ class TestSchedulingClaims:
         assert result.bucket_services <= stats.total_objects
 
 
-class TestReplayIntoEngine:
-    def test_replay_helper_drains_everything(self, trace):
+class TestReplay:
+    def test_execute_drains_everything(self, trace):
+        simulator = Simulator(SimulationConfig(bucket_count=256))
+        result = simulator.execute(
+            trace.with_saturation(5.0).queries[:40], RunSpec(alpha=0.25)
+        )
+        assert result.completed_queries == 40
+        assert result.result_digest  # every run stamps a replayable digest
+
+    def test_legacy_helper_still_works_but_warns(self, trace):
         config = SimulationConfig(bucket_count=256)
         simulator = Simulator(config)
         engine = simulator._build_engine(LifeRaftScheduler(SchedulerConfig(alpha=0.25)))
-        report = replay_into_engine(engine, trace.with_saturation(5.0).queries[:40])
+        with pytest.warns(DeprecationWarning, match="replay_into_engine"):
+            report = replay_into_engine(engine, trace.with_saturation(5.0).queries[:40])
         assert report.completed_queries == 40
         assert not engine.has_pending_work()
 

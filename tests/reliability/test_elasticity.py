@@ -1,0 +1,277 @@
+"""Planned elasticity: scale events preserve the completion set.
+
+The elasticity contract generalises PR 5's crash parity: a run that
+shrinks and grows its worker pool at window barriers must complete
+exactly the queries the static run completes — no query lost when a
+departing shard evacuates its queues, none duplicated when a cold shard
+steals its way into the work.  Per-query finish times and cache-dependent
+totals legitimately shift as capacity changes, so (unlike crash parity)
+only the completion set is pinned.
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig
+from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
+from repro.parallel.backend import ParallelRunSpec, make_backend
+from repro.reliability import (
+    FaultPlan,
+    ReliabilityConfig,
+    ScaleDown,
+    ScalePlan,
+    ScaleUp,
+)
+from repro.sim.simulator import SimulationConfig
+from repro.storage.bucket_store import BucketStore
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
+from repro.storage.index import SpatialIndex
+from repro.storage.partitioner import BucketPartitioner
+from repro.workload.generator import TraceConfig, TraceGenerator
+
+BUCKETS = 64
+WORKERS = 3
+WINDOW_BUCKET_READS = 4.0
+#: Mid-run shrink then grow: worker 1 leaves at window 2, one joins at 4.
+ELASTIC_PLAN = ScalePlan.parse("1@2", "4")
+
+
+class TestScaleEvents:
+    def test_scale_down_validates_and_round_trips_its_spec(self):
+        event = ScaleDown(worker_id=1, window_index=3)
+        assert event.spec == "1@3"
+        with pytest.raises(ValueError, match="worker ids"):
+            ScaleDown(worker_id=-1, window_index=0)
+        with pytest.raises(ValueError, match="window indices"):
+            ScaleDown(worker_id=0, window_index=-1)
+
+    def test_scale_up_validates_and_round_trips_its_spec(self):
+        assert ScaleUp(window_index=4).spec == "4"
+        with pytest.raises(ValueError, match="window indices"):
+            ScaleUp(window_index=-2)
+
+
+class TestScalePlan:
+    def test_parse_accepts_comma_lists_and_repeated_flags(self):
+        plan = ScalePlan.parse(["1@2,0@5", "2@2"], ["3", "3,6"])
+        assert plan.downs == (ScaleDown(1, 2), ScaleDown(2, 2), ScaleDown(0, 5))
+        assert plan.ups == (ScaleUp(3), ScaleUp(3), ScaleUp(6))
+        assert plan.downs_due(2) == [1, 2]
+        assert plan.ups_due(3) == 2
+        assert plan.total_ups() == 3
+        assert len(plan) == 6 and bool(plan)
+
+    def test_parse_rejects_malformed_specs(self):
+        with pytest.raises(ValueError, match="WORKER@WINDOW"):
+            ScalePlan.parse("3")
+        with pytest.raises(ValueError, match="invalid scale-down"):
+            ScalePlan.parse("a@b")
+        with pytest.raises(ValueError, match="invalid scale-up"):
+            ScalePlan.parse("", "soon")
+
+    def test_empty_plan_is_falsy(self):
+        plan = ScalePlan.parse("", "")
+        assert not plan and len(plan) == 0
+        plan.validate(1)  # vacuously fine
+
+    def test_validate_rejects_departed_or_unknown_targets(self):
+        with pytest.raises(ValueError, match="not active"):
+            ScalePlan.parse("5@1").validate(2)
+        with pytest.raises(ValueError, match="not active"):
+            ScalePlan.parse("0@1,0@3").validate(2)
+
+    def test_validate_rejects_emptying_the_pool(self):
+        with pytest.raises(ValueError, match="empties the worker pool"):
+            ScalePlan.parse("0@1,1@1").validate(2)
+        # A join at the same window keeps the pool alive (ups first).
+        ScalePlan.parse("0@1,1@1", "1").validate(2)
+
+    def test_joins_take_sequential_ids(self):
+        # The joiner at window 1 becomes worker 2 and may depart later.
+        ScalePlan.parse("2@3", "1").validate(2)
+        with pytest.raises(ValueError, match="not active"):
+            ScalePlan.parse("2@0", "1").validate(2)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return BucketPartitioner().partition_density(BUCKETS)
+
+
+@pytest.fixture(scope="module")
+def sim_config():
+    return SimulationConfig(bucket_count=BUCKETS)
+
+
+@pytest.fixture(scope="module")
+def timed_queries():
+    config = TraceConfig(query_count=40, bucket_count=BUCKETS, seed=21)
+    return tuple(TraceGenerator(config).generate().with_saturation(3.0).queries)
+
+
+def build_spec(layout, sim_config, queries, workers, **kwargs):
+    disk = calibrated_disk_for_bucket_read(
+        sim_config.bucket_megabytes, sim_config.cost.tb_ms / 1000.0
+    )
+    return ParallelRunSpec(
+        layout=layout,
+        store=BucketStore(layout, disk),
+        queries=queries,
+        policy=LifeRaftScheduler(SchedulerConfig(cost=sim_config.cost)),
+        config=EngineConfig(cache_buckets=sim_config.cache_buckets, cost=sim_config.cost),
+        workers=workers,
+        shard_strategy="round_robin",
+        index=SpatialIndex([], rows=None, disk=None),
+        enable_stealing=True,
+        **kwargs,
+    )
+
+
+def reliability_config(sim_config, scale=None, faults=None):
+    return ReliabilityConfig(
+        cadence="windows:2",
+        scale=scale,
+        faults=faults,
+        window_quantum_ms=sim_config.cost.tb_ms * WINDOW_BUCKET_READS,
+    )
+
+
+@pytest.fixture(scope="module")
+def static_outcomes(layout, sim_config, timed_queries):
+    return {
+        name: make_backend(name).execute(
+            build_spec(layout, sim_config, timed_queries, WORKERS)
+        )
+        for name in ("virtual", "process")
+    }
+
+
+@pytest.fixture(scope="module")
+def elastic_outcomes(layout, sim_config, timed_queries):
+    return {
+        name: make_backend(name).execute(
+            build_spec(
+                layout,
+                sim_config,
+                timed_queries,
+                WORKERS,
+                reliability=reliability_config(sim_config, scale=ELASTIC_PLAN),
+            )
+        )
+        for name in ("virtual", "process")
+    }
+
+
+@pytest.mark.parametrize("backend_name", ("virtual", "process"))
+class TestElasticParity:
+    def test_scale_events_actually_fired(self, elastic_outcomes, backend_name):
+        report = elastic_outcomes[backend_name].reliability
+        assert report is not None
+        assert report.scale_downs == 1
+        assert report.scale_ups == 1
+        kinds = [(event.kind, event.worker_id, event.window_index) for event in report.scale_events]
+        assert ("down", 1, 2) in kinds
+        assert ("up", WORKERS, 4) in kinds
+
+    def test_departure_migrated_real_work(self, elastic_outcomes, backend_name):
+        report = elastic_outcomes[backend_name].reliability
+        (down,) = [event for event in report.scale_events if event.kind == "down"]
+        assert down.buckets_migrated > 0
+        assert down.entries_migrated >= down.buckets_migrated
+
+    def test_completion_set_matches_static_run(
+        self, elastic_outcomes, static_outcomes, backend_name
+    ):
+        elastic = elastic_outcomes[backend_name]
+        static = static_outcomes[backend_name]
+        assert frozenset(elastic.completed) == frozenset(static.completed)
+        assert len(elastic.completed) == len(set(elastic.completed))
+        assert elastic.report.response_times_ms.keys() == static.report.response_times_ms.keys()
+
+    def test_every_query_completes(self, elastic_outcomes, backend_name, timed_queries):
+        outcome = elastic_outcomes[backend_name]
+        assert len(outcome.completed) == len(timed_queries)
+        assert outcome.coverage() == static_coverage(timed_queries)
+
+
+def static_coverage(queries):
+    return {q.query_id: frozenset(q.bucket_footprint) for q in queries}
+
+
+class TestScaleUpOnly:
+    def test_joiner_steals_its_way_to_real_work(self, layout, sim_config, timed_queries):
+        spec = build_spec(
+            layout,
+            sim_config,
+            timed_queries,
+            2,
+            reliability=reliability_config(sim_config, scale=ScalePlan.parse("", "1")),
+        )
+        outcome = make_backend("virtual").execute(spec)
+        assert outcome.reliability.scale_ups == 1
+        assert len(outcome.parallel.worker_busy_ms) == 3
+        assert outcome.parallel.worker_busy_ms[2] > 0.0
+        assert len(outcome.completed) == len(timed_queries)
+
+    def test_scale_up_requires_stealing(self, layout, sim_config, timed_queries):
+        spec = build_spec(
+            layout,
+            sim_config,
+            timed_queries,
+            2,
+            reliability=reliability_config(sim_config, scale=ScalePlan.parse("", "1")),
+        )
+        object.__setattr__(spec, "enable_stealing", False)
+        with pytest.raises(ValueError, match="work stealing"):
+            make_backend("virtual").execute(spec)
+
+
+class TestMixedFaultsAndScale:
+    def test_crash_recovery_composes_with_scale_events(
+        self, layout, sim_config, timed_queries, static_outcomes
+    ):
+        spec = build_spec(
+            layout,
+            sim_config,
+            timed_queries,
+            WORKERS,
+            reliability=reliability_config(
+                sim_config, scale=ELASTIC_PLAN, faults=FaultPlan.parse("0@1")
+            ),
+        )
+        outcome = make_backend("virtual").execute(spec)
+        report = outcome.reliability
+        assert report.crashes_injected == 1
+        assert report.recovery_count == 1
+        assert report.scale_downs == 1 and report.scale_ups == 1
+        assert frozenset(outcome.completed) == frozenset(
+            static_outcomes["virtual"].completed
+        )
+
+    def test_crash_point_may_target_a_joined_worker(self, layout, sim_config, timed_queries):
+        # Worker 3 only exists after the join at window 1; crashing it at
+        # window 3 exercises the broadened crash-point validation.
+        spec = build_spec(
+            layout,
+            sim_config,
+            timed_queries,
+            WORKERS,
+            reliability=reliability_config(
+                sim_config,
+                scale=ScalePlan.parse("", "1"),
+                faults=FaultPlan.parse("3@3"),
+            ),
+        )
+        outcome = make_backend("virtual").execute(spec)
+        assert outcome.reliability.crashes_injected == 1
+        assert len(outcome.completed) == len(timed_queries)
+
+    def test_crash_point_beyond_the_pool_is_rejected(self, layout, sim_config, timed_queries):
+        spec = build_spec(
+            layout,
+            sim_config,
+            timed_queries,
+            WORKERS,
+            reliability=reliability_config(sim_config, faults=FaultPlan.parse("7@1")),
+        )
+        with pytest.raises(ValueError, match="crash"):
+            make_backend("virtual").execute(spec)

@@ -33,6 +33,36 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             TraceConfig(zipf_exponent=0.0)
 
+    def test_locality_endpoints_are_valid(self):
+        assert TraceConfig(temporal_locality=0.0).temporal_locality == 0.0
+        assert TraceConfig(temporal_locality=1.0).temporal_locality == 1.0
+        with pytest.raises(ValueError):
+            TraceConfig(temporal_locality=-0.1)
+
+    def test_degenerate_span_is_valid(self):
+        config = TraceConfig(min_span=3, max_span=3)
+        assert config.min_span == config.max_span == 3
+        trace = TraceGenerator(
+            TraceConfig(query_count=30, bucket_count=64, seed=2, min_span=1, max_span=1)
+        ).generate(attach_arrivals=False)
+        assert all(len(q.bucket_footprint) == 1 for q in trace)
+
+    def test_span_may_fill_the_whole_sky(self):
+        config = TraceConfig(bucket_count=16, max_span=16)
+        assert config.max_span == 16
+
+    def test_objects_per_query_median_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceConfig(objects_per_query_bucket_median=0)
+        with pytest.raises(ValueError):
+            TraceConfig(objects_per_query_bucket_median=-5)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(query_count=-1)
+        with pytest.raises(ValueError):
+            TraceConfig(bucket_count=-16)
+
 
 class TestGeneration:
     def test_trace_size_and_query_ids(self):

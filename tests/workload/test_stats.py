@@ -77,6 +77,53 @@ class TestFigureSeries:
         }
 
 
+class TestDegenerateTraces:
+    """Statistics must stay total on empty and single-query traces."""
+
+    def test_empty_trace(self):
+        stats = TraceStatistics([])
+        assert stats.query_count == 0
+        assert stats.touched_bucket_count == 0
+        assert stats.total_objects == 0
+        assert stats.bucket_workload() == {}
+        assert stats.bucket_reuse() == {}
+        assert stats.top_buckets_by_reuse(5) == []
+        assert stats.fraction_of_queries_touching([0, 1]) == 0.0
+        assert stats.fraction_of_workload_in_top_fraction(0.5) == 0.0
+        assert stats.cumulative_workload_curve() == []
+        summary = stats.describe()
+        assert summary["queries"] == 0
+
+    def test_single_query(self):
+        stats = TraceStatistics([abstract(0, {3: 7})])
+        assert stats.query_count == 1
+        assert stats.touched_bucket_count == 1
+        assert stats.total_objects == 7
+        assert stats.fraction_of_queries_touching([3]) == 1.0
+        assert stats.fraction_of_workload_in_top_fraction(1.0) == pytest.approx(1.0)
+        assert stats.buckets_for_workload_fraction(1.0) == 1
+        assert stats.cumulative_workload_curve() == [(1, pytest.approx(100.0))]
+
+    def test_heavy_tail_trace_concentrates_workload(self):
+        # One whale bucket plus many minnows: the top-fraction measure
+        # must attribute nearly everything to the whale.
+        queries = [abstract(0, {0: 10_000})] + [
+            abstract(i, {i: 1}) for i in range(1, 101)
+        ]
+        stats = TraceStatistics(queries)
+        assert stats.touched_bucket_count == 101
+        share = stats.fraction_of_workload_in_top_fraction(0.01)
+        assert share == pytest.approx(10_000 / 10_100)
+        assert stats.buckets_for_workload_fraction(0.9) == 1
+
+    def test_top_fraction_bounds_still_enforced_when_empty(self):
+        stats = TraceStatistics([])
+        with pytest.raises(ValueError):
+            stats.fraction_of_workload_in_top_fraction(0.0)
+        with pytest.raises(ValueError):
+            stats.fraction_of_workload_in_top_fraction(1.5)
+
+
 class TestExplicitObjectQueries:
     def test_layout_required_for_explicit_objects(self):
         query = CrossMatchQuery(
