@@ -57,6 +57,13 @@ List the adversarial scenario library, record one as a trace fixture::
     liferaft scenarios
     liferaft scenarios --record hotspot_zone_skew --out /tmp/hotspot.lrtr
 
+Export a run's metrics snapshot and its Perfetto-loadable span timeline,
+then pretty-print the metrics::
+
+    liferaft run --scale small --metrics-out /tmp/metrics.json \
+        --trace-out /tmp/spans.json
+    liferaft inspect /tmp/metrics.json
+
 Print the workload characterisation of a freshly generated trace::
 
     liferaft trace --scale small
@@ -428,6 +435,24 @@ def build_parser() -> argparse.ArgumentParser:
             "trace FILE for 'liferaft replay'"
         ),
     )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the run's merged metrics snapshot (virtual + real "
+            "domains) as JSON; inspect it with 'liferaft inspect FILE'"
+        ),
+    )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the run's span timeline as Chrome-trace JSON "
+            "(load it in Perfetto or chrome://tracing)"
+        ),
+    )
 
     replay = subparsers.add_parser(
         "replay",
@@ -494,6 +519,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenarios.add_argument(
         "--seed", type=int, default=None, help="override the scenario's default seed"
+    )
+
+    inspect_cmd = subparsers.add_parser(
+        "inspect",
+        help=(
+            "pretty-print a metrics snapshot written by "
+            "'liferaft run --metrics-out'"
+        ),
+    )
+    inspect_cmd.add_argument(
+        "metrics", metavar="FILE", help="metrics snapshot (.json) to inspect"
     )
 
     subparsers.add_parser("list", help="list available experiments")
@@ -659,6 +695,8 @@ def _single_run(
     reliability=None,
     enable_stealing: bool = True,
     record_trace=None,
+    metrics_out=None,
+    trace_out=None,
 ):
     from repro.sim.runspec import RunSpec
 
@@ -678,6 +716,8 @@ def _single_run(
             reliability=reliability,
             store_path=store_path,
             record_trace=record_trace,
+            metrics_out=metrics_out,
+            trace_out=trace_out,
         ),
     )
 
@@ -718,9 +758,15 @@ def _run_single(args: argparse.Namespace) -> int:
         reliability=reliability,
         enable_stealing=stealing,
         record_trace=args.record_trace,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
     )
     if args.record_trace:
         print(f"recorded trace -> {args.record_trace}")
+    if args.metrics_out:
+        print(f"wrote metrics snapshot -> {args.metrics_out}")
+    if args.trace_out:
+        print(f"wrote span timeline -> {args.trace_out}")
     engine = (
         "serial engine"
         if args.workers == 1 and reliability is None
@@ -744,6 +790,10 @@ def _run_single(args: argparse.Namespace) -> int:
                 list(result.reliability.describe().items()),
             )
         )
+    if result.serving is not None:
+        summary = result.serving.deadline_summary
+        print("\nserving SLA:")
+        print(render_table(("metric", "value"), sorted(summary.items())))
 
     status = 0
     if args.verify_recovery:
@@ -964,6 +1014,28 @@ def _run_serve(args: argparse.Namespace) -> int:
             serving.deadline_rows,
         )
     )
+    summary = serving.deadline_summary
+    print(
+        f"\n  SLA overall: first-result {summary['first_result_hit_rate']:.1%} | "
+        f"completion {summary['completion_hit_rate']:.1%} over "
+        f"{int(summary['completed'])} completed"
+    )
+    return 0
+
+
+def _run_inspect(args: argparse.Namespace) -> int:
+    from repro.telemetry.inspect import domain_counts, load_snapshot, summary_rows
+
+    try:
+        snapshot = load_snapshot(args.metrics)
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error)) from error
+    virtual, real = domain_counts(snapshot)
+    print(
+        f"metrics snapshot {args.metrics}: "
+        f"{virtual} virtual-domain + {real} real-domain metrics"
+    )
+    print(render_table(("domain", "metric", "type", "value"), summary_rows(snapshot)))
     return 0
 
 
@@ -996,6 +1068,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_replay(args)
     if args.command == "scenarios":
         return _run_scenarios(args)
+    if args.command == "inspect":
+        return _run_inspect(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

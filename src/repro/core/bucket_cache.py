@@ -14,10 +14,11 @@ integration and the φ(i) probe the workload-throughput metric needs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.storage.bucket_store import Bucket, BucketStore
 from repro.storage.cache import LRUCache
+from repro.telemetry.registry import MetricsRegistry
 
 #: Cache size used throughout the paper's evaluation (§5).
 PAPER_CACHE_BUCKETS = 20
@@ -35,9 +36,36 @@ class CacheLoadResult:
 class BucketCacheManager:
     """LRU cache of bucket images backed by a :class:`BucketStore`."""
 
-    def __init__(self, store: BucketStore, capacity: int = PAPER_CACHE_BUCKETS) -> None:
+    def __init__(
+        self,
+        store: BucketStore,
+        capacity: int = PAPER_CACHE_BUCKETS,
+        telemetry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.store = store
         self._cache: LRUCache[int, Bucket] = LRUCache(capacity)
+        self.telemetry: Optional[MetricsRegistry] = None
+        self._t_hits = None
+        self._t_misses = None
+        self._t_bucket_reads = None
+        self._t_read_ms = None
+        self._t_read_mb = None
+        if telemetry is not None:
+            self.bind_telemetry(telemetry)
+
+    def bind_telemetry(self, registry: MetricsRegistry) -> None:
+        """Attach a registry; the load path resolves its metrics once here.
+
+        All cache/read counters live in the virtual domain: hit/miss
+        sequences and charged read costs are pure functions of the
+        admitted arrival schedule, so they are backend-invariant.
+        """
+        self.telemetry = registry
+        self._t_hits = registry.counter("cache.hits")
+        self._t_misses = registry.counter("cache.misses")
+        self._t_bucket_reads = registry.counter("store.bucket_reads")
+        self._t_read_ms = registry.counter("store.read_ms")
+        self._t_read_mb = registry.counter("store.read_mb")
 
     @property
     def capacity(self) -> int:
@@ -62,9 +90,16 @@ class BucketCacheManager:
         """
         cached = self._cache.get(bucket_index)
         if cached is not None:
+            if self._t_hits is not None:
+                self._t_hits.inc()
             return CacheLoadResult(cached, 0.0, hit=True)
         read = self.store.read_bucket(bucket_index)
         self._cache.put(bucket_index, read.bucket)
+        if self._t_misses is not None:
+            self._t_misses.inc()
+            self._t_bucket_reads.inc()
+            self._t_read_ms.inc(read.cost_ms)
+            self._t_read_mb.inc(self.store.layout[bucket_index].megabytes)
         return CacheLoadResult(read.bucket, read.cost_ms, hit=False)
 
     def restore(

@@ -36,7 +36,14 @@ from repro.core.workload_manager import WorkloadManager
 from repro.storage.bucket_store import BucketStore
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import PartitionLayout
+from repro.telemetry.registry import MetricsRegistry
 from repro.workload.query import CrossMatchQuery
+
+#: Virtual-millisecond bounds of the per-batch service-cost histogram
+#: (bucket reads are ~1200 ms at paper constants; cache hits far less).
+BATCH_COST_BOUNDS_MS = (1.0, 10.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0)
+#: Queries served per batch (sharing depth) histogram bounds.
+BATCH_QUERY_BOUNDS = (1, 2, 4, 8, 16, 32, 64)
 
 
 @dataclass(frozen=True)
@@ -130,6 +137,7 @@ class ServiceLoop:
         manager: WorkloadManager,
         cache: BucketCacheManager,
         evaluator: HybridJoinEvaluator,
+        telemetry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.layout = layout
         self.scheduler = scheduler
@@ -147,6 +155,27 @@ class ServiceLoop:
         self.total_io_ms = 0.0
         self.total_match_ms = 0.0
         self.total_matches = 0
+        #: Per-lane metrics registry.  Every metric recorded here is in
+        #: the virtual domain: bucket services are pure functions of the
+        #: lane's arrival schedule, so snapshots are backend-invariant.
+        #: Metric handles are resolved once; ``_record`` pays one
+        #: attribute bump per metric per batch (the bench ratchet keeps
+        #: that overhead honest).
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        registry = self.telemetry
+        self._t_services = registry.counter("engine.services")
+        self._t_strategy = {
+            s.value: registry.counter("engine.strategy_services", labels={"strategy": s.value})
+            for s in JoinStrategy
+        }
+        self._t_busy_ms = registry.counter("engine.busy_ms")
+        self._t_io_ms = registry.counter("engine.io_ms")
+        self._t_match_ms = registry.counter("engine.match_ms")
+        self._t_matches = registry.counter("engine.matches")
+        self._t_queries_completed = registry.counter("engine.queries_completed")
+        self._t_objects_served = registry.counter("engine.objects_served")
+        self._t_batch_cost = registry.histogram("engine.batch_cost_ms", BATCH_COST_BOUNDS_MS)
+        self._t_batch_queries = registry.histogram("engine.batch_queries", BATCH_QUERY_BOUNDS)
 
     def has_pending_work(self) -> bool:
         """``True`` while any workload queue of this lane is non-empty."""
@@ -204,6 +233,16 @@ class ServiceLoop:
         self.total_matches += result.join.match_count
         if result.queries_completed:
             self.last_completion_ms = max(self.last_completion_ms, result.finished_at_ms)
+        self._t_services.inc()
+        self._t_strategy[result.join.strategy.value].inc()
+        self._t_busy_ms.inc(result.cost_ms)
+        self._t_io_ms.inc(result.join.io_cost_ms)
+        self._t_match_ms.inc(result.join.match_cost_ms)
+        self._t_matches.inc(result.join.match_count)
+        self._t_queries_completed.inc(len(result.queries_completed))
+        self._t_objects_served.inc(sum(result.objects_served))
+        self._t_batch_cost.observe(result.cost_ms)
+        self._t_batch_queries.observe(len(result.queries_served))
 
 
 def build_service_loop(
@@ -220,7 +259,10 @@ def build_service_loop(
     cache over *store* and one hybrid evaluator bound to it.
     """
     manager = WorkloadManager()
-    cache = BucketCacheManager(store, config.cache_buckets)
+    # One registry per lane: the loop and its cache record into the same
+    # family, and the lane's snapshot rides the WorkerResult IPC seam.
+    telemetry = MetricsRegistry()
+    cache = BucketCacheManager(store, config.cache_buckets, telemetry=telemetry)
     evaluator = HybridJoinEvaluator(
         cost=config.cost,
         cache=cache,
@@ -229,7 +271,7 @@ def build_service_loop(
         enable_hybrid=config.enable_hybrid,
         match_probability=config.match_probability,
     )
-    return ServiceLoop(layout, scheduler, manager, cache, evaluator)
+    return ServiceLoop(layout, scheduler, manager, cache, evaluator, telemetry=telemetry)
 
 
 class LifeRaftEngine:

@@ -32,7 +32,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.engine import EngineConfig, EngineReport
@@ -63,6 +63,7 @@ from repro.parallel.ipc import (
 from repro.parallel.sharding import ShardPlan, make_shard_plan
 from repro.parallel.worker import StagedShare
 from repro.sim.events import Event, EventKind, WorkerEventLog
+from repro.telemetry.registry import REAL_DOMAIN, MetricsRegistry, merge_snapshots
 from repro.storage.bucket_store import BucketStore
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import PartitionLayout
@@ -123,6 +124,41 @@ def fan_out_arrivals(
     return arrivals
 
 
+def coordinator_snapshot(
+    steal_count: int = 0,
+    window_count: int = 0,
+    reliability: Optional["ReliabilityReport"] = None,
+) -> Optional[dict]:
+    """Coordinator-side accounting as a mergeable telemetry snapshot.
+
+    Everything here lives in the **real** domain: window counts and steal
+    totals depend on barrier placement (a coordination artefact, not part
+    of the deterministic contract), and checkpoint bytes / crash counts
+    are operational profile.  Counters are only created when non-zero so
+    that backends which never window (the virtual interleaver) produce
+    snapshots bit-identical to a single-drain process run.
+    """
+    registry = MetricsRegistry()
+    if steal_count:
+        registry.counter("coordinator.steals", domain=REAL_DOMAIN).inc(steal_count)
+    if window_count:
+        registry.counter("coordinator.windows", domain=REAL_DOMAIN).inc(window_count)
+    if reliability is not None:
+        for name, value in (
+            ("reliability.windows", reliability.windows),
+            ("reliability.checkpoints_written", reliability.checkpoints_written),
+            ("reliability.checkpoint_bytes", reliability.checkpoint_bytes),
+            ("reliability.checkpoint_real_s", reliability.checkpoint_real_s),
+            ("reliability.crashes_injected", reliability.crashes_injected),
+            ("reliability.recoveries", reliability.recovery_count),
+            ("reliability.scale_events", len(reliability.scale_events)),
+        ):
+            if value:
+                registry.counter(name, domain=REAL_DOMAIN).inc(value)
+    snapshot = registry.snapshot()
+    return snapshot if snapshot["metrics"] else None
+
+
 def merge_backend_outcome(
     backend_name: str,
     spec: "ParallelRunSpec",
@@ -134,6 +170,7 @@ def merge_backend_outcome(
     results: Sequence[WorkerResult],
     elapsed_s: float,
     reliability: Optional["ReliabilityReport"] = None,
+    window_boundaries_ms: Optional[List[float]] = None,
 ) -> BackendOutcome:
     """Merge per-shard batch records and accounting into one outcome.
 
@@ -160,6 +197,17 @@ def merge_backend_outcome(
         f"shard={plan.strategy})"
     )
     report = merge_worker_results(scheduler_name, tracker, ordered_results)
+    boundaries = list(window_boundaries_ms or [])
+    telemetry = merge_snapshots(
+        [r.telemetry for r in ordered_results]
+        + [
+            coordinator_snapshot(
+                steal_count=len(steal_records),
+                window_count=len(boundaries),
+                reliability=reliability,
+            )
+        ]
+    )
     parallel = ParallelReport(
         engine=report,
         workers=spec.workers,
@@ -183,6 +231,8 @@ def merge_backend_outcome(
         real_elapsed_s=elapsed_s,
         store_real_read_s=sum(r.store_real_read_s for r in ordered_results),
         reliability=reliability,
+        telemetry=telemetry,
+        window_boundaries_ms=boundaries,
     )
 
 
@@ -244,6 +294,13 @@ class BackendOutcome:
     store_real_read_s: float = 0.0
     #: Reliability runs only: what the checkpoint/recovery machinery did.
     reliability: Optional["ReliabilityReport"] = None
+    #: Merged telemetry snapshot of the run (lane registries folded in
+    #: worker-id order, plus store and coordinator registries).  The
+    #: virtual domain of this snapshot is backend-invariant.
+    telemetry: Optional[dict] = None
+    #: Window-barrier virtual times of windowed runs (empty when the run
+    #: drained in a single window) — exported as trace instants.
+    window_boundaries_ms: List[float] = field(default_factory=list)
 
     def coverage(self) -> Dict[int, frozenset]:
         """Per-query bucket coverage: which buckets serviced each query."""
@@ -314,6 +371,18 @@ class VirtualBackend(ExecutionBackend):
                 )
         services.sort(key=lambda r: (r.started_at_ms, r.worker_id, r.seq))
         preport = engine.parallel_report()
+        # Lane registries merge in worker-id order (the same deterministic
+        # fold the process coordinator applies); the shared store's
+        # real-domain registry is folded exactly once at run level.
+        store_registry = getattr(spec.store, "telemetry", None)
+        telemetry = merge_snapshots(
+            [
+                worker.loop.telemetry.snapshot()
+                for worker in sorted(engine.workers, key=lambda w: w.worker_id)
+            ]
+            + [store_registry.snapshot() if store_registry is not None else None]
+            + [coordinator_snapshot(steal_count=len(engine.steal_log))]
+        )
         return BackendOutcome(
             backend=self.name,
             report=preport.engine,
@@ -326,6 +395,7 @@ class VirtualBackend(ExecutionBackend):
             megabytes_read=spec.store.bytes_read_mb,
             real_elapsed_s=elapsed,
             store_real_read_s=getattr(spec.store, "real_read_s", 0.0),
+            telemetry=telemetry,
         )
 
 
@@ -550,8 +620,11 @@ class ProcessBackend(ExecutionBackend):
                 process.start()
                 child_conn.close()
                 handles.append(_ShardHandle(worker_id, process, parent_conn, arrivals[worker_id]))
+            window_boundaries: List[float] = []
             if spec.enable_stealing and spec.workers > 1:
-                self._windowed_run(spec, handles, batches, steal_records, events)
+                self._windowed_run(
+                    spec, handles, batches, steal_records, events, window_boundaries
+                )
             else:
                 self._run_window(handles, None, batches)
             results = [handle.request(Finalize()) for handle in handles]
@@ -559,7 +632,16 @@ class ProcessBackend(ExecutionBackend):
             self._shutdown(handles)
         elapsed = time.perf_counter() - started
         return merge_backend_outcome(
-            self.name, spec, plan, tracker, events, batches, steal_records, results, elapsed
+            self.name,
+            spec,
+            plan,
+            tracker,
+            events,
+            batches,
+            steal_records,
+            results,
+            elapsed,
+            window_boundaries_ms=window_boundaries,
         )
 
     @staticmethod
@@ -596,6 +678,7 @@ class ProcessBackend(ExecutionBackend):
         batches: List[BatchRecord],
         steal_records: List[StealRecord],
         events: WorkerEventLog,
+        window_boundaries: Optional[List[float]] = None,
     ) -> None:
         quantum = spec.quantum_ms()
         while True:
@@ -606,7 +689,10 @@ class ProcessBackend(ExecutionBackend):
             ]
             if not candidates:
                 return
-            self._run_window(handles, min(candidates) + quantum, batches)
+            boundary = min(candidates) + quantum
+            if window_boundaries is not None:
+                window_boundaries.append(boundary)
+            self._run_window(handles, boundary, batches)
             if all(handle.drained for handle in handles):
                 return
             self._steal_round(handles, steal_records, events)

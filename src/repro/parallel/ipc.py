@@ -237,6 +237,10 @@ class WorkerResult:
     store_megabytes: float
     #: File-backed stores only: this shard's physical read + decode time.
     store_real_read_s: float = 0.0
+    #: The lane's telemetry snapshot (a plain picklable dict; see
+    #: :mod:`repro.telemetry.registry`).  Merged order-insensitively by
+    #: the coordinator.  ``None`` when the producer predates telemetry.
+    telemetry: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -407,10 +411,23 @@ def prepare_task_worker(task: ShardTask) -> Tuple[ShardWorker, int]:
     return worker, state.seq
 
 
-def worker_result(worker: ShardWorker) -> WorkerResult:
-    """Collect one shard's final accounting for the coordinator."""
+def worker_result(worker: ShardWorker, include_store_telemetry: bool = False) -> WorkerResult:
+    """Collect one shard's final accounting for the coordinator.
+
+    *include_store_telemetry* merges the store's real-domain registry
+    into the lane snapshot.  Worker processes set it (each child owns a
+    private store); in-process lanes leave it off — they share one store
+    object, which the virtual backend merges exactly once at run level.
+    """
     loop = worker.loop
     store = loop.cache.store
+    telemetry = loop.telemetry.snapshot()
+    if include_store_telemetry:
+        store_registry = getattr(store, "telemetry", None)
+        if store_registry is not None:
+            from repro.telemetry.registry import merge_snapshots
+
+            telemetry = merge_snapshots([telemetry, store_registry.snapshot()])
     return WorkerResult(
         worker_id=worker.worker_id,
         clock_ms=worker.now_ms,
@@ -426,6 +443,7 @@ def worker_result(worker: ShardWorker) -> WorkerResult:
         store_reads=store.reads,
         store_megabytes=store.bytes_read_mb,
         store_real_read_s=getattr(store, "real_read_s", 0.0),
+        telemetry=telemetry,
     )
 
 
@@ -466,7 +484,7 @@ def shard_worker_main(conn, task: ShardTask) -> None:
                     )
                 )
             elif isinstance(message, Finalize):
-                conn.send(worker_result(worker))
+                conn.send(worker_result(worker, include_store_telemetry=True))
             elif isinstance(message, Shutdown):
                 return
             else:

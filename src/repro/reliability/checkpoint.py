@@ -95,6 +95,10 @@ class ShardCheckpoint:
     total_matches: int
     store_reads: int
     store_megabytes: float
+    #: The lane's metrics-registry snapshot (engine/cache counters).
+    #: ``None`` in checkpoints written before telemetry existed; restore
+    #: treats that as an empty registry.
+    telemetry: Optional[dict] = None
 
 
 @dataclass
@@ -298,6 +302,7 @@ def capture_shard(worker: ShardWorker, seq: int, window_index: int) -> ShardChec
         total_matches=loop.total_matches,
         store_reads=store.reads,
         store_megabytes=store.bytes_read_mb,
+        telemetry=loop.telemetry.snapshot(),
     )
 
 
@@ -333,6 +338,10 @@ def restore_shard(worker: ShardWorker, state: ShardCheckpoint) -> None:
     store = loop.cache.store
     store.reads = state.store_reads
     store.bytes_read_mb = state.store_megabytes
+    # In-place restore: the loop's (and cache's) pre-resolved metric
+    # handles keep pointing at the live objects, so replayed services
+    # continue counting from the barrier's totals.
+    loop.telemetry.restore(getattr(state, "telemetry", None))
     worker.now_ms = state.clock_ms
     worker.steals = state.steals
     worker.restore_staged(state.staged)

@@ -98,6 +98,10 @@ class ReliabilityReport:
     recoveries: List[RecoveryEvent] = field(default_factory=list)
     #: Executed scale-down/scale-up events, in barrier order.
     scale_events: List[ScaleRecord] = field(default_factory=list)
+    #: Every per-shard checkpoint written, in capture order
+    #: (:class:`~repro.parallel.ipc.CheckpointWritten` records) — the
+    #: trace exporter renders these as timeline instants.
+    checkpoint_marks: List[object] = field(default_factory=list)
 
     @property
     def recovery_count(self) -> int:

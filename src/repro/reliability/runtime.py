@@ -228,7 +228,10 @@ class InlineChannel(ShardChannel):
         )
 
     def finalize(self) -> WorkerResult:
-        return worker_result(self._live().worker)
+        # Inline reliability shards own a private store rebuilt from the
+        # snapshot (exactly as a worker process does), so its real-domain
+        # registry rides the shard's result just like the process path.
+        return worker_result(self._live().worker, include_store_telemetry=True)
 
     def kill(self) -> None:
         self._replayer = None  # every bit of shard state is gone
@@ -446,6 +449,7 @@ class RecoveryCoordinator:
         self.policies = [self.rel.build_policy() for _ in range(spec.workers)]
         self.batches: List[BatchRecord] = []
         self.steal_records: List[StealRecord] = []
+        self.window_boundaries: List[float] = []
         self.journal: List[_JournaledSteal] = []
         #: Next expected batch seq per shard (the emitted-record cursor).
         self.accepted_seq: Dict[int, int] = {w: 0 for w in range(spec.workers)}
@@ -537,6 +541,7 @@ class RecoveryCoordinator:
             results,
             elapsed,
             reliability=self.report,
+            window_boundaries_ms=self.window_boundaries,
         )
 
     def _window_loop(self, checkpoint_dir: str) -> None:
@@ -553,6 +558,7 @@ class RecoveryCoordinator:
             if not candidates:
                 break
             boundary = min(candidates) + self.quantum_ms
+            self.window_boundaries.append(boundary)
             # Inject this window's scheduled crashes: the shard dies while
             # the window is (about to be) in flight, exactly as a machine
             # failure would land mid-computation.
@@ -953,6 +959,7 @@ class RecoveryCoordinator:
             self.report.checkpoints_written += 1
             self.report.checkpoint_bytes += written.byte_size
             self.report.checkpoint_real_s += written.real_elapsed_s
+            self.report.checkpoint_marks.append(written)
             wrote_any = True
         for view, channel in failed:
             self._recover(channel, view, window_index)

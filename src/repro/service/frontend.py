@@ -54,6 +54,7 @@ from repro.service.streams import ResultChunk, StreamCursor, StreamHub
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.stats import ResponseTimeStats, summarize_response_times
 from repro.storage.partitioner import PartitionLayout
+from repro.telemetry.registry import MetricsRegistry
 from repro.workload.query import CrossMatchQuery
 
 __all__ = [
@@ -238,6 +239,19 @@ class ServingFrontEnd:
             self.hub.subscribe(config.on_chunk)
         self.intake: Optional[IntakeOutcome] = None
         self._finalized = False
+        #: Admission is a pure function of the arrival stream, so these
+        #: counters live in the virtual domain (backend-invariant).
+        self.telemetry = MetricsRegistry()
+        self._t_admitted = self.telemetry.counter(
+            "admission.decisions", labels={"outcome": "admitted"}
+        )
+        self._t_rejected = self.telemetry.counter(
+            "admission.decisions", labels={"outcome": "rejected"}
+        )
+        self._t_deferred = self.telemetry.counter(
+            "admission.decisions", labels={"outcome": "deferred"}
+        )
+        self._t_no_overlap = self.telemetry.counter("admission.no_overlap")
 
     # ------------------------------------------------------------------ #
     # intake
@@ -262,6 +276,7 @@ class ServingFrontEnd:
                 # No overlap at this site: completes immediately, bypassing
                 # both the gate and the engines (as in the plain replay).
                 no_overlap += 1
+                self._t_no_overlap.inc()
                 continue
             arrival_ms = query.arrival_time_s * 1000.0
             events.push(
@@ -303,6 +318,7 @@ class ServingFrontEnd:
             if decision is AdmissionDecision.DEFER and attempt >= self.config.max_defers:
                 decision = AdmissionDecision.REJECT
             if decision is AdmissionDecision.ADMIT:
+                self._t_admitted.inc()
                 self.model.admit(query.query_id, footprint, now_ms)
                 session.admitted += 1
                 self.deadlines.on_admitted(query.query_id)
@@ -316,6 +332,7 @@ class ServingFrontEnd:
                     )
                 )
             elif decision is AdmissionDecision.DEFER:
+                self._t_deferred.inc()
                 session.deferred += 1
                 deferrals += 1
                 events.push(
@@ -326,6 +343,7 @@ class ServingFrontEnd:
                     )
                 )
             else:
+                self._t_rejected.inc()
                 session.rejected += 1
                 self.deadlines.on_rejected(query.query_id)
                 reason = ",".join(snapshot.breached(self.limits)) or "rejected"

@@ -80,6 +80,16 @@ class RunSpec:
     #: Record the run's arrival stream (and result digest) into this
     #: ``.lrtr`` trace file for later ``liferaft replay``.
     record_trace: Optional[str] = None
+    #: Collect the run's metrics snapshot onto the result.  Instrumentation
+    #: itself always records (it never perturbs the virtual clock — the
+    #: zero-perturbation tests pin that); this only gates snapshot
+    #: collection and export.
+    telemetry: bool = True
+    #: Write the merged metrics snapshot to this JSON file after the run.
+    metrics_out: Optional[str] = None
+    #: Write the run's span timeline to this Chrome-trace JSON file
+    #: (loadable in Perfetto / ``chrome://tracing``).
+    trace_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:

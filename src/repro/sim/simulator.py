@@ -32,6 +32,8 @@ from repro.storage.disk_store import DiskBucketStore, open_disk_store
 from repro.storage.format import read_layout
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner, PartitionLayout
+from repro.telemetry.registry import merge_snapshots, snapshot_to_json
+from repro.telemetry.spans import build_chrome_trace, write_chrome_trace
 from repro.workload.query import CrossMatchQuery
 from repro.workload.trace_io import run_digest, write_trace
 
@@ -140,6 +142,11 @@ class SimulationResult:
     page_reads: int = 0
     #: Reliability runs only: checkpoints written, crashes, recoveries.
     reliability: Optional["ReliabilityReport"] = None
+    #: Merged metrics snapshot of the run (``None`` when the spec disabled
+    #: collection).  The virtual domain of this snapshot is bit-identical
+    #: across storage tiers and execution backends at a fixed worker count;
+    #: the real domain is wall-clock profile and never parity-asserted.
+    telemetry: Optional[dict] = None
     #: SHA-256 over the per-query completion timeline plus every
     #: :data:`VIRTUAL_CLOCK_PARITY_FIELDS` value — equal digests mean
     #: bit-identical virtual-clock outcomes (``liferaft replay`` pins it).
@@ -445,6 +452,17 @@ class Simulator:
                 summary.store_backend = "file"
                 summary.real_read_s = store.real_read_s
                 summary.page_reads = store.page_reads
+            store_registry = getattr(store, "telemetry", None)
+            snapshot = merge_snapshots(
+                [
+                    engine.loop.telemetry.snapshot(),
+                    store_registry.snapshot() if store_registry is not None else None,
+                    frontend.telemetry.snapshot() if frontend is not None else None,
+                ]
+            )
+            if spec.telemetry:
+                summary.telemetry = snapshot
+            self._export_telemetry(spec, summary, snapshot, engine.loop.batches)
             return summary
 
     def _build_frontend(
@@ -632,7 +650,52 @@ class Simulator:
             reliability=outcome.reliability,
         )
         _stamp_digest(summary, report.response_times_ms)
+        snapshot = merge_snapshots(
+            [outcome.telemetry]
+            + ([frontend.telemetry.snapshot()] if frontend is not None else [])
+        )
+        if spec.telemetry:
+            summary.telemetry = snapshot
+        self._export_telemetry(
+            spec,
+            summary,
+            snapshot,
+            outcome.services,
+            steal_records=outcome.steal_records,
+            window_boundaries_ms=outcome.window_boundaries_ms,
+            reliability=outcome.reliability,
+        )
         return summary
+
+    @staticmethod
+    def _export_telemetry(
+        spec: RunSpec,
+        result: SimulationResult,
+        snapshot: dict,
+        services,
+        steal_records=(),
+        window_boundaries_ms=(),
+        reliability=None,
+    ) -> None:
+        """Write the run's metrics / span-timeline files when asked to.
+
+        Export runs after the digest is stamped, so it can never perturb
+        the deterministic outcome (the zero-perturbation tests compare
+        digests with exports on and off).
+        """
+        if spec.metrics_out:
+            with open(spec.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(snapshot_to_json(snapshot))
+        if spec.trace_out:
+            trace = build_chrome_trace(
+                services,
+                steal_records=steal_records,
+                window_boundaries_ms=window_boundaries_ms,
+                reliability=reliability,
+                label=result.label,
+                backend=result.backend,
+            )
+            write_chrome_trace(spec.trace_out, trace)
 
     def run_alpha_sweep(
         self,

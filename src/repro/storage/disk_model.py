@@ -19,7 +19,9 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Iterable, List, Optional
+
+from repro.telemetry.registry import MetricsRegistry
 
 
 class IOKind(enum.Enum):
@@ -81,11 +83,13 @@ class IOTrace:
     would grow without limit.  Detailed :class:`IORecord` entries therefore
     live in a ring buffer of ``max_records`` (the *newest* entries win —
     the tail of a run is what failure analysis wants), while the
-    per-kind counters behind :meth:`count`, :meth:`total_ms` and
-    :meth:`total_megabytes` are maintained incrementally and stay exact no
-    matter how many detailed entries the ring has dropped.  The cache
-    ablation's sequential-vs-random assertions run on those aggregates,
-    so they keep working on runs of any length.
+    aggregates behind :meth:`count`, :meth:`total_ms` and
+    :meth:`total_megabytes` are per-kind labelled telemetry counters on
+    :attr:`telemetry` — the single source of truth, exact no matter how
+    many detailed entries the ring has dropped.  The cache ablation's
+    sequential-vs-random assertions run on those aggregates, so they
+    keep working on runs of any length; the trace itself stays a thin
+    view over the registry.
     """
 
     def __init__(
@@ -99,13 +103,18 @@ class IOTrace:
         self.enabled = enabled
         self.max_records = max_records
         self._records: Deque[IORecord] = deque(maxlen=max_records)
-        self._counts: Dict[IOKind, int] = {}
-        self._cost_ms: Dict[IOKind, float] = {}
-        self._megabytes: Dict[IOKind, float] = {}
+        #: Aggregate accounting: ``io.requests`` / ``io.cost_ms`` /
+        #: ``io.megabytes`` counters labelled by :class:`IOKind`.  Charged
+        #: costs are virtual-clock amounts, so the counters live in the
+        #: registry's virtual domain.
+        self.telemetry = MetricsRegistry()
         #: Detailed entries evicted by the ring buffer (aggregates kept).
         self.dropped = 0
         for record in records:
             self.record(record)
+
+    def _labels(self, kind: IOKind) -> dict:
+        return {"kind": kind.value}
 
     @property
     def records(self) -> List[IORecord]:
@@ -116,35 +125,38 @@ class IOTrace:
         """Fold *record* into the aggregates and the ring buffer."""
         if not self.enabled:
             return
-        self._counts[record.kind] = self._counts.get(record.kind, 0) + 1
-        self._cost_ms[record.kind] = self._cost_ms.get(record.kind, 0.0) + record.cost_ms
-        self._megabytes[record.kind] = self._megabytes.get(record.kind, 0.0) + record.megabytes
+        labels = self._labels(record.kind)
+        self.telemetry.counter("io.requests", labels=labels).inc()
+        self.telemetry.counter("io.cost_ms", labels=labels).inc(record.cost_ms)
+        self.telemetry.counter("io.megabytes", labels=labels).inc(record.megabytes)
         if len(self._records) == self.max_records:
             self.dropped += 1
         self._records.append(record)
 
     def count(self, kind: IOKind) -> int:
         """Number of recorded requests of *kind* (exact, never truncated)."""
-        return self._counts.get(kind, 0)
+        return self.telemetry.counter("io.requests", labels=self._labels(kind)).value
 
     def total_ms(self, kind: Optional[IOKind] = None) -> float:
         """Total recorded I/O time, optionally restricted to one kind."""
         if kind is not None:
-            return self._cost_ms.get(kind, 0.0)
-        return sum(self._cost_ms.values())
+            return self.telemetry.counter("io.cost_ms", labels=self._labels(kind)).value
+        return sum(
+            self.telemetry.counter("io.cost_ms", labels=self._labels(k)).value for k in IOKind
+        )
 
     def total_megabytes(self, kind: Optional[IOKind] = None) -> float:
         """Total bytes moved, optionally restricted to one kind."""
         if kind is not None:
-            return self._megabytes.get(kind, 0.0)
-        return sum(self._megabytes.values())
+            return self.telemetry.counter("io.megabytes", labels=self._labels(kind)).value
+        return sum(
+            self.telemetry.counter("io.megabytes", labels=self._labels(k)).value for k in IOKind
+        )
 
     def clear(self) -> None:
         """Drop all recorded entries and reset the aggregates."""
         self._records.clear()
-        self._counts.clear()
-        self._cost_ms.clear()
-        self._megabytes.clear()
+        self.telemetry = MetricsRegistry()
         self.dropped = 0
 
 

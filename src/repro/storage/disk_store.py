@@ -33,6 +33,7 @@ from repro.storage.cache import LRUCache
 from repro.storage.disk_model import DiskModel
 from repro.storage.format import BucketFileReader, StoreManifest
 from repro.storage.partitioner import BucketSpec
+from repro.telemetry.registry import REAL_DOMAIN, MetricsRegistry
 
 #: Default tier-2 capacity (decoded bucket images).  Sized like the paper's
 #: bucket cache so the two tiers describe the same working set by default.
@@ -118,6 +119,16 @@ class DiskBucketStore(BucketStore):
         self.real_read_s = 0.0
         #: Physical page reads that reached the file (tier-2 misses).
         self.page_reads = 0
+        #: Real-domain registry: physical I/O is wall-clock profile, never
+        #: asserted in parity tests (two identical specs legitimately
+        #: differ here).  Merged once per store object at run level.
+        self.telemetry = MetricsRegistry()
+        self._t_page_reads = self.telemetry.counter("disk.page_reads", domain=REAL_DOMAIN)
+        self._t_real_read_s = self.telemetry.counter("disk.real_read_s", domain=REAL_DOMAIN)
+        self._t_decode_mb = self.telemetry.counter("disk.decode_mb", domain=REAL_DOMAIN)
+        self._t_page_cache_hits = self.telemetry.counter(
+            "disk.page_cache_hits", domain=REAL_DOMAIN
+        )
 
     @property
     def generation(self) -> str:
@@ -138,13 +149,18 @@ class DiskBucketStore(BucketStore):
         if self.page_cache.capacity > 0:
             cached = self.page_cache.get(generation, spec.index)
             if cached is not None:
+                self._t_page_cache_hits.inc()
                 return cached
         started = time.perf_counter()
         # Zero-copy decode: the bucket carries column casts over the mmap
         # and never materialises row objects unless a consumer asks.
         bucket = Bucket(spec, columns=self._reader.read_bucket_block(spec.index))
-        self.real_read_s += time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+        self.real_read_s += elapsed
         self.page_reads += 1
+        self._t_page_reads.inc()
+        self._t_real_read_s.inc(elapsed)
+        self._t_decode_mb.inc(spec.megabytes)
         if self.page_cache.capacity > 0:
             self.page_cache.put(generation, spec.index, bucket)
         return bucket

@@ -1,0 +1,60 @@
+"""Deterministic telemetry: metrics registry, span tracing, timeline export.
+
+The subsystem has three parts:
+
+* :mod:`repro.telemetry.registry` — labelled counters, gauges and
+  fixed-bound histograms split into a virtual-time domain (bit-identical
+  across execution backends) and a real-time domain (wall profile);
+* :mod:`repro.telemetry.spans` — per-shard span tracing exported as
+  Chrome-trace-format JSON (``chrome://tracing``/Perfetto-loadable);
+* :mod:`repro.telemetry.inspect` — the ``liferaft inspect`` summary.
+
+The design contract is **zero perturbation**: instrumentation never
+feeds scheduling decisions or the result digest, so a run's
+``result_digest`` is identical with telemetry enabled or disabled (the
+telemetry parity suite pins that down).
+"""
+
+from repro.telemetry.inspect import domain_counts, load_snapshot, summary_rows
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REAL_DOMAIN,
+    SNAPSHOT_VERSION,
+    VIRTUAL_DOMAIN,
+    empty_snapshot,
+    filter_domain,
+    merge_snapshots,
+    metric_key,
+    metric_value,
+    snapshot_from_json,
+    snapshot_to_json,
+    sum_metric,
+)
+from repro.telemetry.spans import build_chrome_trace, validate_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REAL_DOMAIN",
+    "SNAPSHOT_VERSION",
+    "VIRTUAL_DOMAIN",
+    "build_chrome_trace",
+    "domain_counts",
+    "empty_snapshot",
+    "filter_domain",
+    "load_snapshot",
+    "merge_snapshots",
+    "metric_key",
+    "metric_value",
+    "snapshot_from_json",
+    "snapshot_to_json",
+    "sum_metric",
+    "summary_rows",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,100 @@
+"""CLI surface of the telemetry subsystem.
+
+``liferaft run --metrics-out/--trace-out`` export the merged snapshot
+and the span timeline; ``liferaft inspect`` renders an exported
+snapshot; ``liferaft serve`` surfaces the deadline tracker's SLA
+summary in its report.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.registry import SNAPSHOT_VERSION, snapshot_from_json
+from repro.telemetry.spans import validate_chrome_trace
+
+
+@pytest.fixture
+def exported(tmp_path, capsys):
+    metrics = tmp_path / "metrics.json"
+    trace = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "run",
+                "--scale",
+                "small",
+                "--bucket-count",
+                "64",
+                "--metrics-out",
+                str(metrics),
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        == 0
+    )
+    return metrics, trace, capsys.readouterr().out
+
+
+class TestRunExports:
+    def test_run_reports_and_writes_both_files(self, exported):
+        metrics, trace, output = exported
+        assert "wrote metrics snapshot" in output
+        assert "wrote span timeline" in output
+        assert metrics.exists() and trace.exists()
+
+    def test_metrics_file_is_a_valid_snapshot(self, exported):
+        metrics, _trace, _output = exported
+        snapshot = snapshot_from_json(metrics.read_text(encoding="utf-8"))
+        assert snapshot["version"] == SNAPSHOT_VERSION
+        entries = snapshot["metrics"].values()
+        assert any(entry["domain"] == "virtual" for entry in entries)
+        assert any(entry["name"] == "engine.queries_completed" for entry in entries)
+
+    def test_trace_file_is_perfetto_loadable(self, exported):
+        _metrics, trace, _output = exported
+        loaded = json.loads(trace.read_text(encoding="utf-8"))
+        validate_chrome_trace(loaded)
+        assert loaded["otherData"]["clock"] == "virtual"
+        assert any(event["ph"] == "X" for event in loaded["traceEvents"])
+
+
+class TestInspectCommand:
+    def test_inspect_renders_the_snapshot(self, exported, capsys):
+        metrics, _trace, _output = exported
+        assert main(["inspect", str(metrics)]) == 0
+        output = capsys.readouterr().out
+        assert "virtual-domain" in output
+        assert "engine.queries_completed" in output
+        assert "counter" in output
+
+    def test_inspect_rejects_a_non_snapshot_file(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}", encoding="utf-8")
+        with pytest.raises(SystemExit, match="missing 'metrics'"):
+            main(["inspect", str(bogus)])
+
+    def test_inspect_rejects_a_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["inspect", str(tmp_path / "absent.json")])
+
+
+class TestServeSlaSummary:
+    def test_serve_prints_the_overall_sla_line(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scale",
+                    "small",
+                    "--deadline-mix",
+                    "interactive=0.5,batch=0.5",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "SLA overall:" in output
+        assert "first-result" in output and "completion" in output
