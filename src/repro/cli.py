@@ -57,12 +57,24 @@ List the adversarial scenario library, record one as a trace fixture::
     liferaft scenarios
     liferaft scenarios --record hotspot_zone_skew --out /tmp/hotspot.lrtr
 
-Export a run's metrics snapshot and its Perfetto-loadable span timeline,
-then pretty-print the metrics::
+Export a run's metrics snapshot and its Perfetto-loadable span timeline
+(including per-query causal flows), then pretty-print the metrics::
 
     liferaft run --scale small --metrics-out /tmp/metrics.json \
         --trace-out /tmp/spans.json
     liferaft inspect /tmp/metrics.json
+
+Render the full run report — metrics, windowed time series, SLA summary
+and recovery/scale events — and diff two snapshots metric by metric::
+
+    liferaft report /tmp/metrics.json
+    liferaft inspect /tmp/metrics.json --diff /tmp/other-metrics.json
+
+Check the committed per-scenario SLA envelope fixtures (CI runs this),
+or re-record them after an intentional behaviour change::
+
+    liferaft envelopes --check
+    liferaft envelopes --record hotspot_zone_skew
 
 Print the workload characterisation of a freshly generated trace::
 
@@ -453,6 +465,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(load it in Perfetto or chrome://tracing)"
         ),
     )
+    run.add_argument(
+        "--series-window-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "virtual-time window between telemetry series barriers "
+            "(default: 64 bucket reads); purely an observation cadence"
+        ),
+    )
 
     replay = subparsers.add_parser(
         "replay",
@@ -530,6 +552,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect_cmd.add_argument(
         "metrics", metavar="FILE", help="metrics snapshot (.json) to inspect"
+    )
+    inspect_cmd.add_argument(
+        "--diff",
+        default=None,
+        metavar="OTHER",
+        help=(
+            "compare FILE against a second snapshot and print per-metric "
+            "deltas instead of the summary table"
+        ),
+    )
+
+    report = subparsers.add_parser(
+        "report",
+        help=(
+            "render a full run report (metrics, time series, SLA summary, "
+            "recovery/scale events) from an exported metrics snapshot"
+        ),
+    )
+    report.add_argument(
+        "metrics", metavar="FILE", help="metrics snapshot (.json) to report on"
+    )
+
+    envelopes = subparsers.add_parser(
+        "envelopes",
+        help=(
+            "check or (re-)record the committed per-scenario SLA envelope "
+            "fixtures (admission rates, SLA attainment, completion counts)"
+        ),
+    )
+    envelopes.add_argument(
+        "names",
+        nargs="*",
+        metavar="SCENARIO",
+        help="scenarios to check/record (default: the whole catalog)",
+    )
+    group = envelopes.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--check",
+        action="store_true",
+        help="re-derive each envelope and fail on any drift from its fixture",
+    )
+    group.add_argument(
+        "--record",
+        action="store_true",
+        help="run each scenario and (re-)write its envelope fixture",
+    )
+    envelopes.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="fixture directory (default: tests/fixtures/envelopes)",
     )
 
     subparsers.add_parser("list", help="list available experiments")
@@ -718,6 +791,7 @@ def _single_run(
             record_trace=record_trace,
             metrics_out=metrics_out,
             trace_out=trace_out,
+            series_window_ms=getattr(args, "series_window_ms", None),
         ),
     )
 
@@ -1025,17 +1099,79 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 def _run_inspect(args: argparse.Namespace) -> int:
     from repro.telemetry.inspect import domain_counts, load_snapshot, summary_rows
+    from repro.telemetry.report import diff_snapshots, render_diff
 
     try:
         snapshot = load_snapshot(args.metrics)
+        other = load_snapshot(args.diff) if args.diff else None
     except (OSError, ValueError) as error:
         raise SystemExit(str(error)) from error
+    if other is not None:
+        print(render_diff(snapshot, other, label_a=args.metrics, label_b=args.diff))
+        return 1 if diff_snapshots(snapshot, other) else 0
     virtual, real = domain_counts(snapshot)
     print(
         f"metrics snapshot {args.metrics}: "
         f"{virtual} virtual-domain + {real} real-domain metrics"
     )
     print(render_table(("domain", "metric", "type", "value"), summary_rows(snapshot)))
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from repro.telemetry.inspect import load_snapshot
+    from repro.telemetry.report import render_report
+
+    try:
+        snapshot = load_snapshot(args.metrics)
+    except (OSError, ValueError) as error:
+        raise SystemExit(str(error)) from error
+    print(f"run report from {args.metrics}")
+    print(render_report(snapshot))
+    return 0
+
+
+def _run_envelopes(args: argparse.Namespace) -> int:
+    from repro.workload.envelopes import (
+        DEFAULT_ENVELOPE_DIR,
+        check_envelope,
+        compute_envelope,
+        write_envelope,
+    )
+    from repro.workload.scenarios import SCENARIOS
+
+    directory = args.dir if args.dir is not None else DEFAULT_ENVELOPE_DIR
+    names = args.names or sorted(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise SystemExit(
+            f"unknown scenarios {unknown}; available: {sorted(SCENARIOS)}"
+        )
+    if args.record:
+        for name in names:
+            path = write_envelope(compute_envelope(name), directory)
+            print(f"recorded envelope {name} -> {path}")
+        return 0
+    failures = 0
+    for name in names:
+        try:
+            mismatches = check_envelope(name, directory)
+        except (OSError, ValueError) as error:
+            raise SystemExit(str(error)) from error
+        if mismatches:
+            failures += 1
+            print(f"ENVELOPE DRIFT: {name}")
+            for line in mismatches:
+                print(f"  {line}")
+        else:
+            print(f"envelope OK: {name}")
+    if failures:
+        print(
+            f"\n{failures} of {len(names)} envelopes drifted; if the change "
+            "is intentional, re-record with 'liferaft envelopes --record' "
+            "and commit the fixture diff"
+        )
+        return 1
     return 0
 
 
@@ -1070,6 +1206,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scenarios(args)
     if args.command == "inspect":
         return _run_inspect(args)
+    if args.command == "report":
+        return _run_report(args)
+    if args.command == "envelopes":
+        return _run_envelopes(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -36,7 +36,7 @@ from repro.core.workload_manager import WorkloadManager
 from repro.storage.bucket_store import BucketStore
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import PartitionLayout
-from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.registry import REAL_DOMAIN, MetricsRegistry
 from repro.workload.query import CrossMatchQuery
 
 #: Virtual-millisecond bounds of the per-batch service-cost histogram
@@ -44,6 +44,13 @@ from repro.workload.query import CrossMatchQuery
 BATCH_COST_BOUNDS_MS = (1.0, 10.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0)
 #: Queries served per batch (sharing depth) histogram bounds.
 BATCH_QUERY_BOUNDS = (1, 2, 4, 8, 16, 32, 64)
+#: Default windowed-series cadence, expressed in bucket-read costs — the
+#: same sizing rule as the parallel coordinator's steal quantum, but kept
+#: here (the series cadence must not depend on importing the backends).
+DEFAULT_SERIES_WINDOW_BUCKET_READS = 64.0
+#: Slack used when flushing series barriers against virtual timestamps,
+#: matching the arrival-delivery slack of the replay loops.
+_SERIES_TIME_EPS = 1e-9
 
 
 @dataclass(frozen=True)
@@ -57,10 +64,22 @@ class EngineConfig:
     hybrid_threshold_fraction: Optional[float] = None
     enable_hybrid: bool = True
     match_probability: float = 0.85
+    #: Windowed-series sampling cadence in virtual ms; ``None`` derives
+    #: :data:`DEFAULT_SERIES_WINDOW_BUCKET_READS` bucket reads from the
+    #: cost model.  Sampling never perturbs the virtual clock.
+    series_window_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.cache_buckets <= 0:
             raise ValueError("cache_buckets must be positive")
+        if self.series_window_ms is not None and self.series_window_ms <= 0:
+            raise ValueError("series_window_ms must be positive")
+
+    def resolved_series_window_ms(self) -> float:
+        """The windowed-series cadence this config describes."""
+        if self.series_window_ms is not None:
+            return self.series_window_ms
+        return self.cost.tb_ms * DEFAULT_SERIES_WINDOW_BUCKET_READS
 
 
 @dataclass
@@ -138,6 +157,8 @@ class ServiceLoop:
         cache: BucketCacheManager,
         evaluator: HybridJoinEvaluator,
         telemetry: Optional[MetricsRegistry] = None,
+        shard: int = 0,
+        series_window_ms: Optional[float] = None,
     ) -> None:
         self.layout = layout
         self.scheduler = scheduler
@@ -176,6 +197,43 @@ class ServiceLoop:
         self._t_objects_served = registry.counter("engine.objects_served")
         self._t_batch_cost = registry.histogram("engine.batch_cost_ms", BATCH_COST_BOUNDS_MS)
         self._t_batch_queries = registry.histogram("engine.batch_queries", BATCH_QUERY_BOUNDS)
+        #: Windowed time series, sampled at the first service completion
+        #: at-or-after each window barrier ``(k+1)·W``.  The cadence is a
+        #: pure function of the lane's service timeline, so the virtual-
+        #: domain series are bit-identical across execution backends and
+        #: across crash/recovery (the sampler's cursor is the series'
+        #: sample count, which rides the ``.lrcp`` telemetry envelope).
+        self.shard = shard
+        self._series_window_ms = (
+            series_window_ms
+            if series_window_ms is not None
+            else CostModel.paper_defaults().tb_ms * DEFAULT_SERIES_WINDOW_BUCKET_READS
+        )
+        shard_labels = {"shard": str(shard)}
+        window = self._series_window_ms
+        self._s_queue_depth = registry.series(
+            "series.queue_depth", window, labels=shard_labels
+        )
+        self._s_backlog_buckets = registry.series(
+            "series.backlog_buckets", window, labels=shard_labels
+        )
+        self._s_cache_buckets = registry.series(
+            "series.cache_buckets", window, labels=shard_labels
+        )
+        #: Tier-2 (decoded-page) occupancy exists only for file-backed
+        #: stores and is wall-profile state — shared caches fill in
+        #: whatever order the hardware ran — so it samples into the real
+        #: domain and is never parity-asserted.
+        self._s_page_cache_buckets = (
+            registry.series(
+                "series.page_cache_buckets",
+                window,
+                labels=shard_labels,
+                domain=REAL_DOMAIN,
+            )
+            if getattr(cache.store, "page_cache", None) is not None
+            else None
+        )
 
     def has_pending_work(self) -> bool:
         """``True`` while any workload queue of this lane is non-empty."""
@@ -221,7 +279,34 @@ class ServiceLoop:
             objects_served=tuple(per_query[query_id] for query_id in served),
         )
         self._record(result)
+        self._sample_series(result.finished_at_ms)
         return result
+
+    def _sample_series(self, now_ms: float) -> None:
+        """Flush windowed gauge samples for every barrier ``(k+1)·W ≤ now``.
+
+        Sampling happens at service completions only, after the batch has
+        drained, so the recorded state is the lane's post-drain state at
+        the first completion at-or-after each barrier.  That instant is a
+        pure function of the lane's admitted arrival schedule: arrivals in
+        ``(started_at, finished_at]`` have not been ingested yet on any
+        backend when this runs, so the virtual-domain samples are
+        bit-identical across serial, virtual and process execution.  The
+        cursor is the series' own sample count, which rides the ``.lrcp``
+        telemetry envelope — after a crash/restore, replayed services
+        re-record the post-checkpoint samples with no index overlap.
+        """
+        window_ms = self._series_window_ms
+        count = len(self._s_queue_depth.samples)
+        while (count + 1) * window_ms <= now_ms + _SERIES_TIME_EPS:
+            self._s_queue_depth.record(count, self.manager.pending_entries())
+            self._s_backlog_buckets.record(count, len(self.manager.pending_buckets()))
+            self._s_cache_buckets.record(count, len(self.cache.resident_buckets()))
+            if self._s_page_cache_buckets is not None:
+                self._s_page_cache_buckets.record(
+                    count, self.cache.store.page_cache.resident_count
+                )
+            count += 1
 
     def _record(self, result: BatchResult) -> None:
         self.batches.append(result)
@@ -251,6 +336,7 @@ def build_service_loop(
     scheduler: SchedulingPolicy,
     config: EngineConfig,
     index: Optional[SpatialIndex] = None,
+    shard: int = 0,
 ) -> ServiceLoop:
     """Assemble a :class:`ServiceLoop` with its own cache and evaluator.
 
@@ -271,7 +357,16 @@ def build_service_loop(
         enable_hybrid=config.enable_hybrid,
         match_probability=config.match_probability,
     )
-    return ServiceLoop(layout, scheduler, manager, cache, evaluator, telemetry=telemetry)
+    return ServiceLoop(
+        layout,
+        scheduler,
+        manager,
+        cache,
+        evaluator,
+        telemetry=telemetry,
+        shard=shard,
+        series_window_ms=config.resolved_series_window_ms(),
+    )
 
 
 class LifeRaftEngine:

@@ -248,6 +248,10 @@ class WorkloadManager:
         """Bucket indices with non-empty workload queues."""
         return [index for index, queue in self._queues.items() if queue]
 
+    def pending_entries(self) -> int:
+        """Entries waiting across all queues (one per (query, bucket) share)."""
+        return sum(len(queue) for queue in self._queues.values())
+
     def pending_state(self, now_ms: float) -> List[Tuple[int, int, float]]:
         """One-pass snapshot for schedulers: (bucket, queue size, age in ms).
 

@@ -212,7 +212,7 @@ def build_shard_worker(
     shard; worker processes call it directly after restoring their store
     snapshot, so both backends execute identical per-worker machinery.
     """
-    loop = build_service_loop(layout, store, policy, config, index=index)
+    loop = build_service_loop(layout, store, policy, config, index=index, shard=worker_id)
     return ShardWorker(worker_id, loop)
 
 
@@ -243,7 +243,9 @@ class WorkerPool:
         self.workers: List[ShardWorker] = []
         for worker_id in range(workers):
             policy = self._clone_policy(policy_prototype, worker_id)
-            loop = build_service_loop(layout, store, policy, config, index=index)
+            loop = build_service_loop(
+                layout, store, policy, config, index=index, shard=worker_id
+            )
             self.workers.append(ShardWorker(worker_id, loop))
 
     @staticmethod

@@ -14,7 +14,7 @@ at window barriers and replaying schedule tails.  This package provides:
 * :mod:`repro.reliability.runtime` — the recovery coordinator that kills,
   detects, respawns and re-settles shards on both execution backends;
 * :mod:`repro.reliability.config` — :class:`ReliabilityConfig`, the knob
-  ``Simulator.run_parallel(reliability=...)`` and the CLI expose, and the
+  :class:`~repro.sim.runspec.RunSpec.reliability` and the CLI expose, and the
   :class:`ReliabilityReport` every reliable run returns.
 """
 

@@ -198,6 +198,10 @@ class IntakeModel:
                 if drain > now_ms
             }
 
+    def pending_admissions(self) -> int:
+        """Admitted queries the model still counts as in flight."""
+        return len(self._in_flight)
+
     def snapshot(self, now_ms: float, client_rate_qps: float) -> IntakeSnapshot:
         """The intake state an arrival at *now_ms* is gated against."""
         self.advance(now_ms)

@@ -172,6 +172,24 @@ class DeadlineTracker:
         if deadline.completion_met(ttc_s):
             score.completion_met += 1
 
+    def class_counts(self) -> Dict[str, Dict[str, int]]:
+        """Raw per-class tallies keyed by class name (sorted), as plain ints.
+
+        Unlike :meth:`rows` this exposes counts rather than hit rates, so
+        the numbers can feed counters and envelope fixtures that must
+        compare exactly.
+        """
+        return {
+            name: {
+                "admitted": score.admitted,
+                "rejected": score.rejected,
+                "completed": score.completed,
+                "first_result_met": score.first_result_met,
+                "completion_met": score.completion_met,
+            }
+            for name, score in sorted(self._scores.items())
+        }
+
     def rows(self) -> List[Tuple[str, int, int, int, float, float]]:
         """Per-class SLA table: (class, admitted, rejected, completed,
         first-result hit rate, completion hit rate)."""

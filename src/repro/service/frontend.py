@@ -34,7 +34,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.engine import BatchResult
+from repro.core.engine import (
+    _SERIES_TIME_EPS,
+    DEFAULT_SERIES_WINDOW_BUCKET_READS,
+    BatchResult,
+)
 from repro.core.metrics import CostModel
 from repro.core.preprocessor import QueryPreProcessor
 from repro.service.admission import (
@@ -58,6 +62,7 @@ from repro.telemetry.registry import MetricsRegistry
 from repro.workload.query import CrossMatchQuery
 
 __all__ = [
+    "AdmissionInstant",
     "AdmittedQuery",
     "IntakeOutcome",
     "RejectedQuery",
@@ -145,6 +150,23 @@ class AdmittedQuery:
 
 
 @dataclass(frozen=True)
+class AdmissionInstant:
+    """One gate decision pinned to its virtual-time instant.
+
+    These feed the query-trace flow events: the decision instant is where
+    a query's causal chain starts (admit) or ends (reject), with deferred
+    attempts marking the backpressure rounds in between.
+    """
+
+    time_ms: float
+    query_id: int
+    #: "admit", "defer" or "reject".
+    outcome: str
+    #: Which backpressure round produced the decision (0 = first arrival).
+    attempt: int
+
+
+@dataclass(frozen=True)
 class RejectedQuery:
     """One shed arrival and why the gate refused it."""
 
@@ -224,7 +246,13 @@ class ServingReport:
 class ServingFrontEnd:
     """Async intake, admission control and result streaming over one run."""
 
-    def __init__(self, config: ServiceConfig, layout: PartitionLayout, cost: CostModel) -> None:
+    def __init__(
+        self,
+        config: ServiceConfig,
+        layout: PartitionLayout,
+        cost: CostModel,
+        series_window_ms: Optional[float] = None,
+    ) -> None:
         self.config = config
         self.preprocessor = QueryPreProcessor(layout)
         self.policy = make_admission_policy(config.admission)
@@ -252,6 +280,18 @@ class ServingFrontEnd:
             "admission.decisions", labels={"outcome": "deferred"}
         )
         self._t_no_overlap = self.telemetry.counter("admission.no_overlap")
+        #: The intake loop runs coordinator-side on every backend, so its
+        #: windowed pending-admissions series is virtual-domain too.
+        self._series_window_ms = (
+            series_window_ms
+            if series_window_ms is not None
+            else cost.tb_ms * DEFAULT_SERIES_WINDOW_BUCKET_READS
+        )
+        self._s_pending = self.telemetry.series(
+            "series.pending_admissions", self._series_window_ms
+        )
+        #: Every gate decision, in virtual-time order (trace flow events).
+        self._admission_instants: List[AdmissionInstant] = []
 
     # ------------------------------------------------------------------ #
     # intake
@@ -293,6 +333,7 @@ class ServingFrontEnd:
             event = events.pop()
             query, footprint, arrival_ms, attempt = event.payload
             now_ms = event.time_ms
+            self._flush_pending_series(now_ms)
             session = self.sessions.session_for(query)
             if attempt == 0:
                 session.observe_offer(now_ms)
@@ -319,6 +360,9 @@ class ServingFrontEnd:
                 decision = AdmissionDecision.REJECT
             if decision is AdmissionDecision.ADMIT:
                 self._t_admitted.inc()
+                self._admission_instants.append(
+                    AdmissionInstant(now_ms, query.query_id, "admit", attempt)
+                )
                 self.model.admit(query.query_id, footprint, now_ms)
                 session.admitted += 1
                 self.deadlines.on_admitted(query.query_id)
@@ -333,6 +377,9 @@ class ServingFrontEnd:
                 )
             elif decision is AdmissionDecision.DEFER:
                 self._t_deferred.inc()
+                self._admission_instants.append(
+                    AdmissionInstant(now_ms, query.query_id, "defer", attempt)
+                )
                 session.deferred += 1
                 deferrals += 1
                 events.push(
@@ -344,6 +391,9 @@ class ServingFrontEnd:
                 )
             else:
                 self._t_rejected.inc()
+                self._admission_instants.append(
+                    AdmissionInstant(now_ms, query.query_id, "reject", attempt)
+                )
                 session.rejected += 1
                 self.deadlines.on_rejected(query.query_id)
                 reason = ",".join(snapshot.breached(self.limits)) or "rejected"
@@ -359,6 +409,27 @@ class ServingFrontEnd:
                 admission.query.query_id, admission.footprint.keys(), admission.arrival_ms
             )
         return self.intake
+
+    def _flush_pending_series(self, now_ms: float) -> None:
+        """Sample in-flight admissions at every barrier ``(k+1)·W ≤ now``.
+
+        ``IntakeModel.advance`` is monotone (it only retires work whose
+        estimated drain time has passed), so advancing to an earlier
+        barrier before processing the event at *now_ms* never perturbs
+        admission decisions — and admissions only change at events, so
+        the barrier value is exact, not an approximation.
+        """
+        window_ms = self._series_window_ms
+        count = self._s_pending.sample_count
+        while (count + 1) * window_ms <= now_ms + _SERIES_TIME_EPS:
+            boundary_ms = (count + 1) * window_ms
+            self.model.advance(boundary_ms)
+            self._s_pending.record(count, self.model.pending_admissions())
+            count += 1
+
+    def admission_records(self) -> Tuple[AdmissionInstant, ...]:
+        """Every gate decision with its virtual-time instant, in order."""
+        return tuple(self._admission_instants)
 
     # ------------------------------------------------------------------ #
     # streaming
@@ -409,6 +480,14 @@ class ServingFrontEnd:
                 ttfr / 1000.0 if ttfr is not None else None,
                 ttc / 1000.0 if ttc is not None else None,
             )
+        # Per-class SLA tallies become counters exactly once, after the
+        # streams are scored, so they ride the same snapshot/merge seam
+        # as the admission counters (and stay backend-invariant).
+        for class_name, counts in self.deadlines.class_counts().items():
+            for field_name, value in counts.items():
+                self.telemetry.counter(
+                    f"sla.{field_name}", labels={"class": class_name}
+                ).inc(value)
 
     def report(self) -> ServingReport:
         """Summarise the run (intake, streaming latencies, SLA table)."""

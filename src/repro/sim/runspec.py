@@ -1,12 +1,11 @@
 """RunSpec: the one declarative description of a simulated run.
 
-``Simulator.run`` and ``Simulator.run_parallel`` grew more than ten
-ad-hoc keyword parameters across PRs 1–5 (policy, alpha, workers, shard
-strategy, execution backend, serving config, reliability config, store
-overrides, …).  :class:`RunSpec` collapses that sprawl into a single
-frozen dataclass consumed by :meth:`repro.sim.simulator.Simulator.
-execute` — the one public entry point; the old methods survive as thin
-deprecated shims that build a ``RunSpec`` themselves.
+The run entry points grew more than ten ad-hoc keyword parameters
+across PRs 1–5 (policy, alpha, workers, shard strategy, execution
+backend, serving config, reliability config, store overrides, …).
+:class:`RunSpec` collapses that sprawl into a single frozen dataclass
+consumed by :meth:`repro.sim.simulator.Simulator.execute` — the one
+public entry point.
 
 Dispatch rule: a spec runs on the sharded parallel engine when it names
 an execution ``backend``, asks for more than one worker, or configures
@@ -90,10 +89,16 @@ class RunSpec:
     #: Write the run's span timeline to this Chrome-trace JSON file
     #: (loadable in Perfetto / ``chrome://tracing``).
     trace_out: Optional[str] = None
+    #: Barrier spacing of the windowed telemetry series (virtual ms).
+    #: ``None`` uses the engine default (64 bucket reads).  Purely an
+    #: observation cadence: it never feeds back into scheduling.
+    series_window_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be positive")
+        if self.series_window_ms is not None and self.series_window_ms <= 0:
+            raise ValueError("series_window_ms must be positive")
 
     @property
     def is_parallel(self) -> bool:

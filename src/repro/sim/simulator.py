@@ -15,7 +15,6 @@ variance, cache hit rate, and per-strategy service counts.
 from __future__ import annotations
 
 import os
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
@@ -38,9 +37,8 @@ from repro.workload.query import CrossMatchQuery
 from repro.workload.trace_io import run_digest, write_trace
 
 if TYPE_CHECKING:
-    from repro.parallel.backend import ExecutionBackend
-    from repro.reliability.config import ReliabilityConfig, ReliabilityReport
-    from repro.service.frontend import ServiceConfig, ServingFrontEnd, ServingReport
+    from repro.reliability.config import ReliabilityReport
+    from repro.service.frontend import ServingFrontEnd, ServingReport
 
 __all__ = [
     "POLICY_NAMES",
@@ -206,9 +204,9 @@ class Simulator:
     store at that path instead of building an in-memory
     :class:`BucketStore`: bucket services then perform real seeks, reads
     and columnar decoding while charging identical virtual-clock costs.
-    Per-run ``store_path`` arguments on :meth:`run` / :meth:`run_parallel`
-    override the default (``None`` explicitly forces in-memory, which is
-    how the parity checks compare the two tiers on one simulator).
+    A per-run :attr:`RunSpec.store_path` overrides the default (``None``
+    explicitly forces in-memory, which is how the parity checks compare
+    the two tiers on one simulator).
     """
 
     def __init__(
@@ -293,17 +291,21 @@ class Simulator:
             )
         return store
 
-    def _engine_config(self) -> EngineConfig:
+    def _engine_config(self, spec: Optional[RunSpec] = None) -> EngineConfig:
         return EngineConfig(
             cache_buckets=self.config.cache_buckets,
             cost=self.config.cost,
             hybrid_threshold_fraction=self.config.hybrid_threshold_fraction,
             enable_hybrid=self.config.enable_hybrid,
             match_probability=self.config.match_probability,
+            series_window_ms=spec.series_window_ms if spec is not None else None,
         )
 
     def _build_engine(
-        self, policy: SchedulingPolicy, store: Optional[BucketStore] = None
+        self,
+        policy: SchedulingPolicy,
+        store: Optional[BucketStore] = None,
+        spec: Optional[RunSpec] = None,
     ) -> LifeRaftEngine:
         # An (empty) index object signals that an index on the join key
         # exists, enabling the hybrid strategy; cost accounting for index
@@ -314,7 +316,7 @@ class Simulator:
             store if store is not None else self._build_store(),
             scheduler=policy,
             index=index,
-            config=self._engine_config(),
+            config=self._engine_config(spec),
         )
 
     # ------------------------------------------------------------------ #
@@ -375,40 +377,6 @@ class Simulator:
         }
         write_trace(path, queries, meta=meta, expected_digest=result.result_digest)
 
-    def run(
-        self,
-        queries: Sequence[CrossMatchQuery],
-        policy: Union[str, SchedulingPolicy],
-        alpha: float = 0.25,
-        label: str = "",
-        saturation_qps: Optional[float] = None,
-        service: Optional["ServiceConfig"] = None,
-        store_path=_DEFAULT_STORE,
-    ) -> SimulationResult:
-        """Deprecated: build a :class:`RunSpec` and call :meth:`execute`.
-
-        Kept as a thin shim for callers written against PRs 1–5; it
-        forwards to :meth:`execute` with a serial spec and will be
-        removed once external callers have migrated.
-        """
-        warnings.warn(
-            "Simulator.run is deprecated; build a RunSpec and call "
-            "Simulator.execute(queries, spec)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.execute(
-            queries,
-            RunSpec(
-                policy=policy,
-                alpha=alpha,
-                label=label,
-                saturation_qps=saturation_qps,
-                service=service,
-                store_path=store_path,
-            ),
-        )
-
     def _execute_serial(
         self, queries: Sequence[CrossMatchQuery], spec: RunSpec
     ) -> SimulationResult:
@@ -416,13 +384,13 @@ class Simulator:
         policy = spec.policy
         if isinstance(policy, str):
             policy = make_policy(policy, alpha=spec.alpha, cost=self.config.cost)
-        frontend = self._build_frontend(spec.service)
+        frontend = self._build_frontend(spec)
         if frontend is not None:
             queries = frontend.admit(queries).admitted_queries()
         # Every store is a context manager (a no-op close for the in-memory
         # store), so a failed run can never leak an open store fd.
         with self._build_store(spec.store_path) as store:
-            engine = self._build_engine(policy, store=store)
+            engine = self._build_engine(policy, store=store, spec=spec)
             ordered = sorted(queries, key=lambda q: (q.arrival_time_s, q.query_id))
             arrivals_ms = [q.arrival_time_s * 1000.0 for q in ordered]
             index = 0
@@ -462,18 +430,29 @@ class Simulator:
             )
             if spec.telemetry:
                 summary.telemetry = snapshot
-            self._export_telemetry(spec, summary, snapshot, engine.loop.batches)
+            self._export_telemetry(
+                spec,
+                summary,
+                snapshot,
+                engine.loop.batches,
+                admission_records=(
+                    frontend.admission_records() if frontend is not None else ()
+                ),
+            )
             return summary
 
-    def _build_frontend(
-        self, service: Optional["ServiceConfig"]
-    ) -> Optional["ServingFrontEnd"]:
+    def _build_frontend(self, spec: RunSpec) -> Optional["ServingFrontEnd"]:
         """Assemble a serving front-end over this simulator's layout."""
-        if service is None:
+        if spec.service is None:
             return None
         from repro.service.frontend import ServingFrontEnd
 
-        return ServingFrontEnd(service, self._layout, self.config.cost)
+        return ServingFrontEnd(
+            spec.service,
+            self._layout,
+            self.config.cost,
+            series_window_ms=spec.series_window_ms,
+        )
 
     def _summarise(
         self,
@@ -506,54 +485,6 @@ class Simulator:
         )
         _stamp_digest(summary, report.response_times_ms)
         return summary
-
-    def run_parallel(
-        self,
-        queries: Sequence[CrossMatchQuery],
-        policy: Union[str, SchedulingPolicy] = "liferaft",
-        workers: int = 1,
-        alpha: float = 0.25,
-        shard_strategy: str = "round_robin",
-        enable_stealing: bool = True,
-        label: str = "",
-        saturation_qps: Optional[float] = None,
-        backend: Union[str, "ExecutionBackend"] = "virtual",
-        steal_quantum_ms: Optional[float] = None,
-        service: Optional["ServiceConfig"] = None,
-        store_path=_DEFAULT_STORE,
-        reliability: Optional["ReliabilityConfig"] = None,
-    ) -> SimulationResult:
-        """Deprecated: build a :class:`RunSpec` and call :meth:`execute`.
-
-        Kept as a thin shim for callers written against PRs 1–5; it
-        forwards to :meth:`execute` with the backend named explicitly
-        (so ``workers=1`` still replays on the parallel engine, exactly
-        as before) and will be removed once external callers have
-        migrated.
-        """
-        warnings.warn(
-            "Simulator.run_parallel is deprecated; build a RunSpec and call "
-            "Simulator.execute(queries, spec)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.execute(
-            queries,
-            RunSpec(
-                policy=policy,
-                alpha=alpha,
-                workers=workers,
-                shard_strategy=shard_strategy,
-                backend=backend,
-                enable_stealing=enable_stealing,
-                steal_quantum_ms=steal_quantum_ms,
-                service=service,
-                reliability=reliability,
-                store_path=store_path,
-                label=label,
-                saturation_qps=saturation_qps,
-            ),
-        )
 
     def _execute_parallel(
         self, queries: Sequence[CrossMatchQuery], spec: RunSpec
@@ -597,7 +528,7 @@ class Simulator:
         policy = spec.policy
         if isinstance(policy, str):
             policy = make_policy(policy, alpha=spec.alpha, cost=self.config.cost)
-        frontend = self._build_frontend(spec.service)
+        frontend = self._build_frontend(spec)
         if frontend is not None:
             queries = frontend.admit(queries).admitted_queries()
         execution = make_backend(spec.effective_backend)
@@ -607,7 +538,7 @@ class Simulator:
                 store=store,
                 queries=tuple(queries),
                 policy=policy,
-                config=self._engine_config(),
+                config=self._engine_config(spec),
                 workers=spec.workers,
                 shard_strategy=spec.shard_strategy,
                 index=SpatialIndex([], rows=None, disk=None),
@@ -664,6 +595,9 @@ class Simulator:
             steal_records=outcome.steal_records,
             window_boundaries_ms=outcome.window_boundaries_ms,
             reliability=outcome.reliability,
+            admission_records=(
+                frontend.admission_records() if frontend is not None else ()
+            ),
         )
         return summary
 
@@ -676,6 +610,7 @@ class Simulator:
         steal_records=(),
         window_boundaries_ms=(),
         reliability=None,
+        admission_records=(),
     ) -> None:
         """Write the run's metrics / span-timeline files when asked to.
 
@@ -694,6 +629,8 @@ class Simulator:
                 reliability=reliability,
                 label=result.label,
                 backend=result.backend,
+                admission_records=admission_records,
+                include_query_flows=True,
             )
             write_chrome_trace(spec.trace_out, trace)
 

@@ -26,8 +26,7 @@ bucket cache.
 
 ``__all__`` below is the package's supported public API; anything not
 named here is an internal seam that may change without notice.  The
-analytical cost model lives in :mod:`repro.storage.disk_model`
-(:mod:`repro.storage.disk` is a deprecated alias).
+analytical cost model lives in :mod:`repro.storage.disk_model`.
 """
 
 from repro.storage.bucket_store import Bucket, BucketStore, StoreSnapshot

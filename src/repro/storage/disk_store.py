@@ -56,6 +56,11 @@ class DecodedPageCache:
         """Maximum number of decoded bucket images held."""
         return self._cache.capacity
 
+    @property
+    def resident_count(self) -> int:
+        """Decoded bucket images currently held (tier-2 occupancy)."""
+        return len(self._cache)
+
     def get(self, generation: str, bucket_index: int) -> Optional[Bucket]:
         """Return the cached decoded bucket, updating recency; ``None`` on miss."""
         return self._cache.get((generation, bucket_index))
@@ -225,6 +230,10 @@ class _NullPageCache(DecodedPageCache):
 
     @property
     def capacity(self) -> int:
+        return 0
+
+    @property
+    def resident_count(self) -> int:
         return 0
 
     def get(self, generation: str, bucket_index: int) -> Optional[Bucket]:

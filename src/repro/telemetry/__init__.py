@@ -1,13 +1,17 @@
-"""Deterministic telemetry: metrics registry, span tracing, timeline export.
+"""Deterministic telemetry: metrics, series, span tracing, run reports.
 
-The subsystem has three parts:
+The subsystem has four parts:
 
-* :mod:`repro.telemetry.registry` — labelled counters, gauges and
-  fixed-bound histograms split into a virtual-time domain (bit-identical
-  across execution backends) and a real-time domain (wall profile);
-* :mod:`repro.telemetry.spans` — per-shard span tracing exported as
-  Chrome-trace-format JSON (``chrome://tracing``/Perfetto-loadable);
-* :mod:`repro.telemetry.inspect` — the ``liferaft inspect`` summary.
+* :mod:`repro.telemetry.registry` — labelled counters, gauges,
+  fixed-bound histograms and windowed time series split into a
+  virtual-time domain (bit-identical across execution backends) and a
+  real-time domain (wall profile);
+* :mod:`repro.telemetry.spans` — per-shard span tracing and per-query
+  causal flows exported as Chrome-trace-format JSON
+  (``chrome://tracing``/Perfetto-loadable);
+* :mod:`repro.telemetry.inspect` — the ``liferaft inspect`` summary;
+* :mod:`repro.telemetry.report` — the ``liferaft report`` renderer and
+  the ``liferaft inspect --diff`` snapshot comparison.
 
 The design contract is **zero perturbation**: instrumentation never
 feeds scheduling decisions or the result digest, so a run's
@@ -23,6 +27,7 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     REAL_DOMAIN,
     SNAPSHOT_VERSION,
+    Series,
     VIRTUAL_DOMAIN,
     empty_snapshot,
     filter_domain,
@@ -33,6 +38,7 @@ from repro.telemetry.registry import (
     snapshot_to_json,
     sum_metric,
 )
+from repro.telemetry.report import diff_snapshots, render_diff, render_report
 from repro.telemetry.spans import build_chrome_trace, validate_chrome_trace, write_chrome_trace
 
 __all__ = [
@@ -42,8 +48,10 @@ __all__ = [
     "MetricsRegistry",
     "REAL_DOMAIN",
     "SNAPSHOT_VERSION",
+    "Series",
     "VIRTUAL_DOMAIN",
     "build_chrome_trace",
+    "diff_snapshots",
     "domain_counts",
     "empty_snapshot",
     "filter_domain",
@@ -51,6 +59,8 @@ __all__ = [
     "merge_snapshots",
     "metric_key",
     "metric_value",
+    "render_diff",
+    "render_report",
     "snapshot_from_json",
     "snapshot_to_json",
     "sum_metric",

@@ -37,6 +37,16 @@ def describe_entry(entry: dict) -> str:
             return "n=0"
         mean = entry["sum"] / count
         return f"n={count:,} sum={_format_value(entry['sum'])} mean={mean:,.4g}"
+    if entry["type"] == "series":
+        samples = entry["samples"]
+        if not samples:
+            return f"n=0 window={_format_value(entry['window_ms'])}ms"
+        values = [value for _index, value in samples]
+        return (
+            f"n={len(samples):,} window={_format_value(entry['window_ms'])}ms "
+            f"min={_format_value(min(values))} max={_format_value(max(values))} "
+            f"last={_format_value(values[-1])}"
+        )
     return _format_value(entry["value"])
 
 

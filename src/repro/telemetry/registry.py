@@ -1,4 +1,4 @@
-"""Deterministic metrics registry: labelled counters, gauges and histograms.
+"""Deterministic metrics registry: counters, gauges, histograms and series.
 
 The registry is split into two **domains**:
 
@@ -19,9 +19,13 @@ Metrics are identified by ``(name, labels)``; the serialized key is
 different workers agree on identity.  Snapshots are plain picklable
 dicts (they ride the ``WorkerResult`` IPC seam and the ``.lrcp``
 checkpoint envelope) and merge **order-insensitively**: counters and
-histogram buckets add, gauges take the maximum.  The property tests in
-``tests/telemetry/test_registry.py`` verify the merge algebra is
-commutative and associative and that the JSON codec round-trips.
+histogram buckets add, gauges take the maximum, and windowed series
+union by window index (equal duplicate samples are tolerated —
+crash-recovery replay can legitimately re-produce a sample — while
+*conflicting* values at one index are an error, never a silent pick).
+The property tests in ``tests/telemetry/test_registry.py`` verify the
+merge algebra is commutative and associative and that the JSON codec
+round-trips.
 """
 
 from __future__ import annotations
@@ -34,8 +38,10 @@ VIRTUAL_DOMAIN = "virtual"
 REAL_DOMAIN = "real"
 _DOMAINS = (VIRTUAL_DOMAIN, REAL_DOMAIN)
 
-#: Bumped when the snapshot schema changes shape.
-SNAPSHOT_VERSION = 1
+#: Bumped when the snapshot schema changes shape.  Version 2 added the
+#: ``series`` metric type; version-1 snapshots (no series) still decode.
+SNAPSHOT_VERSION = 2
+_SUPPORTED_SNAPSHOT_VERSIONS = (1, 2)
 
 Number = Union[int, float]
 
@@ -153,7 +159,63 @@ class Histogram:
         }
 
 
-Metric = Union[Counter, Gauge, Histogram]
+class Series:
+    """Windowed time series: one sample per deterministic window barrier.
+
+    Samples are ``[window_index, value]`` pairs recorded in ascending
+    index order — window ``k`` covers virtual time ``(k·W, (k+1)·W]``
+    for the series' ``window_ms`` ``W``.  Unlike an end-of-run
+    :class:`Gauge`, merging never collapses values: snapshots union by
+    window index, so per-shard series concatenate their barriers
+    instead of taking a global max.  ``window_ms`` is part of the
+    identity contract, exactly like histogram bounds: merging series
+    sampled at different cadences is an error, never a silent re-bin.
+    """
+
+    __slots__ = ("name", "labels", "domain", "window_ms", "samples")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        domain: str,
+        window_ms: Number,
+    ) -> None:
+        if window_ms <= 0:
+            raise ValueError(f"series {name!r} needs a positive window_ms")
+        self.name = name
+        self.labels = dict(labels)
+        self.domain = domain
+        self.window_ms = float(window_ms)
+        #: ``[window_index, value]`` pairs, ascending by index.
+        self.samples: List[List[Number]] = []
+
+    @property
+    def sample_count(self) -> int:
+        """Number of window barriers sampled so far (the sampler's cursor)."""
+        return len(self.samples)
+
+    def record(self, window_index: int, value: Number) -> None:
+        """Append the sample of one window barrier (indices must ascend)."""
+        if self.samples and window_index <= self.samples[-1][0]:
+            raise ValueError(
+                f"series {self.name!r}: window index {window_index} is not "
+                f"after the last recorded index {self.samples[-1][0]}"
+            )
+        self.samples.append([int(window_index), value])
+
+    def to_entry(self) -> dict:
+        return {
+            "type": "series",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "domain": self.domain,
+            "window_ms": self.window_ms,
+            "samples": [list(sample) for sample in self.samples],
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram, Series]
 
 
 class MetricsRegistry:
@@ -205,6 +267,28 @@ class MetricsRegistry:
         if domain not in _DOMAINS:
             raise ValueError(f"unknown telemetry domain {domain!r}")
         metric = Histogram(name, labels or {}, domain, bounds)
+        self._metrics[key] = metric
+        return metric
+
+    def series(
+        self,
+        name: str,
+        window_ms: Number,
+        labels: Optional[Mapping[str, str]] = None,
+        domain: str = VIRTUAL_DOMAIN,
+    ) -> Series:
+        key = metric_key(name, labels)
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, Series):
+                raise ValueError(f"metric {key!r} already registered as {_type_name(existing)}")
+            if existing.window_ms != float(window_ms):
+                raise ValueError(f"series {key!r} re-registered with a different window_ms")
+            _check_domain(existing, domain, key)
+            return existing
+        if domain not in _DOMAINS:
+            raise ValueError(f"unknown telemetry domain {domain!r}")
+        metric = Series(name, labels or {}, domain, window_ms)
         self._metrics[key] = metric
         return metric
 
@@ -285,6 +369,8 @@ def _metric_from_entry(entry: Mapping, key: str) -> Metric:
         metric = Gauge(name, labels, domain)
     elif kind == "histogram":
         metric = Histogram(name, labels, domain, entry["bounds"])
+    elif kind == "series":
+        metric = Series(name, labels, domain, entry["window_ms"])
     else:
         raise ValueError(f"metric {key!r} has unknown type {kind!r}")
     _load_into(metric, entry, key)
@@ -297,6 +383,8 @@ def _load_into(metric: Metric, entry: Mapping, key: str) -> None:
         metric.counts = list(entry["counts"])
         metric.sum = entry["sum"]
         metric.count = entry["count"]
+    elif isinstance(metric, Series):
+        metric.samples = [list(sample) for sample in entry["samples"]]
     else:
         metric.value = entry["value"]
 
@@ -306,6 +394,8 @@ def _reset(metric: Metric) -> None:
         metric.counts = [0] * (len(metric.bounds) + 1)
         metric.sum = 0
         metric.count = 0
+    elif isinstance(metric, Series):
+        metric.samples = []
     else:
         metric.value = 0
 
@@ -316,6 +406,23 @@ def _merge_into(metric: Metric, entry: Mapping, key: str) -> None:
         metric.value += entry["value"]
     elif isinstance(metric, Gauge):
         metric.value = max(metric.value, entry["value"])
+    elif isinstance(metric, Series):
+        # Union by window index.  A window sampled on both sides must
+        # carry the same value (recovery replay re-produces samples
+        # bit-identically); a conflict means two runs were mixed up.
+        merged: Dict[int, Number] = {int(index): value for index, value in metric.samples}
+        for index, value in entry["samples"]:
+            index = int(index)
+            if index in merged:
+                if merged[index] != value:
+                    raise ValueError(
+                        f"series {key!r}: conflicting samples at window "
+                        f"{index} ({merged[index]!r} vs {value!r}); "
+                        "refusing to merge"
+                    )
+            else:
+                merged[index] = value
+        metric.samples = [[index, merged[index]] for index in sorted(merged)]
     else:
         metric.counts = [a + b for a, b in zip(metric.counts, entry["counts"])]
         metric.sum += entry["sum"]
@@ -333,6 +440,8 @@ def _check_entry_shape(metric: Metric, entry: Mapping, key: str) -> None:
         )
     if isinstance(metric, Histogram) and tuple(entry.get("bounds", ())) != metric.bounds:
         raise ValueError(f"histogram {key!r}: bucket bounds differ; refusing to merge")
+    if isinstance(metric, Series) and float(entry.get("window_ms", 0.0)) != metric.window_ms:
+        raise ValueError(f"series {key!r}: window_ms differs; refusing to merge")
 
 
 def empty_snapshot() -> dict:
@@ -380,7 +489,7 @@ def snapshot_from_json(text: str) -> dict:
     if not isinstance(snapshot, dict) or "metrics" not in snapshot:
         raise ValueError("not a telemetry metrics snapshot (missing 'metrics')")
     version = snapshot.get("version")
-    if version != SNAPSHOT_VERSION:
+    if version not in _SUPPORTED_SNAPSHOT_VERSIONS:
         raise ValueError(f"unsupported metrics snapshot version {version!r}")
     # Round-trip through the registry to validate every entry's shape.
     registry = MetricsRegistry()
@@ -397,6 +506,8 @@ def metric_value(snapshot: Optional[dict], name: str, labels: Optional[Mapping[s
         return 0
     if entry.get("type") == "histogram":
         return entry.get("count", 0)
+    if entry.get("type") == "series":
+        return len(entry.get("samples", ()))
     return entry.get("value", 0)
 
 
@@ -407,11 +518,13 @@ def sum_metric(snapshot: Optional[dict], name: str) -> Number:
     total: Number = 0
     for entry in snapshot.get("metrics", {}).values():
         if entry.get("name") == name:
-            total += (
-                entry.get("count", 0)
-                if entry.get("type") == "histogram"
-                else entry.get("value", 0)
-            )
+            kind = entry.get("type")
+            if kind == "histogram":
+                total += entry.get("count", 0)
+            elif kind == "series":
+                total += len(entry.get("samples", ()))
+            else:
+                total += entry.get("value", 0)
     return total
 
 
@@ -422,6 +535,7 @@ __all__ = [
     "MetricsRegistry",
     "REAL_DOMAIN",
     "SNAPSHOT_VERSION",
+    "Series",
     "VIRTUAL_DOMAIN",
     "empty_snapshot",
     "filter_domain",

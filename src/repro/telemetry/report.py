@@ -1,0 +1,209 @@
+"""Run reports and snapshot diffs over exported metrics snapshots.
+
+Backs ``liferaft report <metrics.json>`` and ``liferaft inspect --diff``:
+both consume snapshot files written by ``liferaft run --metrics-out``,
+so reporting is pure presentation over self-describing outputs — nothing
+here feeds back into a run.
+
+A report renders four sections from one snapshot:
+
+* **metrics** — every counter/gauge/histogram, virtual domain first
+  (the same rows ``liferaft inspect`` prints);
+* **series** — the windowed time-series layer, one row per
+  ``(series, shard)`` with its window, sample count and value range;
+* **SLA** — the per-deadline-class admission/completion tallies the
+  serving front-end published as ``sla.*`` counters;
+* **events** — the recovery/elasticity story (checkpoints, crashes,
+  recoveries, scale events) from the reliability counters.
+
+A diff compares two snapshots per metric key: counters, gauges and
+histograms by value, series by sample count and changed samples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.inspect import describe_entry, domain_counts, summary_rows
+
+__all__ = ["diff_snapshots", "render_diff", "render_report"]
+
+#: Counter-name prefixes that belong in the events section.
+_EVENT_PREFIXES = ("reliability.", "coordinator.", "parallel.steals")
+
+
+def _series_entries(snapshot: dict) -> List[Tuple[str, dict]]:
+    entries = snapshot.get("metrics", {})
+    return sorted(
+        (
+            (key, entry)
+            for key, entry in entries.items()
+            if entry.get("type") == "series"
+        ),
+        key=lambda item: (item[1].get("name", ""), item[0]),
+    )
+
+
+def _sla_counts(snapshot: dict) -> Dict[str, Dict[str, float]]:
+    """``{class: {field: value}}`` from the ``sla.*`` counters."""
+    by_class: Dict[str, Dict[str, float]] = {}
+    for entry in snapshot.get("metrics", {}).values():
+        name = entry.get("name", "")
+        if entry.get("type") != "counter" or not name.startswith("sla."):
+            continue
+        class_name = (entry.get("labels") or {}).get("class", "?")
+        by_class.setdefault(class_name, {})[name[len("sla.") :]] = entry["value"]
+    return by_class
+
+
+def _format_row(cells: List[str], widths: List[int]) -> str:
+    return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [_format_row(headers, widths)]
+    lines.append(_format_row(["-" * width for width in widths], widths))
+    lines.extend(_format_row(row, widths) for row in rows)
+    return lines
+
+
+def render_report(snapshot: dict) -> str:
+    """Render one snapshot as a multi-section text report."""
+    virtual, real = domain_counts(snapshot)
+    lines: List[str] = [
+        f"snapshot v{snapshot.get('version', '?')}: "
+        f"{virtual} virtual + {real} real metrics"
+    ]
+
+    scalar_rows = [
+        [domain, metric, kind, value]
+        for domain, metric, kind, value in summary_rows(snapshot)
+        if kind != "series"
+    ]
+    if scalar_rows:
+        lines.append("")
+        lines.append("== metrics ==")
+        lines.extend(_table(["domain", "metric", "type", "value"], scalar_rows))
+
+    series = _series_entries(snapshot)
+    if series:
+        lines.append("")
+        lines.append("== series ==")
+        rows = []
+        for _key, entry in series:
+            labels = entry.get("labels") or {}
+            label_text = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+            rows.append(
+                [
+                    entry.get("domain", "?"),
+                    f"{entry['name']}{{{label_text}}}" if label_text else entry["name"],
+                    describe_entry(entry),
+                ]
+            )
+        lines.extend(_table(["domain", "series", "samples"], rows))
+
+    sla = _sla_counts(snapshot)
+    if sla:
+        lines.append("")
+        lines.append("== SLA ==")
+        fields = ["admitted", "rejected", "completed", "first_result_met", "completion_met"]
+        rows = [
+            [name] + [f"{counts.get(field, 0):g}" for field in fields]
+            for name, counts in sorted(sla.items())
+        ]
+        lines.extend(_table(["class"] + fields, rows))
+
+    event_rows = [
+        [domain, metric, value]
+        for domain, metric, kind, value in summary_rows(snapshot)
+        if kind == "counter" and metric.startswith(_EVENT_PREFIXES)
+    ]
+    if event_rows:
+        lines.append("")
+        lines.append("== events ==")
+        lines.extend(_table(["domain", "event", "count"], event_rows))
+
+    return "\n".join(lines)
+
+
+def _entry_summary(entry: Optional[dict]) -> str:
+    if entry is None:
+        return "-"
+    return describe_entry(entry)
+
+
+def _series_delta(a: dict, b: dict) -> Optional[str]:
+    """Human delta of two series entries (``None`` when identical)."""
+    a_samples = {int(index): value for index, value in a.get("samples", ())}
+    b_samples = {int(index): value for index, value in b.get("samples", ())}
+    if a_samples == b_samples and a.get("window_ms") == b.get("window_ms"):
+        return None
+    changed = sum(
+        1
+        for index in set(a_samples) & set(b_samples)
+        if a_samples[index] != b_samples[index]
+    )
+    return (
+        f"samples {len(a_samples)} -> {len(b_samples)}"
+        + (f", {changed} changed" if changed else "")
+    )
+
+
+def _scalar_delta(a: dict, b: dict) -> Optional[str]:
+    """Human delta of two non-series entries (``None`` when identical)."""
+    if a.get("type") == "histogram":
+        if a.get("count") == b.get("count") and a.get("sum") == b.get("sum"):
+            return None
+        return f"count {a.get('count')} -> {b.get('count')}, sum {a.get('sum')} -> {b.get('sum')}"
+    if a.get("value") == b.get("value"):
+        return None
+    delta = b["value"] - a["value"]
+    return f"{a['value']:g} -> {b['value']:g} ({delta:+g})"
+
+
+def diff_snapshots(a: dict, b: dict) -> List[Tuple[str, str, str]]:
+    """Per-metric deltas between two snapshots.
+
+    Returns ``(metric key, status, delta)`` rows where *status* is one of
+    ``only-a``, ``only-b``, ``type-changed`` or ``changed``; metrics equal
+    in both snapshots are omitted.  Rows come back sorted by key, so a
+    diff of identical snapshots is the empty list.
+    """
+    a_metrics = a.get("metrics", {})
+    b_metrics = b.get("metrics", {})
+    rows: List[Tuple[str, str, str]] = []
+    for key in sorted(set(a_metrics) | set(b_metrics)):
+        entry_a = a_metrics.get(key)
+        entry_b = b_metrics.get(key)
+        if entry_a is None:
+            rows.append((key, "only-b", _entry_summary(entry_b)))
+            continue
+        if entry_b is None:
+            rows.append((key, "only-a", _entry_summary(entry_a)))
+            continue
+        if entry_a.get("type") != entry_b.get("type"):
+            rows.append(
+                (key, "type-changed", f"{entry_a.get('type')} -> {entry_b.get('type')}")
+            )
+            continue
+        if entry_a.get("type") == "series":
+            delta = _series_delta(entry_a, entry_b)
+        else:
+            delta = _scalar_delta(entry_a, entry_b)
+        if delta is not None:
+            rows.append((key, "changed", delta))
+    return rows
+
+
+def render_diff(a: dict, b: dict, label_a: str = "a", label_b: str = "b") -> str:
+    """Render :func:`diff_snapshots` as a text table (or a no-diff note)."""
+    rows = diff_snapshots(a, b)
+    if not rows:
+        return f"snapshots {label_a} and {label_b} are identical"
+    lines = [f"{len(rows)} metrics differ ({label_a} -> {label_b})"]
+    lines.extend(_table(["metric", "status", "delta"], [list(row) for row in rows]))
+    return "\n".join(lines)

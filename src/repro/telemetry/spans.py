@@ -13,7 +13,13 @@ The output is the Chrome trace event format (a JSON object with a
 * steals, crash recoveries, checkpoints and elastic scale events are
   instant (``"i"``) events on the worker they happened to;
 * window barriers are process-scoped instants marking the coordinator's
-  virtual-time boundaries.
+  virtual-time boundaries;
+* with ``include_query_flows`` enabled, every query gets a causal flow
+  (``"s"``/``"t"``/``"f"`` events keyed by query id) stitching its
+  lifecycle across tracks — from its admission instant on the front-end
+  track (when admission records are supplied) through each bucket
+  service chunk to its final drain — so Perfetto draws arrows from the
+  gate decision to every shard that served the query.
 
 All timestamps are the run's *virtual* clock (milliseconds, exported as
 the format's microseconds), so traces are bit-identical across
@@ -76,6 +82,23 @@ def _window_ts_ms(window_index: int, boundaries_ms: Sequence[float]) -> float:
     return 0.0
 
 
+def _flow_event(phase: str, query_id: int, ts_ms: float, tid: int) -> dict:
+    """One leg of a query's causal flow (``s`` start, ``t`` step, ``f`` end)."""
+    event = {
+        "name": f"query {query_id}",
+        "cat": "query",
+        "ph": phase,
+        "id": query_id,
+        "ts": _ts_us(ts_ms),
+        "pid": TRACE_PID,
+        "tid": tid,
+    }
+    if phase == "f":
+        # Bind the flow end to the enclosing slice's end, not its start.
+        event["bp"] = "e"
+    return event
+
+
 def build_chrome_trace(
     services: Iterable,
     steal_records: Sequence = (),
@@ -83,14 +106,25 @@ def build_chrome_trace(
     reliability=None,
     label: str = "",
     backend: str = "",
+    admission_records: Sequence = (),
+    include_query_flows: bool = False,
 ) -> dict:
-    """Assemble one run's timeline as a Chrome trace event object."""
+    """Assemble one run's timeline as a Chrome trace event object.
+
+    *admission_records* are the front-end's
+    :class:`~repro.service.frontend.AdmissionInstant` decisions; they
+    render as instant events on a dedicated front-end track.  With
+    *include_query_flows* set, per-query flow events stitch each query's
+    admission instant and service chunks into one causal chain.
+    """
     events: List[dict] = []
     normalised = [_normalise_service(record) for record in services]
     worker_ids = sorted({record["worker_id"] for record in normalised})
     for record in steal_records:
         worker_ids.extend((record.victim_id, record.thief_id))
     worker_ids = sorted(set(worker_ids))
+    # The front-end's track sits above every shard track.
+    frontend_tid = (max(worker_ids) if worker_ids else 0) + 1
 
     events.append(
         {
@@ -111,6 +145,33 @@ def build_chrome_trace(
                 "args": {"name": f"shard-{worker_id}"},
             }
         )
+    if admission_records:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": frontend_tid,
+                "args": {"name": "frontend"},
+            }
+        )
+        for record in admission_records:
+            events.append(
+                {
+                    "name": f"{record.outcome} q{record.query_id}",
+                    "ph": "i",
+                    "ts": _ts_us(record.time_ms),
+                    "pid": TRACE_PID,
+                    "tid": frontend_tid,
+                    "s": "t",
+                    "cat": "admission",
+                    "args": {
+                        "query": record.query_id,
+                        "outcome": record.outcome,
+                        "attempt": record.attempt,
+                    },
+                }
+            )
 
     for record in normalised:
         events.append(
@@ -129,6 +190,44 @@ def build_chrome_trace(
                 },
             }
         )
+
+    if include_query_flows:
+        # Per-query chunk chains, in deterministic (time, bucket) order.
+        chunks: dict = {}
+        for record in normalised:
+            for query_id in record["queries_served"]:
+                chunks.setdefault(query_id, []).append(record)
+        admitted_at = {
+            record.query_id: record.time_ms
+            for record in admission_records
+            if record.outcome == "admit"
+        }
+        for query_id in sorted(chunks):
+            chain = sorted(
+                chunks[query_id],
+                key=lambda r: (r["started_at_ms"], r["bucket_index"], r["worker_id"]),
+            )
+            if query_id in admitted_at:
+                # The causal chain starts at the gate's admit instant.
+                events.append(
+                    _flow_event("s", query_id, admitted_at[query_id], frontend_tid)
+                )
+                steps = chain
+            else:
+                events.append(
+                    _flow_event(
+                        "s", query_id, chain[0]["started_at_ms"], chain[0]["worker_id"]
+                    )
+                )
+                steps = chain[1:]
+            for record in steps:
+                events.append(
+                    _flow_event("t", query_id, record["started_at_ms"], record["worker_id"])
+                )
+            last = chain[-1]
+            events.append(
+                _flow_event("f", query_id, last["finished_at_ms"], last["worker_id"])
+            )
 
     for record in steal_records:
         events.append(
@@ -207,6 +306,8 @@ def build_chrome_trace(
             "services": len(normalised),
             "steals": len(steal_records),
             "windows": len(window_boundaries_ms),
+            "admissions": len(admission_records),
+            "query_flows": include_query_flows,
         },
     }
 
@@ -241,6 +342,9 @@ def validate_chrome_trace(trace: dict) -> None:
         elif phase == "i":
             if "ts" not in event:
                 raise ValueError(f"traceEvents[{index}]: instant events need ts")
+        elif phase in ("s", "t", "f"):
+            if "ts" not in event or "id" not in event:
+                raise ValueError(f"traceEvents[{index}]: flow events need ts and id")
         elif phase != "M":
             raise ValueError(f"traceEvents[{index}]: unexpected phase {phase!r}")
 

@@ -6,16 +6,13 @@ per-site object lists submitted according to the trace's arrival times.
 :func:`replay_recorded` is the canonical replay loop: it re-runs a
 ``.lrtr`` trace through :meth:`~repro.sim.simulator.Simulator.execute`
 under the recorded run description (or caller overrides) and reports
-whether the result digest reproduced bit-for-bit.  The old
-:func:`replay_into_engine` online-engine loop survives only as a
-deprecation shim over the same path the simulator uses.
+whether the result digest reproduced bit-for-bit.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.workload.query import CrossMatchQuery
 from repro.workload.trace_io import RecordedTrace, read_trace
@@ -32,28 +29,6 @@ def arrival_schedule(
     """Yield ``(arrival_time, query)`` pairs in arrival order."""
     for query in in_arrival_order(queries):
         yield query.arrival_time_s, query
-
-
-def replay_into_engine(engine, queries: Sequence[CrossMatchQuery], drain: bool = True):
-    """Deprecated: drive a bare online engine directly.
-
-    Kept as a shim for callers written before ``Simulator.execute``
-    became the single entry point; new code should build a
-    :class:`~repro.sim.runspec.RunSpec` (or call :func:`replay_recorded`
-    for ``.lrtr`` traces) so replays flow through the same dispatch,
-    storage and parity machinery as every other run.
-    """
-    warnings.warn(
-        "replay_into_engine is deprecated; replay traces through "
-        "Simulator.execute(queries, RunSpec(...)) or replay_recorded(path)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    for query in in_arrival_order(queries):
-        engine.submit(query, now_ms=query.arrival_time_s * 1000.0)
-    if drain:
-        engine.run_until_idle()
-    return engine.report()
 
 
 @dataclass(frozen=True)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.bucket_cache import BucketCacheManager, PAPER_CACHE_BUCKETS
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 from repro.storage.partitioner import BucketPartitioner
 
 

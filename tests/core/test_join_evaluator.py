@@ -10,7 +10,7 @@ from repro.core.metrics import CostModel
 from repro.core.workload_manager import WorkloadEntry
 from repro.federation.crossmatch import crossmatch_catalogs, to_crossmatch_objects
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner
 

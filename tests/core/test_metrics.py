@@ -11,7 +11,7 @@ from repro.core.metrics import (
     aged_workload_throughput,
     workload_throughput,
 )
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 
 
 class TestCostModel:

@@ -8,7 +8,7 @@ from repro.core.bucket_cache import BucketCacheManager
 from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig, WorkItem
 from repro.core.workload_manager import WorkloadManager
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 from repro.storage.partitioner import BucketPartitioner
 
 

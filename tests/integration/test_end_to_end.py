@@ -18,7 +18,7 @@ from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workload.generator import TraceConfig, TraceGenerator
 from repro.workload.query import CrossMatchQuery
-from repro.workload.replay import replay_into_engine
+from repro.workload.replay import in_arrival_order
 from repro.workload.stats import TraceStatistics
 
 
@@ -35,34 +35,34 @@ def simulator():
 class TestSchedulingClaims:
     def test_data_driven_scheduling_beats_noshare_on_throughput(self, trace, simulator):
         queries = trace.with_saturation(1.0).queries
-        greedy = simulator.run(queries, "liferaft", alpha=0.0)
-        noshare = simulator.run(queries, "noshare")
+        greedy = simulator.execute(queries, RunSpec(alpha=0.0))
+        noshare = simulator.execute(queries, RunSpec(policy="noshare"))
         assert greedy.throughput_qps > 1.5 * noshare.throughput_qps
         assert greedy.avg_response_time_s < noshare.avg_response_time_s
 
     def test_round_robin_tracks_pure_aging(self, trace, simulator):
         queries = trace.with_saturation(1.0).queries
-        aged = simulator.run(queries, "liferaft", alpha=1.0)
-        round_robin = simulator.run(queries, "round_robin")
+        aged = simulator.execute(queries, RunSpec(alpha=1.0))
+        round_robin = simulator.execute(queries, RunSpec(policy="round_robin"))
         assert round_robin.throughput_qps == pytest.approx(aged.throughput_qps, rel=0.2)
 
     def test_contention_scheduling_improves_cache_hit_rate(self, trace, simulator):
         queries = trace.with_saturation(1.0).queries
-        greedy = simulator.run(queries, "liferaft", alpha=0.0)
-        aged = simulator.run(queries, "liferaft", alpha=1.0)
+        greedy = simulator.execute(queries, RunSpec(alpha=0.0))
+        aged = simulator.execute(queries, RunSpec(alpha=1.0))
         assert greedy.cache_hit_rate > aged.cache_hit_rate
 
     def test_every_policy_conserves_queries(self, trace, simulator):
         queries = trace.with_saturation(0.5).queries
         for policy in ("liferaft", "noshare", "round_robin", "least_sharable_first"):
-            result = simulator.run(queries, policy, alpha=0.25)
+            result = simulator.execute(queries, RunSpec(policy=policy, alpha=0.25))
             assert result.completed_queries == len(queries)
             assert result.response_stats.count == len(queries)
             assert result.response_stats.minimum_s >= 0.0
 
     def test_workload_statistics_match_engine_accounting(self, trace, simulator):
         stats = TraceStatistics(trace.queries)
-        result = simulator.run(trace.with_saturation(2.0).queries, "liferaft", alpha=0.0)
+        result = simulator.execute(trace.with_saturation(2.0).queries, RunSpec(alpha=0.0))
         # Every cross-match object submitted must have been processed by some
         # bucket service exactly once (shared services process whole queues).
         processed = result.strategy_counts["sequential_scan"] + result.strategy_counts[
@@ -81,12 +81,17 @@ class TestReplay:
         assert result.completed_queries == 40
         assert result.result_digest  # every run stamps a replayable digest
 
-    def test_legacy_helper_still_works_but_warns(self, trace):
+    def test_bare_engine_drains_an_arrival_schedule(self, trace):
+        """Driving the online engine directly agrees with what the
+        simulator wraps: submit in arrival order, drain, and every query
+        completes (the pre-RunSpec replay loop, now inlined)."""
         config = SimulationConfig(bucket_count=256)
         simulator = Simulator(config)
         engine = simulator._build_engine(LifeRaftScheduler(SchedulerConfig(alpha=0.25)))
-        with pytest.warns(DeprecationWarning, match="replay_into_engine"):
-            report = replay_into_engine(engine, trace.with_saturation(5.0).queries[:40])
+        for query in in_arrival_order(trace.with_saturation(5.0).queries[:40]):
+            engine.submit(query, now_ms=query.arrival_time_s * 1000.0)
+        engine.run_until_idle()
+        report = engine.report()
         assert report.completed_queries == 40
         assert not engine.has_pending_work()
 

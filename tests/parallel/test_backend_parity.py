@@ -30,9 +30,10 @@ import pytest
 from repro.core.engine import EngineConfig, LifeRaftEngine
 from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
 from repro.parallel.backend import ParallelRunSpec, ProcessBackend, make_backend
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner
 from repro.workload.generator import TraceConfig, TraceGenerator
@@ -308,19 +309,16 @@ class TestProcessBackendStealing:
 
 
 class TestSimulatorBackendSelection:
-    """`Simulator.run_parallel` exposes the seam end to end."""
+    """`RunSpec.backend` exposes the seam end to end."""
 
     def test_virtual_and_process_agree_through_simulator(self, timed_queries):
         simulator = Simulator(SimulationConfig(bucket_count=BUCKETS))
-        virtual = simulator.run_parallel(
-            timed_queries, "liferaft", workers=2, enable_stealing=False
+        virtual = simulator.execute(
+            timed_queries, RunSpec(workers=2, enable_stealing=False)
         )
-        process = simulator.run_parallel(
+        process = simulator.execute(
             timed_queries,
-            "liferaft",
-            workers=2,
-            enable_stealing=False,
-            backend="process",
+            RunSpec(workers=2, enable_stealing=False, backend="process"),
         )
         assert virtual.backend == "virtual"
         assert process.backend == "process"
@@ -335,7 +333,7 @@ class TestSimulatorBackendSelection:
     def test_unknown_backend_rejected(self, timed_queries):
         simulator = Simulator(SimulationConfig(bucket_count=BUCKETS))
         with pytest.raises(ValueError, match="unknown execution backend"):
-            simulator.run_parallel(timed_queries, "liferaft", backend="quantum")
+            simulator.execute(timed_queries, RunSpec(backend="quantum"))
 
 
 class TestBackendEvents:

@@ -7,9 +7,10 @@ from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
 from repro.experiments.common import build_trace
 from repro.parallel import ParallelEngine
 from repro.sim.events import EventKind
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner
 from repro.workload.generator import TraceConfig, TraceGenerator
@@ -87,8 +88,8 @@ class TestSingleWorkerParity:
 
     def test_open_system_parity_through_simulator(self, queries):
         simulator = Simulator(SimulationConfig(bucket_count=BUCKETS))
-        serial = simulator.run(queries, "liferaft", alpha=0.25)
-        parallel = simulator.run_parallel(queries, "liferaft", workers=1, alpha=0.25)
+        serial = simulator.execute(queries, RunSpec(alpha=0.25))
+        parallel = simulator.execute(queries, RunSpec(alpha=0.25, backend="virtual"))
         assert parallel.completed_queries == serial.completed_queries
         assert parallel.busy_time_s == pytest.approx(serial.busy_time_s, rel=1e-12)
         assert parallel.avg_response_time_s == pytest.approx(
@@ -392,8 +393,8 @@ class TestScaling:
         simulator = Simulator(SimulationConfig(bucket_count=512))
         throughputs = []
         for workers in (1, 2, 4):
-            result = simulator.run_parallel(
-                saturated, "liferaft", workers=workers, alpha=0.25
+            result = simulator.execute(
+                saturated, RunSpec(alpha=0.25, workers=workers, backend="virtual")
             )
             throughputs.append(result.throughput_qps)
         assert throughputs[0] < throughputs[1] < throughputs[2]

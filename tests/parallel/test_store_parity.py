@@ -21,9 +21,10 @@ import pytest
 from repro.core.engine import EngineConfig, LifeRaftEngine
 from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
 from repro.parallel.backend import ParallelRunSpec, make_backend
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 from repro.storage.disk_store import open_disk_store
 from repro.storage.index import SpatialIndex
 from repro.storage.ingest import materialize_layout
@@ -178,8 +179,8 @@ class TestSimulatorStoreSeam:
     def test_run_parity_through_simulator(self, site, sim_config, queries):
         _, path = site
         simulator = Simulator(sim_config, store_path=path)
-        file_backed = simulator.run(queries, "liferaft")
-        memory = simulator.run(queries, "liferaft", store_path=None)
+        file_backed = simulator.execute(queries, RunSpec())
+        memory = simulator.execute(queries, RunSpec(store_path=None))
         assert file_backed.store_backend == "file"
         assert memory.store_backend == "memory"
         assert file_backed.completed_queries == memory.completed_queries
@@ -206,4 +207,4 @@ class TestSimulatorStoreSeam:
         materialize_layout(other_path, other.layout, rows_per_bucket=4)
         simulator = Simulator(sim_config)
         with pytest.raises(ValueError, match="different partition"):
-            simulator.run([], "liferaft", store_path=other_path)
+            simulator.execute([], RunSpec(store_path=other_path))

@@ -15,13 +15,14 @@ from repro.core.scheduler import LifeRaftScheduler, SchedulerConfig
 from repro.parallel.backend import ParallelRunSpec, make_backend
 from repro.reliability import FaultPlan, ReliabilityConfig
 from repro.service.streams import StreamHub
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import (
     VIRTUAL_CLOCK_PARITY_FIELDS,
     SimulationConfig,
     Simulator,
 )
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner
 from repro.workload.generator import TraceConfig, TraceGenerator
@@ -253,19 +254,20 @@ class TestCrashParity:
 
 
 class TestRecoveryThroughSimulator:
-    """`run_parallel(reliability=...)` end to end, including parity fields."""
+    """`RunSpec(reliability=...)` end to end, including parity fields."""
 
     def test_simulator_parity_fields(self, timed_queries, sim_config):
         simulator = Simulator(sim_config)
-        clean = simulator.run_parallel(
-            timed_queries, "liferaft", workers=2, enable_stealing=False
+        clean = simulator.execute(
+            timed_queries, RunSpec(workers=2, enable_stealing=False)
         )
-        crashed = simulator.run_parallel(
+        crashed = simulator.execute(
             timed_queries,
-            "liferaft",
-            workers=2,
-            enable_stealing=False,
-            reliability=reliability_config(2, tb_ms=sim_config.cost.tb_ms),
+            RunSpec(
+                workers=2,
+                enable_stealing=False,
+                reliability=reliability_config(2, tb_ms=sim_config.cost.tb_ms),
+            ),
         )
         assert crashed.reliability is not None
         assert crashed.reliability.crashes_injected > 0
@@ -274,16 +276,17 @@ class TestRecoveryThroughSimulator:
 
     def test_sparse_cadence_loses_then_replays_work(self, timed_queries, sim_config):
         simulator = Simulator(sim_config)
-        clean = simulator.run_parallel(
-            timed_queries, "liferaft", workers=2, enable_stealing=False
+        clean = simulator.execute(
+            timed_queries, RunSpec(workers=2, enable_stealing=False)
         )
-        crashed = simulator.run_parallel(
+        crashed = simulator.execute(
             timed_queries,
-            "liferaft",
-            workers=2,
-            enable_stealing=False,
-            reliability=reliability_config(
-                2, cadence="windows:4", plan="1@3", tb_ms=sim_config.cost.tb_ms
+            RunSpec(
+                workers=2,
+                enable_stealing=False,
+                reliability=reliability_config(
+                    2, cadence="windows:4", plan="1@3", tb_ms=sim_config.cost.tb_ms
+                ),
             ),
         )
         report = crashed.reliability
@@ -294,16 +297,17 @@ class TestRecoveryThroughSimulator:
 
     def test_cold_restart_before_any_checkpoint(self, timed_queries, sim_config):
         simulator = Simulator(sim_config)
-        clean = simulator.run_parallel(
-            timed_queries, "liferaft", workers=2, enable_stealing=False
+        clean = simulator.execute(
+            timed_queries, RunSpec(workers=2, enable_stealing=False)
         )
-        crashed = simulator.run_parallel(
+        crashed = simulator.execute(
             timed_queries,
-            "liferaft",
-            workers=2,
-            enable_stealing=False,
-            reliability=reliability_config(
-                2, cadence="windows:2", plan="0@0", tb_ms=sim_config.cost.tb_ms
+            RunSpec(
+                workers=2,
+                enable_stealing=False,
+                reliability=reliability_config(
+                    2, cadence="windows:2", plan="0@0", tb_ms=sim_config.cost.tb_ms
+                ),
             ),
         )
         report = crashed.reliability
@@ -370,15 +374,16 @@ class TestRecoveryThroughSimulator:
         """With stealing the windowed schedules differ, but recovery must
         still complete every query exactly once."""
         simulator = Simulator(sim_config)
-        clean = simulator.run_parallel(
-            timed_queries, "liferaft", workers=4, enable_stealing=False
+        clean = simulator.execute(
+            timed_queries, RunSpec(workers=4, enable_stealing=False)
         )
-        crashed = simulator.run_parallel(
+        crashed = simulator.execute(
             timed_queries,
-            "liferaft",
-            workers=4,
-            enable_stealing=True,
-            reliability=reliability_config(4, tb_ms=sim_config.cost.tb_ms),
+            RunSpec(
+                workers=4,
+                enable_stealing=True,
+                reliability=reliability_config(4, tb_ms=sim_config.cost.tb_ms),
+            ),
         )
         assert crashed.completed_queries == clean.completed_queries
         assert crashed.reliability is not None
@@ -389,15 +394,16 @@ class TestRecoveryGuards:
     def test_checkpoint_dir_retains_lrcp_files(self, timed_queries, sim_config, tmp_path):
         simulator = Simulator(sim_config)
         target = tmp_path / "checkpoints"
-        simulator.run_parallel(
+        simulator.execute(
             timed_queries,
-            "liferaft",
-            workers=2,
-            enable_stealing=False,
-            reliability=ReliabilityConfig(
-                checkpoint_dir=str(target),
-                cadence="windows:2",
-                window_quantum_ms=sim_config.cost.tb_ms * WINDOW_BUCKET_READS,
+            RunSpec(
+                workers=2,
+                enable_stealing=False,
+                reliability=ReliabilityConfig(
+                    checkpoint_dir=str(target),
+                    cadence="windows:2",
+                    window_quantum_ms=sim_config.cost.tb_ms * WINDOW_BUCKET_READS,
+                ),
             ),
         )
         shard_files = sorted(p.name for p in target.glob("shard*.lrcp"))
@@ -412,15 +418,16 @@ class TestRecoveryGuards:
 
         simulator = Simulator(sim_config)
         target = tmp_path / "checkpoints"
-        result = simulator.run_parallel(
+        result = simulator.execute(
             timed_queries,
-            "liferaft",
-            workers=2,
-            enable_stealing=False,
-            reliability=ReliabilityConfig(
-                checkpoint_dir=str(target),
-                cadence="windows:1",
-                window_quantum_ms=sim_config.cost.tb_ms * WINDOW_BUCKET_READS,
+            RunSpec(
+                workers=2,
+                enable_stealing=False,
+                reliability=ReliabilityConfig(
+                    checkpoint_dir=str(target),
+                    cadence="windows:1",
+                    window_quantum_ms=sim_config.cost.tb_ms * WINDOW_BUCKET_READS,
+                ),
             ),
         )
         latest = sorted(target.glob("run*.lrcp"))[-1]

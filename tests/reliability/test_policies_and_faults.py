@@ -140,6 +140,7 @@ class TestReliabilityConfig:
 
 class TestCoordinatorValidation:
     def test_out_of_range_crash_worker_fails_fast(self):
+        from repro.sim.runspec import RunSpec
         from repro.sim.simulator import SimulationConfig, Simulator
         from repro.workload.generator import TraceConfig, TraceGenerator
 
@@ -148,10 +149,11 @@ class TestCoordinatorValidation:
         ).generate()
         simulator = Simulator(SimulationConfig(bucket_count=32))
         with pytest.raises(ValueError, match="0-based"):
-            simulator.run_parallel(
+            simulator.execute(
                 trace.queries,
-                "liferaft",
-                workers=2,
-                enable_stealing=False,
-                reliability=ReliabilityConfig(faults=FaultPlan.parse("5@0")),
+                RunSpec(
+                    workers=2,
+                    enable_stealing=False,
+                    reliability=ReliabilityConfig(faults=FaultPlan.parse("5@0")),
+                ),
             )

@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.common import build_simulator, build_trace
 from repro.service.frontend import ServiceConfig, ServingFrontEnd
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import SimulationResult
 from repro.sim.stats import summarize_response_times
 
@@ -97,8 +98,8 @@ class TestIntake:
 
 class TestServingRuns:
     def test_default_serving_matches_plain_run(self, simulator, queries):
-        plain = simulator.run(queries, "liferaft", alpha=0.25)
-        served = simulator.run(queries, "liferaft", alpha=0.25, service=ServiceConfig())
+        plain = simulator.execute(queries, RunSpec(alpha=0.25))
+        served = simulator.execute(queries, RunSpec(alpha=0.25, service=ServiceConfig()))
         assert served.serving is not None
         assert served.completed_queries == plain.completed_queries
         assert served.serving.completed == plain.completed_queries
@@ -117,7 +118,7 @@ class TestServingRuns:
 
     def test_streams_complete_exactly_the_admitted_queries(self, simulator, queries):
         config = ServiceConfig(admission="reject", intake_bound=8)
-        served = simulator.run(queries, "liferaft", alpha=0.25, service=config)
+        served = simulator.execute(queries, RunSpec(alpha=0.25, service=config))
         serving = served.serving
         assert serving.admitted + serving.rejected == serving.offered
         assert serving.completed == serving.admitted == served.completed_queries
@@ -125,7 +126,7 @@ class TestServingRuns:
 
     def test_deadline_rows_cover_all_offers(self, simulator, queries):
         config = ServiceConfig(admission="reject", intake_bound=8)
-        served = simulator.run(queries, "liferaft", alpha=0.25, service=config)
+        served = simulator.execute(queries, RunSpec(alpha=0.25, service=config))
         rows = served.serving.deadline_rows
         admitted = sum(row[1] for row in rows)
         rejected = sum(row[2] for row in rows)
@@ -138,7 +139,7 @@ class TestServingRuns:
     def test_chunk_callback_fires_live(self, simulator, queries):
         seen = []
         config = ServiceConfig(on_chunk=seen.append)
-        served = simulator.run(queries, "liferaft", alpha=0.25, service=config)
+        served = simulator.execute(queries, RunSpec(alpha=0.25, service=config))
         assert len(seen) == served.serving.chunks
         times = [chunk.time_ms for chunk in seen]
         assert times == sorted(times)
@@ -152,7 +153,7 @@ class TestZeroCompletedRuns:
     @pytest.fixture(scope="class")
     def zero_run(self, simulator, queries):
         config = ServiceConfig(admission="reject", max_client_qps=1e-9)
-        return simulator.run(queries, "liferaft", alpha=0.25, service=config)
+        return simulator.execute(queries, RunSpec(alpha=0.25, service=config))
 
     def test_everything_is_rejected(self, zero_run):
         serving = zero_run.serving
@@ -199,7 +200,7 @@ class TestZeroCompletedRuns:
 
     def test_empty_report_rejection_rate(self, simulator):
         """Serving an empty trace offers nothing and rejects nothing."""
-        served = simulator.run((), "liferaft", alpha=0.25, service=ServiceConfig())
+        served = simulator.execute((), RunSpec(alpha=0.25, service=ServiceConfig()))
         serving = served.serving
         assert serving.offered == 0
         assert serving.rejection_rate == 0.0

@@ -19,6 +19,7 @@ import pytest
 
 from repro.experiments.common import build_simulator, build_trace
 from repro.service.frontend import ServiceConfig
+from repro.sim.runspec import RunSpec
 
 BUCKETS = 64
 WORKER_COUNTS = (1, 2, 4)
@@ -36,20 +37,21 @@ def simulator():
 
 
 def serve_serial(simulator, queries, **config_kwargs):
-    return simulator.run(
-        queries, "liferaft", alpha=0.25, service=ServiceConfig(**config_kwargs)
+    return simulator.execute(
+        queries, RunSpec(alpha=0.25, service=ServiceConfig(**config_kwargs))
     )
 
 
 def serve_parallel(simulator, queries, backend, workers, stealing, **config_kwargs):
-    return simulator.run_parallel(
+    return simulator.execute(
         queries,
-        "liferaft",
-        workers=workers,
-        alpha=0.25,
-        backend=backend,
-        enable_stealing=stealing,
-        service=ServiceConfig(**config_kwargs),
+        RunSpec(
+            alpha=0.25,
+            workers=workers,
+            backend=backend,
+            enable_stealing=stealing,
+            service=ServiceConfig(**config_kwargs),
+        ),
     )
 
 

@@ -1,6 +1,4 @@
-"""Tests for the RunSpec API: dispatch, defaults, and the deprecated shims."""
-
-import warnings
+"""Tests for the RunSpec API: dispatch, defaults, and validation."""
 
 import pytest
 
@@ -41,6 +39,12 @@ class TestRunSpec:
         with pytest.raises(ValueError, match="workers must be positive"):
             RunSpec(workers=0)
 
+    def test_non_positive_series_window_rejected(self):
+        with pytest.raises(ValueError, match="series_window_ms must be positive"):
+            RunSpec(series_window_ms=0.0)
+        with pytest.raises(ValueError, match="series_window_ms must be positive"):
+            RunSpec(series_window_ms=-10.0)
+
     def test_with_store_replaces_only_the_store(self):
         spec = RunSpec(alpha=0.5, workers=2)
         in_memory = spec.with_store(None)
@@ -55,14 +59,12 @@ class TestRunSpec:
 
 
 class TestExecute:
-    def test_execute_equals_deprecated_run(self, small_trace, simulator):
+    def test_execute_is_deterministic(self, small_trace, simulator):
         queries = small_trace.with_saturation(0.5).queries
-        via_execute = simulator.execute(queries, RunSpec(alpha=0.25))
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            via_run = simulator.run(queries, "liferaft", alpha=0.25)
+        first = simulator.execute(queries, RunSpec(alpha=0.25))
+        second = simulator.execute(queries, RunSpec(alpha=0.25))
         for field in VIRTUAL_CLOCK_PARITY_FIELDS:
-            assert getattr(via_execute, field) == getattr(via_run, field), field
+            assert getattr(first, field) == getattr(second, field), field
 
     def test_execute_without_spec_uses_defaults(self, small_trace, simulator):
         result = simulator.execute(small_trace.with_saturation(0.5).queries)
@@ -77,21 +79,25 @@ class TestExecute:
         # The virtual-clock totals are backend-invariant by construction.
         assert parallel.completed_queries == serial.completed_queries
 
-    def test_execute_parallel_equals_deprecated_run_parallel(self, small_trace, simulator):
+    def test_serial_and_single_worker_virtual_agree(self, small_trace, simulator):
         queries = small_trace.with_saturation(0.5).queries
-        via_execute = simulator.execute(queries, RunSpec(alpha=0.0, workers=2))
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            via_shim = simulator.run_parallel(queries, "liferaft", workers=2, alpha=0.0)
-        for field in VIRTUAL_CLOCK_PARITY_FIELDS:
-            assert getattr(via_execute, field) == getattr(via_shim, field), field
+        serial = simulator.execute(queries, RunSpec(alpha=0.0))
+        virtual = simulator.execute(queries, RunSpec(alpha=0.0, backend="virtual"))
+        assert serial.result_digest == virtual.result_digest
 
 
-class TestDeprecatedShims:
-    def test_run_warns(self, small_trace, simulator):
-        with pytest.warns(DeprecationWarning, match="Simulator.run is deprecated"):
-            simulator.run(small_trace.with_saturation(0.5).queries, "liferaft")
+class TestShimsRemoved:
+    """`execute` is the single entry point; the PR-5-era shims are gone."""
 
-    def test_run_parallel_warns(self, small_trace, simulator):
-        with pytest.warns(DeprecationWarning, match="Simulator.run_parallel is deprecated"):
-            simulator.run_parallel(small_trace.with_saturation(0.5).queries, "liferaft", workers=2)
+    def test_run_shims_are_gone(self, simulator):
+        assert not hasattr(simulator, "run")
+        assert not hasattr(simulator, "run_parallel")
+
+    def test_replay_shim_is_gone(self):
+        import repro.workload.replay as replay
+
+        assert not hasattr(replay, "replay_into_engine")
+
+    def test_disk_import_shim_is_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.storage.disk  # noqa: F401

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.sim.runspec import RunSpec
 from repro.sim.simulator import (
     POLICY_NAMES,
     SimulationConfig,
@@ -43,7 +44,9 @@ class TestSimulationConfig:
 
 class TestSimulatorRuns:
     def test_every_query_completes(self, small_trace, simulator):
-        result = simulator.run(small_trace.with_saturation(0.5).queries, "liferaft", alpha=0.25)
+        result = simulator.execute(
+            small_trace.with_saturation(0.5).queries, RunSpec(alpha=0.25)
+        )
         assert result.submitted_queries == len(small_trace)
         assert result.completed_queries == len(small_trace)
         assert result.response_stats.count == len(small_trace)
@@ -53,29 +56,31 @@ class TestSimulatorRuns:
 
     def test_runs_are_deterministic(self, small_trace, simulator):
         queries = small_trace.with_saturation(0.5).queries
-        first = simulator.run(queries, "liferaft", alpha=0.5)
-        second = simulator.run(queries, "liferaft", alpha=0.5)
+        first = simulator.execute(queries, RunSpec(alpha=0.5))
+        second = simulator.execute(queries, RunSpec(alpha=0.5))
         assert first.throughput_qps == pytest.approx(second.throughput_qps)
         assert first.avg_response_time_s == pytest.approx(second.avg_response_time_s)
         assert first.bucket_reads == second.bucket_reads
 
     def test_sharing_reads_fewer_buckets_than_noshare(self, small_trace, simulator):
         queries = small_trace.with_saturation(0.5).queries
-        shared = simulator.run(queries, "liferaft", alpha=0.0)
-        unshared = simulator.run(queries, "noshare")
+        shared = simulator.execute(queries, RunSpec(alpha=0.0))
+        unshared = simulator.execute(queries, RunSpec(policy="noshare"))
         assert shared.bucket_reads < unshared.bucket_reads
         assert shared.busy_time_s < unshared.busy_time_s
         assert shared.throughput_qps >= unshared.throughput_qps
 
     def test_policy_instance_can_be_passed_directly(self, small_trace, simulator):
         policy = make_policy("round_robin")
-        result = simulator.run(small_trace.with_saturation(0.5).queries, policy)
+        result = simulator.execute(
+            small_trace.with_saturation(0.5).queries, RunSpec(policy=policy)
+        )
         assert result.policy_name == "round_robin"
         assert result.completed_queries == len(small_trace)
 
     def test_higher_saturation_never_reduces_busy_time_accuracy(self, small_trace, simulator):
-        slow = simulator.run(small_trace.with_saturation(0.05).queries, "liferaft", alpha=0.0)
-        fast = simulator.run(small_trace.with_saturation(5.0).queries, "liferaft", alpha=0.0)
+        slow = simulator.execute(small_trace.with_saturation(0.05).queries, RunSpec(alpha=0.0))
+        fast = simulator.execute(small_trace.with_saturation(5.0).queries, RunSpec(alpha=0.0))
         # Same total work, but the slow replay stretches over a longer makespan.
         assert slow.makespan_s > fast.makespan_s
         assert slow.completed_queries == fast.completed_queries
@@ -87,7 +92,7 @@ class TestSimulatorRuns:
         assert [r.alpha for r in results] == [0.0, 1.0]
 
     def test_result_row_flattening(self, small_trace, simulator):
-        result = simulator.run(small_trace.with_saturation(0.5).queries, "liferaft", alpha=0.0)
+        result = simulator.execute(small_trace.with_saturation(0.5).queries, RunSpec(alpha=0.0))
         row = result.to_row()
         assert row["policy"].startswith("liferaft")
         assert row["completed"] == len(small_trace)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 from repro.storage.partitioner import BucketPartitioner
 
 LEAF_LEVEL = 8

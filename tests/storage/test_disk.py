@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.storage.disk import (
+from repro.storage.disk_model import (
     DiskModel,
     DiskParameters,
     IOKind,

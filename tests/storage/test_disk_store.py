@@ -5,7 +5,7 @@ import pickle
 import pytest
 
 from repro.storage.bucket_store import BucketStore
-from repro.storage.disk import calibrated_disk_for_bucket_read
+from repro.storage.disk_model import calibrated_disk_for_bucket_read
 from repro.storage.disk_store import (
     DEFAULT_PAGE_CACHE_BUCKETS,
     DecodedPageCache,

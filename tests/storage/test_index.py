@@ -3,7 +3,7 @@
 import pytest
 
 from repro.htm.curve import HTMRange, HTMRangeSet
-from repro.storage.disk import DiskModel
+from repro.storage.disk_model import DiskModel
 from repro.storage.index import SpatialIndex
 
 

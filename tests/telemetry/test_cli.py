@@ -81,6 +81,111 @@ class TestInspectCommand:
             main(["inspect", str(tmp_path / "absent.json")])
 
 
+class TestInspectDiff:
+    def test_identical_snapshots_exit_zero(self, exported, capsys):
+        metrics, _trace, _output = exported
+        assert main(["inspect", str(metrics), "--diff", str(metrics)]) == 0
+        assert "are identical" in capsys.readouterr().out
+
+    def test_differing_snapshots_exit_nonzero(self, exported, tmp_path, capsys):
+        metrics, _trace, _output = exported
+        other = tmp_path / "other-metrics.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--scale",
+                    "small",
+                    "--bucket-count",
+                    "64",
+                    "--seed",
+                    "99",
+                    "--metrics-out",
+                    str(other),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["inspect", str(metrics), "--diff", str(other)]) == 1
+        output = capsys.readouterr().out
+        assert "metrics differ" in output
+        assert "status" in output and "delta" in output
+
+
+class TestReportCommand:
+    def test_report_renders_sections(self, exported, capsys):
+        metrics, _trace, _output = exported
+        assert main(["report", str(metrics)]) == 0
+        output = capsys.readouterr().out
+        assert "snapshot v" in output
+        assert "== metrics ==" in output
+        assert "== series ==" in output
+        assert "engine.queries_completed" in output
+
+    def test_report_rejects_a_non_snapshot_file(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}", encoding="utf-8")
+        with pytest.raises(SystemExit, match="missing 'metrics'"):
+            main(["report", str(bogus)])
+
+
+class TestEnvelopesCommand:
+    def test_record_then_check_round_trips(self, tmp_path, capsys):
+        directory = tmp_path / "envelopes"
+        args = ["envelopes", "hotspot_zone_skew", "--dir", str(directory)]
+        assert main(args + ["--record"]) == 0
+        assert "recorded envelope hotspot_zone_skew" in capsys.readouterr().out
+        assert (directory / "hotspot_zone_skew.json").exists()
+        assert main(args + ["--check"]) == 0
+        assert "envelope OK: hotspot_zone_skew" in capsys.readouterr().out
+
+    def test_check_reports_drift_and_exits_nonzero(self, tmp_path, capsys):
+        directory = tmp_path / "envelopes"
+        args = ["envelopes", "hotspot_zone_skew", "--dir", str(directory)]
+        assert main(args + ["--record"]) == 0
+        fixture = directory / "hotspot_zone_skew.json"
+        envelope = json.loads(fixture.read_text(encoding="utf-8"))
+        envelope["completion"]["completed"] += 1
+        fixture.write_text(json.dumps(envelope), encoding="utf-8")
+        capsys.readouterr()
+        assert main(args + ["--check"]) == 1
+        output = capsys.readouterr().out
+        assert "ENVELOPE DRIFT: hotspot_zone_skew" in output
+        assert "completion.completed" in output
+
+    def test_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown scenarios"):
+            main(["envelopes", "warp_drive", "--check", "--dir", str(tmp_path)])
+
+    def test_missing_fixture_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["envelopes", "heavy_tail", "--check", "--dir", str(tmp_path)])
+
+
+class TestRunSeriesWindowFlag:
+    def test_series_window_ms_controls_the_cadence(self, tmp_path, capsys):
+        coarse = tmp_path / "coarse.json"
+        fine = tmp_path / "fine.json"
+        base = ["run", "--scale", "small", "--bucket-count", "64"]
+        assert main(base + ["--series-window-ms", "9600", "--metrics-out", str(coarse)]) == 0
+        assert main(base + ["--series-window-ms", "4800", "--metrics-out", str(fine)]) == 0
+
+        def series_samples(path):
+            snapshot = snapshot_from_json(path.read_text(encoding="utf-8"))
+            return {
+                entry["name"]: len(entry["samples"])
+                for entry in snapshot["metrics"].values()
+                if entry["type"] == "series"
+            }
+
+        coarse_counts = series_samples(coarse)
+        fine_counts = series_samples(fine)
+        assert coarse_counts["series.queue_depth"] > 0
+        # Halving the window doubles the barrier count (same makespan).
+        assert fine_counts["series.queue_depth"] >= 2 * coarse_counts["series.queue_depth"]
+
+
 class TestServeSlaSummary:
     def test_serve_prints_the_overall_sla_line(self, capsys):
         assert (

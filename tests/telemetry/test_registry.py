@@ -282,6 +282,112 @@ class TestJsonCodec:
             snapshot_from_json(snapshot_to_json(bad))
 
 
+def _series_snapshot(samples, name="s", window_ms=100.0, labels=None):
+    registry = MetricsRegistry()
+    series = registry.series(name, window_ms, labels=labels)
+    for index, value in samples:
+        series.record(index, value)
+    return registry.snapshot()
+
+
+class TestSeries:
+    def test_record_enforces_ascending_indices(self):
+        series = MetricsRegistry().series("s", 100.0)
+        series.record(0, 3)
+        series.record(2, 5)  # gaps are fine: windows with no samples stay absent
+        assert series.sample_count == 2
+        with pytest.raises(ValueError, match="not\\s+after the last recorded index"):
+            series.record(2, 7)
+        with pytest.raises(ValueError, match="not\\s+after the last recorded index"):
+            series.record(1, 7)
+
+    def test_window_ms_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive window_ms"):
+            MetricsRegistry().series("s", 0.0)
+
+    def test_get_or_create_pins_window_ms(self):
+        registry = MetricsRegistry()
+        series = registry.series("s", 100.0)
+        assert registry.series("s", 100.0) is series
+        with pytest.raises(ValueError, match="different window_ms"):
+            registry.series("s", 50.0)
+
+    def test_series_counts_as_sample_count_in_lookups(self):
+        snapshot = _series_snapshot([(0, 10), (1, 20), (2, 30)])
+        assert metric_value(snapshot, "s") == 3
+        assert sum_metric(snapshot, "s") == 3
+
+    def test_round_trips_through_json(self):
+        snapshot = _series_snapshot([(0, 10), (3, 2.5)])
+        assert snapshot_from_json(snapshot_to_json(snapshot)) == snapshot
+
+    def test_restore_rewinds_the_sampling_cursor(self):
+        """The crash-recovery path: a restored series resumes recording
+        exactly after the checkpointed barrier."""
+        registry = MetricsRegistry()
+        series = registry.series("s", 100.0)
+        series.record(0, 1)
+        checkpoint = registry.snapshot()
+        series.record(1, 2)  # lost in the crash
+        registry.restore(checkpoint)
+        assert series.sample_count == 1
+        series.record(1, 2)  # deterministic replay re-records it
+        assert series.samples == [[0, 1], [1, 2]]
+
+
+class TestSeriesMergeAlgebra:
+    """Satellite fix: windowed samples union by barrier index instead of
+    collapsing to a global max like end-of-run gauges."""
+
+    def test_disjoint_shards_concatenate_by_window_index(self):
+        a = _series_snapshot([(0, 10), (1, 20)], labels={"shard": "0"})
+        b = _series_snapshot([(0, 7), (1, 90)], labels={"shard": "1"})
+        merged = merge_snapshots([a, b])
+        key_a = metric_key("s", {"shard": "0"})
+        key_b = metric_key("s", {"shard": "1"})
+        # Per-shard values survive verbatim — no cross-shard max.
+        assert merged["metrics"][key_a]["samples"] == [[0, 10], [1, 20]]
+        assert merged["metrics"][key_b]["samples"] == [[0, 7], [1, 90]]
+
+    def test_same_key_unions_and_sorts_by_index(self):
+        a = _series_snapshot([(0, 10), (2, 30)])
+        b = _series_snapshot([(1, 20)])
+        merged = merge_snapshots([a, b])
+        assert merged["metrics"]["s"]["samples"] == [[0, 10], [1, 20], [2, 30]]
+
+    def test_merge_is_order_insensitive(self):
+        a = _series_snapshot([(0, 10), (2, 30)])
+        b = _series_snapshot([(1, 20), (3, 40)])
+        assert merge_snapshots([a, b]) == merge_snapshots([b, a])
+
+    def test_equal_duplicate_windows_are_tolerated(self):
+        """Recovery replay re-produces samples bit-identically, so the
+        same (index, value) pair arriving twice is not a conflict."""
+        a = _series_snapshot([(0, 10), (1, 20)])
+        b = _series_snapshot([(1, 20), (2, 30)])
+        merged = merge_snapshots([a, b])
+        assert merged["metrics"]["s"]["samples"] == [[0, 10], [1, 20], [2, 30]]
+
+    def test_conflicting_window_values_refuse_to_merge(self):
+        a = _series_snapshot([(1, 20)])
+        b = _series_snapshot([(1, 21)])
+        with pytest.raises(ValueError, match="conflicting samples at window 1"):
+            merge_snapshots([a, b])
+
+    def test_window_ms_mismatch_refuses_to_merge(self):
+        a = _series_snapshot([(0, 1)], window_ms=100.0)
+        b = _series_snapshot([(0, 1)], window_ms=200.0)
+        with pytest.raises(ValueError, match="window_ms differs"):
+            merge_snapshots([a, b])
+
+    def test_series_and_gauge_refuse_to_merge(self):
+        a = _series_snapshot([(0, 1)])
+        b = MetricsRegistry()
+        b.gauge("s").mark(1)
+        with pytest.raises(ValueError, match="cannot combine"):
+            merge_snapshots([a, b.snapshot()])
+
+
 class TestLookupHelpers:
     def test_metric_value_handles_absent_and_none(self):
         assert metric_value(None, "c") == 0

@@ -164,6 +164,84 @@ class TestInstantEvents:
         assert events_by_phase(trace, "X") == []
 
 
+def admission_record(time_ms=0.5, query_id=11, outcome="admit", attempt=0):
+    return SimpleNamespace(
+        time_ms=time_ms, query_id=query_id, outcome=outcome, attempt=attempt
+    )
+
+
+class TestQueryFlows:
+    def test_flows_off_by_default(self):
+        trace = build_chrome_trace([parallel_record()])
+        assert trace["otherData"]["query_flows"] is False
+        for phase in ("s", "t", "f"):
+            assert events_by_phase(trace, phase) == []
+
+    def test_chunk_chain_stitches_start_step_finish(self):
+        records = [
+            parallel_record(worker_id=0, bucket_index=3, start=0.0, finish=2.0),
+            parallel_record(worker_id=1, bucket_index=7, start=2.0, finish=5.0),
+        ]
+        trace = build_chrome_trace(records, include_query_flows=True)
+        validate_chrome_trace(trace)
+        starts = events_by_phase(trace, "s")
+        steps = events_by_phase(trace, "t")
+        finishes = events_by_phase(trace, "f")
+        # Both records serve queries 11 and 12, so two flows emerge.
+        assert {event["id"] for event in starts} == {11, 12}
+        flow_11 = [e for e in starts + steps + finishes if e["id"] == 11]
+        assert [e["ph"] for e in flow_11] == ["s", "t", "f"]
+        # With no admission gate the chain starts at the first chunk.
+        assert flow_11[0]["ts"] == 0.0 and flow_11[0]["tid"] == 0
+        assert flow_11[1]["ts"] == 2000.0 and flow_11[1]["tid"] == 1
+        assert flow_11[2]["ts"] == 5000.0 and flow_11[2]["bp"] == "e"
+
+    def test_admitted_query_starts_on_the_frontend_track(self):
+        trace = build_chrome_trace(
+            [parallel_record(worker_id=2, start=1.0, finish=2.0)],
+            admission_records=[admission_record(time_ms=0.25, query_id=11)],
+            include_query_flows=True,
+        )
+        validate_chrome_trace(trace)
+        (start,) = [e for e in events_by_phase(trace, "s") if e["id"] == 11]
+        # The causal chain begins at the gate's admit instant, on the
+        # dedicated frontend track above the worker lanes.
+        assert start["ts"] == 250.0
+        assert start["tid"] == 3  # max(worker_ids) + 1
+        # The first chunk is then a step, not the start.
+        steps = [e for e in events_by_phase(trace, "t") if e["id"] == 11]
+        assert steps and steps[0]["ts"] == 1000.0 and steps[0]["tid"] == 2
+
+    def test_admission_instants_and_frontend_metadata(self):
+        trace = build_chrome_trace(
+            [parallel_record(worker_id=0)],
+            admission_records=[
+                admission_record(time_ms=0.1, query_id=11, outcome="defer", attempt=0),
+                admission_record(time_ms=0.4, query_id=11, outcome="admit", attempt=1),
+                admission_record(time_ms=0.2, query_id=99, outcome="reject"),
+            ],
+        )
+        validate_chrome_trace(trace)
+        assert trace["otherData"]["admissions"] == 3
+        instants = {
+            event["name"]: event
+            for event in events_by_phase(trace, "i")
+            if event.get("cat") == "admission"
+        }
+        assert set(instants) == {"defer q11", "admit q11", "reject q99"}
+        assert instants["admit q11"]["args"]["attempt"] == 1
+        meta_names = {event["args"]["name"] for event in events_by_phase(trace, "M")}
+        assert "frontend" in meta_names
+
+    def test_flow_events_validate(self):
+        base = {"name": "query 1", "ph": "s", "pid": 1, "tid": 0, "cat": "query"}
+        with pytest.raises(ValueError, match="flow events need ts and id"):
+            validate_chrome_trace({"traceEvents": [dict(base, ts=1.0)]})
+        with pytest.raises(ValueError, match="flow events need ts and id"):
+            validate_chrome_trace({"traceEvents": [dict(base, id=1)]})
+        validate_chrome_trace({"traceEvents": [dict(base, ts=1.0, id=1)]})
+
+
 class TestValidation:
     def test_rejects_non_trace_objects(self):
         with pytest.raises(ValueError, match="missing 'traceEvents'"):

@@ -1,0 +1,89 @@
+"""Scenario SLA envelopes: derivation, fixture round-trip, drift detection.
+
+The committed fixtures under ``tests/fixtures/envelopes/`` are checked
+exactly — the canonical serving replay is a pure function of
+``(scenario, query_count, bucket_count, seed)`` — and the check suite
+here doubles as the local version of the CI envelope job.
+"""
+
+import json
+
+import pytest
+
+from repro.workload.envelopes import (
+    DEFAULT_ENVELOPE_DIR,
+    ENVELOPE_VERSION,
+    check_envelope,
+    compute_envelope,
+    envelope_path,
+    read_envelope,
+    write_envelope,
+)
+from repro.workload.scenarios import SCENARIOS
+
+#: Small derivation parameters so each test replay stays fast.
+FAST = dict(query_count=40, bucket_count=64, seed=7)
+
+
+@pytest.fixture(scope="module")
+def hotspot_envelope():
+    return compute_envelope("hotspot_zone_skew", **FAST)
+
+
+class TestComputeEnvelope:
+    def test_summarises_the_serving_replay(self, hotspot_envelope):
+        envelope = hotspot_envelope
+        assert envelope["version"] == ENVELOPE_VERSION
+        assert envelope["scenario"] == "hotspot_zone_skew"
+        admission = envelope["admission"]
+        assert admission["offered"] == FAST["query_count"]
+        assert admission["admitted"] + admission["rejected"] == admission["offered"]
+        assert envelope["completion"]["chunks"] >= envelope["completion"]["completed"]
+        assert envelope["result_digest"]
+        for counts in envelope["sla"].values():
+            assert 0.0 <= counts["first_result_hit_rate"] <= 1.0
+            assert 0.0 <= counts["completion_hit_rate"] <= 1.0
+
+    def test_is_deterministic(self, hotspot_envelope):
+        assert compute_envelope("hotspot_zone_skew", **FAST) == hotspot_envelope
+
+    def test_is_json_serialisable(self, hotspot_envelope):
+        assert json.loads(json.dumps(hotspot_envelope)) == hotspot_envelope
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            compute_envelope("warp_drive")
+
+
+class TestFixtureRoundTrip:
+    def test_write_then_check_passes(self, hotspot_envelope, tmp_path):
+        path = write_envelope(hotspot_envelope, str(tmp_path))
+        assert path == envelope_path("hotspot_zone_skew", str(tmp_path))
+        assert read_envelope("hotspot_zone_skew", str(tmp_path)) == hotspot_envelope
+        assert check_envelope("hotspot_zone_skew", str(tmp_path)) == []
+
+    def test_drift_is_detected_and_named(self, hotspot_envelope, tmp_path):
+        tampered = json.loads(json.dumps(hotspot_envelope))
+        tampered["admission"]["admitted"] += 1
+        tampered["result_digest"] = "0" * 16
+        write_envelope(tampered, str(tmp_path))
+        mismatches = check_envelope("hotspot_zone_skew", str(tmp_path))
+        assert any("admission.admitted" in line for line in mismatches)
+        assert any("result_digest" in line for line in mismatches)
+
+    def test_version_mismatch_rejected(self, hotspot_envelope, tmp_path):
+        stale = dict(hotspot_envelope, version=ENVELOPE_VERSION + 1)
+        write_envelope(stale, str(tmp_path))
+        with pytest.raises(ValueError, match="version"):
+            read_envelope("hotspot_zone_skew", str(tmp_path))
+
+
+class TestCommittedFixtures:
+    def test_every_scenario_has_a_committed_fixture(self):
+        for name in SCENARIOS:
+            envelope = read_envelope(name, DEFAULT_ENVELOPE_DIR)
+            assert envelope["scenario"] == name
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_committed_fixture_still_holds(self, name):
+        assert check_envelope(name, DEFAULT_ENVELOPE_DIR) == []
