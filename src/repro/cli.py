@@ -84,6 +84,7 @@ Print the workload characterisation of a freshly generated trace::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -248,6 +249,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="serve from an ingested .lrbs bucket store (real storage I/O)",
+    )
+    serve.add_argument(
+        "--live-series-window-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "sample live wall-clock occupancy series (open streams, pending "
+            "admissions, chunks) every MS real milliseconds; real-domain "
+            "telemetry, never parity-asserted"
+        ),
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write the serving run's merged metrics snapshot (including any "
+            "live series) as JSON for 'liferaft inspect'/'liferaft report'"
+        ),
     )
 
     ingest = subparsers.add_parser(
@@ -475,6 +496,15 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: 64 bucket reads); purely an observation cadence"
         ),
     )
+    run.add_argument(
+        "--archive-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a .lrrun run archive (spec + metrics + per-query cost "
+            "ledger + result digest) for later 'liferaft compare'"
+        ),
+    )
 
     replay = subparsers.add_parser(
         "replay",
@@ -573,6 +603,23 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "metrics", metavar="FILE", help="metrics snapshot (.json) to report on"
     )
+    report.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="output format: human-readable text (default) or machine-readable JSON",
+    )
+
+    compare = subparsers.add_parser(
+        "compare",
+        help=(
+            "diff two .lrrun run archives: per-metric (virtual domain) and "
+            "per-query cost-ledger deltas, with drift exit codes "
+            "(0 none, 1 telemetry drift, 2 result-digest drift)"
+        ),
+    )
+    compare.add_argument("archive_a", metavar="A", help="baseline .lrrun archive")
+    compare.add_argument("archive_b", metavar="B", help="candidate .lrrun archive")
 
     envelopes = subparsers.add_parser(
         "envelopes",
@@ -770,6 +817,7 @@ def _single_run(
     record_trace=None,
     metrics_out=None,
     trace_out=None,
+    archive_out=None,
 ):
     from repro.sim.runspec import RunSpec
 
@@ -791,6 +839,7 @@ def _single_run(
             record_trace=record_trace,
             metrics_out=metrics_out,
             trace_out=trace_out,
+            archive_out=archive_out,
             series_window_ms=getattr(args, "series_window_ms", None),
         ),
     )
@@ -834,6 +883,7 @@ def _run_single(args: argparse.Namespace) -> int:
         record_trace=args.record_trace,
         metrics_out=args.metrics_out,
         trace_out=args.trace_out,
+        archive_out=args.archive_out,
     )
     if args.record_trace:
         print(f"recorded trace -> {args.record_trace}")
@@ -841,6 +891,8 @@ def _run_single(args: argparse.Namespace) -> int:
         print(f"wrote metrics snapshot -> {args.metrics_out}")
     if args.trace_out:
         print(f"wrote span timeline -> {args.trace_out}")
+    if args.archive_out:
+        print(f"wrote run archive -> {args.archive_out}")
     engine = (
         "serial engine"
         if args.workers == 1 and reliability is None
@@ -1036,6 +1088,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_client_qps=args.max_client_qps,
         clients=args.clients,
         seed=args.seed,
+        live_series_window_ms=args.live_series_window_ms,
     )
     if args.deadline_mix:
         config_kwargs["deadline_mix"] = parse_deadline_mix(args.deadline_mix)
@@ -1052,8 +1105,11 @@ def _run_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             backend=args.backend,
             service=service,
+            metrics_out=args.metrics_out,
         ),
     )
+    if args.metrics_out:
+        print(f"wrote metrics snapshot -> {args.metrics_out}")
     engine_label = (
         f"{result.backend} backend x{args.workers}" if args.workers > 1 else "serial engine"
     )
@@ -1120,15 +1176,36 @@ def _run_inspect(args: argparse.Namespace) -> int:
 
 def _run_report(args: argparse.Namespace) -> int:
     from repro.telemetry.inspect import load_snapshot
-    from repro.telemetry.report import render_report
+    from repro.telemetry.report import render_report, report_to_json
 
     try:
         snapshot = load_snapshot(args.metrics)
     except (OSError, ValueError) as error:
         raise SystemExit(str(error)) from error
+    if args.format == "json":
+        print(json.dumps(report_to_json(snapshot), sort_keys=True, indent=2))
+        return 0
     print(f"run report from {args.metrics}")
     print(render_report(snapshot))
     return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    from repro.telemetry.archive import (
+        ArchiveFormatError,
+        compare_archives,
+        read_run_archive,
+        render_compare,
+    )
+
+    try:
+        archive_a = read_run_archive(args.archive_a)
+        archive_b = read_run_archive(args.archive_b)
+    except (OSError, ArchiveFormatError) as error:
+        raise SystemExit(str(error)) from error
+    report = compare_archives(archive_a, archive_b)
+    print(render_compare(report, label_a=args.archive_a, label_b=args.archive_b))
+    return report.exit_code
 
 
 def _run_envelopes(args: argparse.Namespace) -> int:
@@ -1208,6 +1285,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_inspect(args)
     if args.command == "report":
         return _run_report(args)
+    if args.command == "compare":
+        return _run_compare(args)
     if args.command == "envelopes":
         return _run_envelopes(args)
     parser.error(f"unknown command {args.command!r}")

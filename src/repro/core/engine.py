@@ -101,6 +101,16 @@ class BatchResult:
         """Service time of the batch."""
         return self.join.cost_ms
 
+    @property
+    def io_ms(self) -> float:
+        """I/O component of the batch cost (zero on a cache hit)."""
+        return self.join.io_cost_ms
+
+    @property
+    def match_ms(self) -> float:
+        """Match/computation component of the batch cost."""
+        return self.join.match_cost_ms
+
 
 @dataclass
 class EngineReport:

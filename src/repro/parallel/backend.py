@@ -367,6 +367,8 @@ class VirtualBackend(ExecutionBackend):
                         started_at_ms=batch.started_at_ms,
                         finished_at_ms=batch.finished_at_ms,
                         objects_served=batch.objects_served,
+                        io_ms=batch.join.io_cost_ms,
+                        match_ms=batch.join.match_cost_ms,
                     )
                 )
         services.sort(key=lambda r: (r.started_at_ms, r.worker_id, r.seq))

@@ -147,6 +147,11 @@ class BatchRecord:
     finished_at_ms: float
     #: Objects drained per served query, aligned with ``queries_served``.
     objects_served: Tuple[int, ...] = ()
+    #: The batch's I/O vs match cost split (virtual ms).  Rides the IPC
+    #: seam so the cost ledger can attribute cache hits per query without
+    #: a second channel; defaulted for producers that predate the ledger.
+    io_ms: float = 0.0
+    match_ms: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -295,6 +300,8 @@ class ShardReplayer:
                         started_at_ms=result.started_at_ms,
                         finished_at_ms=result.finished_at_ms,
                         objects_served=result.objects_served,
+                        io_ms=result.join.io_cost_ms,
+                        match_ms=result.join.match_cost_ms,
                     )
                 )
                 self.seq += 1

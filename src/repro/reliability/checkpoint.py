@@ -19,6 +19,15 @@ at a window barrier.  A :class:`ShardCheckpoint` therefore carries:
 Restoring that state into a freshly built worker and replaying the
 schedule tail reproduces the uninterrupted run bit for bit.
 
+Every batch-record-derived artifact inherits crash parity from this
+seam: the coordinator's accepted-``seq`` cursor keeps pre-crash records
+exactly-once, the restored ``seq`` cursor makes the replayed tail
+re-emit the lost ones bit-for-bit (cache residency included, so each
+record's I/O split matches), and therefore downstream consumers — the
+result streams, the span timeline and the per-query cost ledger
+(:mod:`repro.telemetry.ledger`) — are identical between a crash-injected
+recovery run and its uninterrupted twin.
+
 The file envelope reuses the struct-pack + digest idioms of
 :mod:`repro.storage.format`: a fixed header (magic ``LRCP``, version,
 worker id, window index, clock) carrying the **store generation** the

@@ -31,6 +31,7 @@ per-class SLA table.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -58,13 +59,14 @@ from repro.service.streams import ResultChunk, StreamCursor, StreamHub
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.stats import ResponseTimeStats, summarize_response_times
 from repro.storage.partitioner import PartitionLayout
-from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.registry import REAL_DOMAIN, MetricsRegistry
 from repro.workload.query import CrossMatchQuery
 
 __all__ = [
     "AdmissionInstant",
     "AdmittedQuery",
     "IntakeOutcome",
+    "LiveServingSampler",
     "RejectedQuery",
     "ServiceConfig",
     "ServingFrontEnd",
@@ -110,12 +112,22 @@ class ServiceConfig:
     #: they fire when the run's service records are ingested — in the same
     #: global finish-time order either way.
     on_chunk: Optional[Callable[[ResultChunk], None]] = None
+    #: Enable the live wall-clock sampler with this window (real ms):
+    #: REAL-domain occupancy/pending-admission series captured while the
+    #: run serves.  Wall-clock profile — never parity-asserted, and
+    #: excluded from the virtual-domain parity filters by construction.
+    live_series_window_ms: Optional[float] = None
+    #: Injectable wall clock for the live sampler (seconds; defaults to
+    #: ``time.perf_counter``) — tests drive it deterministically.
+    live_clock: Optional[Callable[[], float]] = None
 
     def __post_init__(self) -> None:
         if self.clients <= 0:
             raise ValueError("clients must be positive")
         if self.defer_delay_ms <= 0:
             raise ValueError("defer_delay_ms must be positive")
+        if self.live_series_window_ms is not None and self.live_series_window_ms <= 0:
+            raise ValueError("live_series_window_ms must be positive")
         if self.max_defers < 0:
             raise ValueError("max_defers cannot be negative")
         total = sum(self.deadline_mix.values())
@@ -243,6 +255,81 @@ class ServingReport:
         return self.completion_stats.mean_s
 
 
+class LiveServingSampler:
+    """Real-domain wall-clock sampler over a live serving run.
+
+    The PR-9 series layer samples in *virtual* time at deterministic
+    barriers; this is its real-time twin.  While a run serves, the
+    sampler captures occupancy series against the **wall clock** —
+    ``series.live_open_streams`` (streams registered but incomplete),
+    ``series.live_pending_admissions`` (in-flight admitted work) and
+    ``series.live_chunks_emitted`` (cumulative chunks) — into the
+    front-end's registry under the REAL domain, so they ride the normal
+    snapshot/merge/export seams but are never parity-asserted (two runs
+    of the same spec legitimately produce different wall profiles).
+
+    Ticks are driven by chunk emission (the hub subscription) plus one
+    final flush at ``finish()``; the window cursor is the series' own
+    sample count against elapsed wall milliseconds — the same barrier
+    rule as the virtual series, just on a different clock.  The clock is
+    injectable so tests can drive it deterministically.
+    """
+
+    def __init__(
+        self,
+        frontend: "ServingFrontEnd",
+        window_ms: float,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if window_ms <= 0:
+            raise ValueError("live sampler window_ms must be positive")
+        self._frontend = frontend
+        self.window_ms = window_ms
+        self._clock = clock if clock is not None else time.perf_counter
+        self._origin_s: Optional[float] = None
+        registry = frontend.telemetry
+        self._s_open = registry.series(
+            "series.live_open_streams", window_ms, domain=REAL_DOMAIN
+        )
+        self._s_pending = registry.series(
+            "series.live_pending_admissions", window_ms, domain=REAL_DOMAIN
+        )
+        self._s_chunks = registry.series(
+            "series.live_chunks_emitted", window_ms, domain=REAL_DOMAIN
+        )
+        frontend.hub.subscribe(self._on_chunk)
+
+    def elapsed_ms(self) -> float:
+        """Wall milliseconds since the first tick (0 before it)."""
+        if self._origin_s is None:
+            return 0.0
+        return (self._clock() - self._origin_s) * 1000.0
+
+    def _on_chunk(self, _chunk: ResultChunk) -> None:
+        self.tick()
+
+    def tick(self) -> None:
+        """Close every wall window that elapsed since the last tick."""
+        if self._origin_s is None:
+            self._origin_s = self._clock()
+        elapsed_ms = self.elapsed_ms()
+        count = self._s_open.sample_count
+        while (count + 1) * self.window_ms <= elapsed_ms + _SERIES_TIME_EPS:
+            self._record(count)
+            count += 1
+
+    def finish(self) -> None:
+        """Flush pending windows and stamp one final end-of-run sample."""
+        self.tick()
+        self._record(self._s_open.sample_count)
+
+    def _record(self, index: int) -> None:
+        frontend = self._frontend
+        self._s_open.record(index, float(frontend.hub.open_stream_count()))
+        self._s_pending.record(index, float(frontend.model.pending_admissions()))
+        self._s_chunks.record(index, float(frontend.hub.total_chunks))
+
+
 class ServingFrontEnd:
     """Async intake, admission control and result streaming over one run."""
 
@@ -292,6 +379,13 @@ class ServingFrontEnd:
         )
         #: Every gate decision, in virtual-time order (trace flow events).
         self._admission_instants: List[AdmissionInstant] = []
+        #: Wall-clock occupancy sampler (real domain, never parity-asserted);
+        #: enabled by :attr:`ServiceConfig.live_series_window_ms`.
+        self.live_sampler: Optional[LiveServingSampler] = None
+        if config.live_series_window_ms is not None:
+            self.live_sampler = LiveServingSampler(
+                self, config.live_series_window_ms, clock=config.live_clock
+            )
 
     # ------------------------------------------------------------------ #
     # intake
@@ -470,6 +564,8 @@ class ServingFrontEnd:
         if self._finalized:
             return
         self._finalized = True
+        if self.live_sampler is not None:
+            self.live_sampler.finish()
         for stream in self.hub.streams():
             if not stream.is_complete:
                 continue

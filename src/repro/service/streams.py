@@ -176,6 +176,14 @@ class StreamHub:
         """``True`` once the query's stream is open."""
         return query_id in self._streams
 
+    def open_stream_count(self) -> int:
+        """Streams registered but not yet complete (serving occupancy).
+
+        The live wall-clock sampler reads this per tick; it is O(streams)
+        but serving runs hold at most the admitted-query count of streams.
+        """
+        return sum(1 for stream in self._streams.values() if not stream.is_complete)
+
     def cursor(self) -> StreamCursor:
         """Snapshot the emitted-chunk position of every stream."""
         emitted = []

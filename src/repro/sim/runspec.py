@@ -93,6 +93,11 @@ class RunSpec:
     #: ``None`` uses the engine default (64 bucket reads).  Purely an
     #: observation cadence: it never feeds back into scheduling.
     series_window_ms: Optional[float] = None
+    #: Write a ``.lrrun`` run archive (spec description + metrics +
+    #: per-query cost ledger + result digest) to this path after the run,
+    #: for later ``liferaft compare``.  Like the other exports it runs
+    #: after the digest is stamped, so it never perturbs the outcome.
+    archive_out: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:

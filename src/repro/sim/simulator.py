@@ -31,6 +31,7 @@ from repro.storage.disk_store import DiskBucketStore, open_disk_store
 from repro.storage.format import read_layout
 from repro.storage.index import SpatialIndex
 from repro.storage.partitioner import BucketPartitioner, PartitionLayout
+from repro.telemetry.ledger import build_run_ledger
 from repro.telemetry.registry import merge_snapshots, snapshot_to_json
 from repro.telemetry.spans import build_chrome_trace, write_chrome_trace
 from repro.workload.query import CrossMatchQuery
@@ -145,6 +146,13 @@ class SimulationResult:
     #: across storage tiers and execution backends at a fixed worker count;
     #: the real domain is wall-clock profile and never parity-asserted.
     telemetry: Optional[dict] = None
+    #: Per-query cost ledger (``None`` when the spec disabled telemetry):
+    #: each query's makespan decomposed into admission/queue/service/IO
+    #: components with sharing attribution (see
+    #: :mod:`repro.telemetry.ledger`).  Entirely virtual-domain, so
+    #: bit-identical across execution backends at a fixed worker count
+    #: (stealing off) and across crash/recovery.
+    ledger: Optional[dict] = None
     #: SHA-256 over the per-query completion timeline plus every
     #: :data:`VIRTUAL_CLOCK_PARITY_FIELDS` value — equal digests mean
     #: bit-identical virtual-clock outcomes (``liferaft replay`` pins it).
@@ -384,6 +392,9 @@ class Simulator:
         policy = spec.policy
         if isinstance(policy, str):
             policy = make_policy(policy, alpha=spec.alpha, cost=self.config.cost)
+        # Client arrivals (pre-admission): the ledger charges gate wait
+        # against these, not the rewritten engine hand-off times.
+        client_arrivals_ms = {q.query_id: q.arrival_time_s * 1000.0 for q in queries}
         frontend = self._build_frontend(spec)
         if frontend is not None:
             queries = frontend.admit(queries).admitted_queries()
@@ -438,6 +449,7 @@ class Simulator:
                 admission_records=(
                     frontend.admission_records() if frontend is not None else ()
                 ),
+                arrivals_ms=client_arrivals_ms,
             )
             return summary
 
@@ -528,6 +540,7 @@ class Simulator:
         policy = spec.policy
         if isinstance(policy, str):
             policy = make_policy(policy, alpha=spec.alpha, cost=self.config.cost)
+        client_arrivals_ms = {q.query_id: q.arrival_time_s * 1000.0 for q in queries}
         frontend = self._build_frontend(spec)
         if frontend is not None:
             queries = frontend.admit(queries).admitted_queries()
@@ -598,6 +611,7 @@ class Simulator:
             admission_records=(
                 frontend.admission_records() if frontend is not None else ()
             ),
+            arrivals_ms=client_arrivals_ms,
         )
         return summary
 
@@ -611,13 +625,25 @@ class Simulator:
         window_boundaries_ms=(),
         reliability=None,
         admission_records=(),
+        arrivals_ms=None,
     ) -> None:
-        """Write the run's metrics / span-timeline files when asked to.
+        """Assemble the cost ledger and write export files when asked to.
 
-        Export runs after the digest is stamped, so it can never perturb
-        the deterministic outcome (the zero-perturbation tests compare
-        digests with exports on and off).
+        Everything here runs after the digest is stamped, so it can never
+        perturb the deterministic outcome (the zero-perturbation tests
+        compare digests with ledger/exports on and off).
         """
+        if spec.telemetry or spec.archive_out:
+            ledger = build_run_ledger(
+                services,
+                admission_records=admission_records,
+                steal_records=steal_records,
+                arrivals_ms=arrivals_ms,
+            )
+            if spec.telemetry:
+                result.ledger = ledger
+        else:
+            ledger = None
         if spec.metrics_out:
             with open(spec.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(snapshot_to_json(snapshot))
@@ -633,6 +659,23 @@ class Simulator:
                 include_query_flows=True,
             )
             write_chrome_trace(spec.trace_out, trace)
+        if spec.archive_out:
+            from repro.telemetry.archive import (
+                RunArchive,
+                describe_run_spec,
+                summarise_result,
+                write_run_archive,
+            )
+
+            write_run_archive(
+                spec.archive_out,
+                RunArchive(
+                    spec=describe_run_spec(spec),
+                    result=summarise_result(result),
+                    telemetry=snapshot,
+                    ledger=ledger,
+                ),
+            )
 
     def run_alpha_sweep(
         self,

@@ -1,6 +1,6 @@
-"""Deterministic telemetry: metrics, series, span tracing, run reports.
+"""Deterministic telemetry: metrics, series, spans, ledgers, archives.
 
-The subsystem has four parts:
+The subsystem has six parts:
 
 * :mod:`repro.telemetry.registry` — labelled counters, gauges,
   fixed-bound histograms and windowed time series split into a
@@ -9,6 +9,11 @@ The subsystem has four parts:
 * :mod:`repro.telemetry.spans` — per-shard span tracing and per-query
   causal flows exported as Chrome-trace-format JSON
   (``chrome://tracing``/Perfetto-loadable);
+* :mod:`repro.telemetry.ledger` — the per-query cost ledger: each
+  query's makespan decomposed into admission/queue/service/IO
+  components with batching sharing attribution;
+* :mod:`repro.telemetry.archive` — versioned ``.lrrun`` run archives
+  and the ``liferaft compare`` drift engine;
 * :mod:`repro.telemetry.inspect` — the ``liferaft inspect`` summary;
 * :mod:`repro.telemetry.report` — the ``liferaft report`` renderer and
   the ``liferaft inspect --diff`` snapshot comparison.
@@ -19,7 +24,22 @@ feeds scheduling decisions or the result digest, so a run's
 telemetry parity suite pins that down).
 """
 
+from repro.telemetry.archive import (
+    ArchiveFormatError,
+    CompareReport,
+    RunArchive,
+    compare_archives,
+    read_run_archive,
+    render_compare,
+    write_run_archive,
+)
 from repro.telemetry.inspect import domain_counts, load_snapshot, summary_rows
+from repro.telemetry.ledger import (
+    build_run_ledger,
+    diff_ledgers,
+    ledger_digest,
+    ledger_entries,
+)
 from repro.telemetry.registry import (
     Counter,
     Gauge,
@@ -38,33 +58,50 @@ from repro.telemetry.registry import (
     snapshot_to_json,
     sum_metric,
 )
-from repro.telemetry.report import diff_snapshots, render_diff, render_report
+from repro.telemetry.report import (
+    diff_snapshots,
+    render_diff,
+    render_report,
+    report_to_json,
+)
 from repro.telemetry.spans import build_chrome_trace, validate_chrome_trace, write_chrome_trace
 
 __all__ = [
+    "ArchiveFormatError",
+    "CompareReport",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "REAL_DOMAIN",
+    "RunArchive",
     "SNAPSHOT_VERSION",
     "Series",
     "VIRTUAL_DOMAIN",
     "build_chrome_trace",
+    "build_run_ledger",
+    "compare_archives",
+    "diff_ledgers",
     "diff_snapshots",
     "domain_counts",
     "empty_snapshot",
     "filter_domain",
+    "ledger_digest",
+    "ledger_entries",
     "load_snapshot",
     "merge_snapshots",
     "metric_key",
     "metric_value",
+    "read_run_archive",
+    "render_compare",
     "render_diff",
     "render_report",
+    "report_to_json",
     "snapshot_from_json",
     "snapshot_to_json",
     "sum_metric",
     "summary_rows",
     "validate_chrome_trace",
     "write_chrome_trace",
+    "write_run_archive",
 ]

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.telemetry.inspect import describe_entry, domain_counts, summary_rows
 
-__all__ = ["diff_snapshots", "render_diff", "render_report"]
+__all__ = ["diff_snapshots", "render_diff", "render_report", "report_to_json"]
 
 #: Counter-name prefixes that belong in the events section.
 _EVENT_PREFIXES = ("reliability.", "coordinator.", "parallel.steals")
@@ -130,6 +130,66 @@ def render_report(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+def report_to_json(snapshot: dict) -> dict:
+    """The report's sections as a machine-readable dict.
+
+    Backs ``liferaft report --format json``: the same four sections the
+    text renderer prints (metrics, series, SLA, events), structured for
+    scripts and CI instead of eyeballs: values stay numeric (no display
+    formatting) and labels come back as a mapping rather than rendered
+    into the metric name.
+    """
+    virtual, real = domain_counts(snapshot)
+    ordered = sorted(
+        snapshot.get("metrics", {}).items(),
+        key=lambda item: (
+            item[1].get("domain", "") != "virtual",
+            item[1].get("name", ""),
+            item[0],
+        ),
+    )
+    metrics = []
+    for _key, entry in ordered:
+        if entry.get("type") == "series":
+            continue
+        row = {
+            "domain": entry.get("domain", "?"),
+            "metric": entry["name"],
+            "labels": entry.get("labels") or {},
+            "type": entry["type"],
+        }
+        if entry["type"] == "histogram":
+            row["count"] = entry.get("count")
+            row["sum"] = entry.get("sum")
+        else:
+            row["value"] = entry.get("value")
+        metrics.append(row)
+    series = []
+    for _key, entry in _series_entries(snapshot):
+        series.append(
+            {
+                "domain": entry.get("domain", "?"),
+                "name": entry["name"],
+                "labels": entry.get("labels") or {},
+                "window_ms": entry.get("window_ms"),
+                "samples": [list(sample) for sample in entry.get("samples", ())],
+            }
+        )
+    events = [
+        {"domain": row["domain"], "event": row["metric"], "count": row["value"]}
+        for row in metrics
+        if row["type"] == "counter" and row["metric"].startswith(_EVENT_PREFIXES)
+    ]
+    return {
+        "version": snapshot.get("version"),
+        "domains": {"virtual": virtual, "real": real},
+        "metrics": metrics,
+        "series": series,
+        "sla": _sla_counts(snapshot),
+        "events": events,
+    }
+
+
 def _entry_summary(entry: Optional[dict]) -> str:
     if entry is None:
         return "-"
@@ -137,7 +197,12 @@ def _entry_summary(entry: Optional[dict]) -> str:
 
 
 def _series_delta(a: dict, b: dict) -> Optional[str]:
-    """Human delta of two series entries (``None`` when identical)."""
+    """Human delta of two series entries (``None`` when identical).
+
+    Samples present in only one snapshot are reported as additions or
+    removals — a longer-running second snapshot must not diff clean just
+    because its extra windows have no counterpart to compare against.
+    """
     a_samples = {int(index): value for index, value in a.get("samples", ())}
     b_samples = {int(index): value for index, value in b.get("samples", ())}
     if a_samples == b_samples and a.get("window_ms") == b.get("window_ms"):
@@ -147,10 +212,16 @@ def _series_delta(a: dict, b: dict) -> Optional[str]:
         for index in set(a_samples) & set(b_samples)
         if a_samples[index] != b_samples[index]
     )
-    return (
-        f"samples {len(a_samples)} -> {len(b_samples)}"
-        + (f", {changed} changed" if changed else "")
-    )
+    added = len(set(b_samples) - set(a_samples))
+    removed = len(set(a_samples) - set(b_samples))
+    parts = [f"samples {len(a_samples)} -> {len(b_samples)}"]
+    if changed:
+        parts.append(f"{changed} changed")
+    if added:
+        parts.append(f"{added} added")
+    if removed:
+        parts.append(f"{removed} removed")
+    return ", ".join(parts)
 
 
 def _scalar_delta(a: dict, b: dict) -> Optional[str]:

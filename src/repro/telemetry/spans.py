@@ -115,7 +115,8 @@ def build_chrome_trace(
     :class:`~repro.service.frontend.AdmissionInstant` decisions; they
     render as instant events on a dedicated front-end track.  With
     *include_query_flows* set, per-query flow events stitch each query's
-    admission instant and service chunks into one causal chain.
+    gate decisions — every backpressure defer round plus the final admit
+    — and its service chunks into one causal chain.
     """
     events: List[dict] = []
     normalised = [_normalise_service(record) for record in services]
@@ -197,21 +198,31 @@ def build_chrome_trace(
         for record in normalised:
             for query_id in record["queries_served"]:
                 chunks.setdefault(query_id, []).append(record)
-        admitted_at = {
-            record.query_id: record.time_ms
-            for record in admission_records
-            if record.outcome == "admit"
-        }
+        gate_instants: dict = {}
+        for record in admission_records:
+            gate_instants.setdefault(record.query_id, []).append(record)
         for query_id in sorted(chunks):
             chain = sorted(
                 chunks[query_id],
                 key=lambda r: (r["started_at_ms"], r["bucket_index"], r["worker_id"]),
             )
-            if query_id in admitted_at:
-                # The causal chain starts at the gate's admit instant.
+            instants = sorted(
+                gate_instants.get(query_id, ()),
+                key=lambda r: (r.time_ms, r.attempt),
+            )
+            if instants:
+                # The causal chain starts at the query's *first* gate
+                # decision, and every later backpressure round — each
+                # defer retry, not just the final admit — is stitched in
+                # as a step on the front-end track, so a multi-round
+                # deferred query shows its full wait chain.
                 events.append(
-                    _flow_event("s", query_id, admitted_at[query_id], frontend_tid)
+                    _flow_event("s", query_id, instants[0].time_ms, frontend_tid)
                 )
+                for record in instants[1:]:
+                    events.append(
+                        _flow_event("t", query_id, record.time_ms, frontend_tid)
+                    )
                 steps = chain
             else:
                 events.append(

@@ -130,6 +130,98 @@ class TestReportCommand:
             main(["report", str(bogus)])
 
 
+class TestReportJsonFormat:
+    def test_json_format_emits_machine_readable_sections(self, exported, capsys):
+        metrics, _trace, _output = exported
+        assert main(["report", str(metrics), "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"version", "domains", "metrics", "series", "sla", "events"}
+        assert report["domains"]["virtual"] > 0
+        names = {row["metric"] for row in report["metrics"]}
+        assert "engine.queries_completed" in names
+
+    def test_text_is_still_the_default(self, exported, capsys):
+        metrics, _trace, _output = exported
+        assert main(["report", str(metrics)]) == 0
+        assert "== metrics ==" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    @pytest.fixture
+    def archives(self, tmp_path, capsys):
+        paths = []
+        for name in ("a.lrrun", "b.lrrun"):
+            path = tmp_path / name
+            args = ["run", "--scale", "small", "--bucket-count", "64"]
+            assert main(args + ["--archive-out", str(path)]) == 0
+            paths.append(str(path))
+        capsys.readouterr()
+        return paths
+
+    def test_identical_spec_runs_compare_clean(self, archives, capsys):
+        assert main(["compare", *archives]) == 0
+        output = capsys.readouterr().out
+        assert "result digest match" in output
+        assert "no drift" in output
+
+    def test_different_seed_grades_digest_drift(self, archives, tmp_path, capsys):
+        other = tmp_path / "other.lrrun"
+        args = ["run", "--scale", "small", "--bucket-count", "64", "--seed", "99"]
+        assert main(args + ["--archive-out", str(other)]) == 0
+        capsys.readouterr()
+        assert main(["compare", archives[0], str(other)]) == 2
+        output = capsys.readouterr().out
+        assert "result digest DRIFT" in output
+        assert "digest drift" in output
+
+    def test_missing_archive_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["compare", str(tmp_path / "no-a.lrrun"), str(tmp_path / "no-b.lrrun")])
+
+    def test_corrupt_archive_is_a_clean_error(self, archives, tmp_path):
+        mangled = tmp_path / "mangled.lrrun"
+        raw = bytearray(open(archives[0], "rb").read())
+        raw[-1] ^= 0xFF
+        mangled.write_bytes(bytes(raw))
+        with pytest.raises(SystemExit, match="CRC"):
+            main(["compare", archives[0], str(mangled)])
+
+
+class TestServeLiveSeries:
+    def test_live_sampler_exports_real_domain_series(self, tmp_path, capsys):
+        metrics = tmp_path / "serve-metrics.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--scale",
+                    "small",
+                    "--live-series-window-ms",
+                    "5",
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        assert "wrote metrics snapshot" in capsys.readouterr().out
+        snapshot = snapshot_from_json(metrics.read_text(encoding="utf-8"))
+        live = {
+            entry["name"]: entry
+            for entry in snapshot["metrics"].values()
+            if entry["name"].startswith("series.live_")
+        }
+        assert set(live) == {
+            "series.live_open_streams",
+            "series.live_pending_admissions",
+            "series.live_chunks_emitted",
+        }
+        for entry in live.values():
+            assert entry["domain"] == "real"  # wall clock, not parity-checked
+            assert entry["window_ms"] == 5.0
+            assert len(entry["samples"]) > 0
+
+
 class TestEnvelopesCommand:
     def test_record_then_check_round_trips(self, tmp_path, capsys):
         directory = tmp_path / "envelopes"

@@ -5,8 +5,15 @@ small registries in memory and check the rendered sections and the diff
 rows directly.
 """
 
+import json
+
 from repro.telemetry.registry import MetricsRegistry, REAL_DOMAIN
-from repro.telemetry.report import diff_snapshots, render_diff, render_report
+from repro.telemetry.report import (
+    diff_snapshots,
+    render_diff,
+    render_report,
+    report_to_json,
+)
 
 
 def serving_snapshot(queue_peak=5, admitted=9):
@@ -62,6 +69,35 @@ class TestRenderReport:
         assert report == "snapshot v2: 0 virtual + 0 real metrics"
 
 
+class TestReportToJson:
+    def test_sections_mirror_the_text_report(self):
+        report = report_to_json(serving_snapshot(admitted=9))
+        assert report["domains"] == {"virtual": 5, "real": 2}
+        by_name = {row["metric"]: row for row in report["metrics"]}
+        assert by_name["engine.queries_completed"]["value"] == 9  # numeric, unformatted
+        assert by_name["sla.admitted"]["labels"] == {"class": "interactive"}
+        assert by_name["svc.batch_ms"]["count"] == 1
+        assert "series.queue_depth" not in by_name  # series get their own section
+        (series,) = report["series"]
+        assert series["name"] == "series.queue_depth"
+        assert series["labels"] == {"shard": "0"}
+        assert series["window_ms"] == 100.0
+        assert series["samples"] == [[0, 2], [1, 5]]
+        assert report["sla"]["interactive"]["admitted"] == 9
+        events = {row["event"]: row["count"] for row in report["events"]}
+        assert events["reliability.checkpoints_written"] == 4
+
+    def test_output_is_json_serialisable(self):
+        report = report_to_json(serving_snapshot())
+        assert json.loads(json.dumps(report, sort_keys=True)) == report
+
+    def test_empty_snapshot(self):
+        report = report_to_json(MetricsRegistry().snapshot())
+        assert report["domains"] == {"virtual": 0, "real": 0}
+        assert report["metrics"] == [] and report["series"] == []
+        assert report["sla"] == {} and report["events"] == []
+
+
 class TestDiffSnapshots:
     def test_identical_snapshots_diff_empty(self):
         assert diff_snapshots(serving_snapshot(), serving_snapshot()) == []
@@ -83,6 +119,24 @@ class TestDiffSnapshots:
         status, delta = rows["series.queue_depth|shard=0"]
         assert status == "changed"
         assert "1 changed" in delta
+
+    def test_series_length_difference_reports_additions(self):
+        # A longer-running second snapshot must not diff clean just
+        # because its extra windows have nothing to compare against.
+        a = serving_snapshot()
+        b = serving_snapshot()
+        b["metrics"]["series.queue_depth|shard=0"]["samples"].append([2, 7])
+        rows = dict(
+            (key, (status, delta)) for key, status, delta in diff_snapshots(a, b)
+        )
+        status, delta = rows["series.queue_depth|shard=0"]
+        assert status == "changed"
+        assert delta == "samples 2 -> 3, 1 added"
+        # And symmetrically as removals in the other direction.
+        _, reverse_delta = dict(
+            (key, (status, delta)) for key, status, delta in diff_snapshots(b, a)
+        )["series.queue_depth|shard=0"]
+        assert reverse_delta == "samples 3 -> 2, 1 removed"
 
     def test_only_in_one_side(self):
         a = serving_snapshot()

@@ -233,6 +233,27 @@ class TestQueryFlows:
         meta_names = {event["args"]["name"] for event in events_by_phase(trace, "M")}
         assert "frontend" in meta_names
 
+    def test_defer_chain_stitches_every_backpressure_round(self):
+        trace = build_chrome_trace(
+            [parallel_record(worker_id=0, start=2.0, finish=3.0)],
+            admission_records=[
+                admission_record(time_ms=0.1, query_id=11, outcome="defer", attempt=0),
+                admission_record(time_ms=0.6, query_id=11, outcome="defer", attempt=1),
+                admission_record(time_ms=1.1, query_id=11, outcome="admit", attempt=2),
+            ],
+            include_query_flows=True,
+        )
+        validate_chrome_trace(trace)
+        (start,) = [e for e in events_by_phase(trace, "s") if e["id"] == 11]
+        # The flow starts at the FIRST gate decision (the first defer),
+        # on the frontend track (max worker id + 1).
+        assert start["ts"] == 100.0 and start["tid"] == 1
+        steps = [e for e in events_by_phase(trace, "t") if e["id"] == 11]
+        # Every later backpressure round — the second defer AND the final
+        # admit — is a step on the frontend track before the chunk leg.
+        assert [(e["ts"], e["tid"]) for e in steps[:2]] == [(600.0, 1), (1100.0, 1)]
+        assert (steps[2]["ts"], steps[2]["tid"]) == (2000.0, 0)
+
     def test_flow_events_validate(self):
         base = {"name": "query 1", "ph": "s", "pid": 1, "tid": 0, "cat": "query"}
         with pytest.raises(ValueError, match="flow events need ts and id"):
